@@ -1,0 +1,49 @@
+// Distributed problem heap (paper §8, future work): "We expect that this
+// efficiency loss can be reduced by distributing work in a manner that
+// reduces processor interaction."  The simulator's sharded heap locks model
+// exactly that: S independently-serialized queue shards instead of one.
+// The contention-bound regime is a deep serial cutover (many small units).
+
+#include <variant>
+
+#include "common.hpp"
+#include "core/parallel_er.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ers;
+  const auto opt = bench::parse_options(argc, argv, {"R3"});
+  bench::print_header("Distributed problem heap ( 8 future work)");
+
+  TextTable table({"tree", "serial depth", "procs", "shards", "speedup",
+                   "efficiency", "lock share", "idle share"});
+  for (const auto& name : opt.tree_names) {
+    const auto base = harness::tree_by_name(name, opt.scale);
+    const auto serial = harness::run_serial_baselines(base);
+    // Two regimes: the paper's serial depth, and a contention-bound one two
+    // plies deeper.
+    for (const int sd :
+         {base.engine.serial_depth,
+          std::min(base.engine.search_depth, base.engine.serial_depth + 2)}) {
+      auto cfg = base.engine;
+      cfg.serial_depth = sd;
+      for (const int shards : {1, 2, 4, 16}) {
+        const int p = 16;
+        const auto metrics = std::visit(
+            [&](const auto& game) {
+              return parallel_er_sim(game, cfg, p, {}, shards).metrics;
+            },
+            base.game);
+        const double speedup = static_cast<double>(serial.best_cost()) /
+                               static_cast<double>(metrics.makespan);
+        const double total = static_cast<double>(metrics.makespan) * p;
+        table.add_row({base.name, std::to_string(sd), std::to_string(p),
+                       std::to_string(shards), TextTable::num(speedup, 2),
+                       TextTable::num(speedup / p, 3),
+                       TextTable::num(metrics.lock_wait_time / total, 3),
+                       TextTable::num(metrics.idle_time / total, 3)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks (google-benchmark) of the building blocks: Othello move
+// generation and evaluation, the implicit random-tree primitives, and the
+// end-to-end problem-heap engine (simulated and threaded executors).
+
+#include <benchmark/benchmark.h>
+
+#include "core/parallel_er.hpp"
+#include "othello/eval.hpp"
+#include "othello/positions.hpp"
+#include "randomtree/random_tree.hpp"
+
+namespace {
+
+using namespace ers;
+
+void BM_OthelloLegalMoves(benchmark::State& state) {
+  const othello::Board b = othello::paper_position(1);
+  for (auto _ : state) benchmark::DoNotOptimize(othello::legal_moves(b));
+}
+BENCHMARK(BM_OthelloLegalMoves);
+
+void BM_OthelloApplyMove(benchmark::State& state) {
+  const othello::Board b = othello::paper_position(1);
+  const int sq = othello::lsb(othello::legal_moves(b));
+  for (auto _ : state) benchmark::DoNotOptimize(othello::apply_move(b, sq));
+}
+BENCHMARK(BM_OthelloApplyMove);
+
+void BM_OthelloEvaluate(benchmark::State& state) {
+  const othello::Board b = othello::paper_position(2);
+  for (auto _ : state) benchmark::DoNotOptimize(othello::evaluate_board(b));
+}
+BENCHMARK(BM_OthelloEvaluate);
+
+void BM_OthelloPerft4(benchmark::State& state) {
+  const othello::Board b = othello::initial_board();
+  for (auto _ : state) benchmark::DoNotOptimize(othello::perft(b, 4));
+}
+BENCHMARK(BM_OthelloPerft4);
+
+void BM_RandomTreeChildren(benchmark::State& state) {
+  const UniformRandomTree g(8, 7, 303);
+  std::vector<UniformRandomTree::Position> kids;
+  for (auto _ : state) {
+    kids.clear();
+    g.generate_children(g.root(), kids);
+    benchmark::DoNotOptimize(kids.data());
+  }
+}
+BENCHMARK(BM_RandomTreeChildren);
+
+void BM_ParallelErSim(benchmark::State& state) {
+  const UniformRandomTree g(4, 7, 11, -1000, 1000);
+  core::EngineConfig cfg;
+  cfg.search_depth = 7;
+  cfg.serial_depth = 4;
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = parallel_er_sim(g, cfg, procs);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_ParallelErSim)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ParallelErThreads(benchmark::State& state) {
+  const UniformRandomTree g(4, 7, 11, -1000, 1000);
+  core::EngineConfig cfg;
+  cfg.search_depth = 7;
+  cfg.serial_depth = 4;
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = parallel_er_threads(g, cfg, threads);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_ParallelErThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Figure 10: efficiency of parallel ER on the Othello trees O1-O3.
+#include "figure_efficiency.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ers::bench::parse_options(argc, argv, {"O1", "O2", "O3"});
+  ers::bench::print_efficiency_figure(
+      "Figure 10: efficiency of ER for Othello game trees", opt);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 13: number of nodes generated for the random trees R1-R3.
+#include "figure_efficiency.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ers::bench::parse_options(argc, argv, {"R1", "R2", "R3"});
+  ers::bench::print_nodes_figure(
+      "Figure 13: nodes generated for random game trees", opt);
+  return 0;
+}

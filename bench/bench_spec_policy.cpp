@@ -1,0 +1,57 @@
+// Global ranking of speculative work (paper §8, future work): "Currently,
+// e-nodes are ranked on the speculative queue according to depth; a rather
+// naive ordering.  In order to reduce speculative loss and improve
+// efficiency a better mechanism for globally ranking speculative work must
+// be found."  This bench compares the paper's ranking against a
+// bound-driven ranking and a FIFO control.
+
+#include <variant>
+
+#include "common.hpp"
+#include "core/parallel_er.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ers;
+  const auto opt = bench::parse_options(argc, argv, {"R1", "R3", "O1"});
+  bench::print_header("Speculative-queue ranking policies ( 8 future work)");
+
+  const struct {
+    core::SpecRankPolicy policy;
+    const char* name;
+  } kPolicies[] = {
+      {core::SpecRankPolicy::kFewestEChildren, "fewest-e-children (paper)"},
+      {core::SpecRankPolicy::kBestBound, "best-bound"},
+      {core::SpecRankPolicy::kFifo, "fifo (control)"},
+  };
+
+  TextTable table({"tree", "procs", "policy", "speedup", "efficiency", "nodes",
+                   "spec promotions", "idle share"});
+  for (const auto& name : opt.tree_names) {
+    const auto tree = harness::tree_by_name(name, opt.scale);
+    const auto serial = harness::run_serial_baselines(tree);
+    for (const int p : {8, 16}) {
+      for (const auto& pc : kPolicies) {
+        auto cfg = tree.engine;
+        cfg.spec_rank = pc.policy;
+        const auto [metrics, engine_stats] = std::visit(
+            [&](const auto& game) {
+              auto r = parallel_er_sim(game, cfg, p);
+              return std::pair{r.metrics, r.engine};
+            },
+            tree.game);
+        const double speedup = static_cast<double>(serial.best_cost()) /
+                               static_cast<double>(metrics.makespan);
+        const double idle = static_cast<double>(metrics.idle_time) /
+                            (static_cast<double>(metrics.makespan) * p);
+        table.add_row({tree.name, std::to_string(p), pc.name,
+                       TextTable::num(speedup, 2),
+                       TextTable::num(speedup / p, 3),
+                       std::to_string(engine_stats.search.nodes_generated()),
+                       std::to_string(engine_stats.promotions_speculative),
+                       TextTable::num(idle, 3)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

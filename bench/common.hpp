@@ -1,0 +1,68 @@
+#pragma once
+// Shared plumbing for the figure-regeneration benches: every bench binary
+// prints the series of one paper table/figure, using the Table 3 tree
+// registry and the deterministic simulated executor (see DESIGN.md §1 for
+// why simulated time stands in for the Sequent's wall clock).
+//
+// All binaries accept:
+//   --scale N   reduce every search/serial depth by N (quick smoke runs)
+//   --trees A,B restrict to a subset of tree names
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/tree_registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ers::bench {
+
+struct FigureOptions {
+  int scale = 0;
+  std::vector<std::string> tree_names;
+};
+
+inline FigureOptions parse_options(int argc, char** argv,
+                                   std::vector<std::string> default_trees) {
+  const CliArgs args(argc, argv);
+  FigureOptions opt;
+  opt.scale = static_cast<int>(args.get_int("scale", 0));
+  std::string trees = args.get("trees", "");
+  if (trees.empty()) {
+    opt.tree_names = std::move(default_trees);
+  } else {
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+      const auto comma = trees.find(',', pos);
+      opt.tree_names.push_back(trees.substr(pos, comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+  return opt;
+}
+
+/// Run the serial baselines and the full processor sweep for one tree.
+struct TreeSweep {
+  harness::ExperimentTree tree;
+  harness::SerialBaseline serial;
+  std::vector<harness::ParallelPoint> points;
+};
+
+inline TreeSweep run_sweep(const std::string& name, int scale,
+                           const core::SpeculationConfig* speculation = nullptr) {
+  TreeSweep s{harness::tree_by_name(name, scale), {}, {}};
+  s.serial = harness::run_serial_baselines(s.tree);
+  for (const int p : harness::figure_processor_counts())
+    s.points.push_back(
+        harness::run_parallel_point(s.tree, p, s.serial, {}, speculation));
+  return s;
+}
+
+inline void print_header(const char* what) {
+  std::printf("\n=== %s ===\n", what);
+  std::printf("(simulated P-processor executor; see DESIGN.md / EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace ers::bench

@@ -1,0 +1,56 @@
+#pragma once
+// Shared driver for Figures 10/11 (efficiency of ER vs processor count) and
+// Figures 12/13 (nodes generated vs processor count).
+
+#include "common.hpp"
+
+namespace ers::bench {
+
+/// Figures 10/11: one efficiency row per processor count and tree, plus the
+/// flat "serial alpha-beta" reference line of the paper's plots (its
+/// efficiency relative to the fastest serial algorithm).
+inline void print_efficiency_figure(const char* title,
+                                    const FigureOptions& opt) {
+  print_header(title);
+  TextTable table({"tree", "procs", "speedup", "efficiency",
+                   "serial alpha-beta eff.", "utilization", "idle share"});
+  for (const auto& name : opt.tree_names) {
+    const TreeSweep s = run_sweep(name, opt.scale);
+    for (const auto& p : s.points) {
+      const double idle_share =
+          static_cast<double>(p.metrics.idle_time) /
+          (static_cast<double>(p.metrics.makespan) * p.processors);
+      table.add_row({s.tree.name, std::to_string(p.processors),
+                     TextTable::num(p.speedup, 2),
+                     TextTable::num(p.efficiency, 3),
+                     TextTable::num(s.serial.alpha_beta_efficiency(), 3),
+                     TextTable::num(p.metrics.utilization(), 3),
+                     TextTable::num(idle_share, 3)});
+    }
+  }
+  table.print();
+}
+
+/// Figures 12/13: nodes generated per processor count, with the serial
+/// alpha-beta and serial ER node counts as the reference bars.
+inline void print_nodes_figure(const char* title, const FigureOptions& opt) {
+  print_header(title);
+  TextTable table({"tree", "procs", "nodes generated", "vs serial ER",
+                   "serial ER nodes", "alpha-beta nodes"});
+  for (const auto& name : opt.tree_names) {
+    const TreeSweep s = run_sweep(name, opt.scale);
+    const auto er_nodes = s.serial.er.nodes_generated();
+    for (const auto& p : s.points) {
+      table.add_row({s.tree.name, std::to_string(p.processors),
+                     std::to_string(p.nodes_generated),
+                     TextTable::num(static_cast<double>(p.nodes_generated) /
+                                        static_cast<double>(er_nodes),
+                                    2),
+                     std::to_string(er_nodes),
+                     std::to_string(s.serial.alpha_beta.nodes_generated())});
+    }
+  }
+  table.print();
+}
+
+}  // namespace ers::bench

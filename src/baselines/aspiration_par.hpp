@@ -1,0 +1,92 @@
+#pragma once
+// Parallel aspiration search (paper §4.1; Baudet 1978).
+//
+// The full value range is split into P disjoint windows; each processor runs
+// serial alpha-beta over the whole tree with its own window and the
+// processors never communicate.  Exactly one processor's window contains the
+// root value; fail-hard semantics make its in-window result self-certifying,
+// so the search completes when that processor finishes.  Since every
+// processor still examines at least the minimal tree, speedup saturates
+// around 5-6 no matter how many processors are used — the behavior the
+// comparison bench must reproduce.
+
+#include <cstdint>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/alpha_beta.hpp"
+#include "sim/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace ers::baselines {
+
+struct AspirationWindowOutcome {
+  Window window;
+  Value result = 0;
+  bool exact = false;  ///< result strictly inside the window
+  SearchStats stats;
+  std::uint64_t cost = 0;
+};
+
+struct ParallelAspirationResult {
+  Value value = 0;
+  /// Simulated parallel time: the finishing time of the processor whose
+  /// window contained the value (its result alone certifies the answer).
+  std::uint64_t makespan = 0;
+  /// Time until *every* processor finished (for starvation accounting).
+  std::uint64_t last_finish = 0;
+  std::uint64_t total_nodes = 0;
+  std::vector<AspirationWindowOutcome> processors;
+};
+
+/// Run parallel aspiration with `processors` disjoint windows spanning
+/// [-value_bound, value_bound].  The outermost windows are open-ended so the
+/// partition covers the whole value axis.
+template <Game G>
+[[nodiscard]] ParallelAspirationResult parallel_aspiration_search(
+    const G& game, int depth, int processors, Value value_bound,
+    OrderingPolicy ordering = {}, const sim::CostModel& cost = {}) {
+  ERS_CHECK(processors >= 1);
+  ERS_CHECK(value_bound > 0);
+
+  ParallelAspirationResult out;
+  out.processors.reserve(processors);
+
+  // Boundaries c_0..c_P split [-bound, bound]; processor i gets the window
+  // (c_i - 1, c_{i+1}), which certifies exactly the integers in
+  // [c_i, c_{i+1} - 1] — a partition with no holes at the boundaries.
+  const std::int64_t full_span = 2 * static_cast<std::int64_t>(value_bound);
+  auto boundary = [&](int i) {
+    return static_cast<Value>(-value_bound + (full_span * i) / processors);
+  };
+  for (int i = 0; i < processors; ++i) {
+    Window w;
+    w.alpha = i == 0 ? -kValueInf : static_cast<Value>(boundary(i) - 1);
+    w.beta = i == processors - 1 ? kValueInf : boundary(i + 1);
+    AlphaBetaSearcher<G> searcher(game, depth, ordering);
+    const SearchResult r = searcher.run(w);
+    AspirationWindowOutcome o;
+    o.window = w;
+    o.result = r.value;
+    o.exact = r.value > w.alpha && r.value < w.beta;
+    o.stats = r.stats;
+    o.cost = cost.of(r.stats);
+    out.total_nodes += r.stats.nodes_generated();
+    out.processors.push_back(o);
+  }
+
+  bool found = false;
+  for (const auto& o : out.processors) {
+    out.last_finish = std::max(out.last_finish, o.cost);
+    if (o.exact) {
+      ERS_CHECK(!found && "value lies in exactly one window");
+      found = true;
+      out.value = o.result;
+      out.makespan = o.cost;
+    }
+  }
+  ERS_CHECK(found && "the window partition must cover the root value");
+  return out;
+}
+
+}  // namespace ers::baselines

@@ -1,0 +1,99 @@
+#pragma once
+// Principal-variation splitting (paper §4.4; Marsland & Campbell).
+//
+// The candidate principal variation (leftmost branch) is followed serially
+// until the remaining depth equals the processor tree's height; that node is
+// searched with tree-splitting.  On the way back up, each PV node first
+// finishes its leftmost child (recursively, with all processors), then runs
+// the remaining siblings through the tree-splitting master loop with the
+// bound the PV child established — so most of the tree is searched with a
+// cutoff-capable window, at the price of idle processors along the PV spine.
+
+#include <cstdint>
+
+#include "baselines/tree_splitting.hpp"
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ers::baselines {
+
+template <Game G>
+class PvSplitSimulator {
+ public:
+  PvSplitSimulator(const G& game, int depth, ProcessorTree procs,
+                   OrderingPolicy ordering = {}, sim::CostModel cost = {})
+      : game_(game), depth_(depth), procs_(procs), ordering_(ordering),
+        cost_(cost), splitter_(game, depth, procs, ordering, cost) {}
+
+  [[nodiscard]] SplitOutcome run() {
+    // A degenerate processor tree (height 0: one processor) is just serial
+    // alpha-beta; the PV recursion assumes at least one master level.
+    if (procs_.height <= 0)
+      return splitter_.search(game_.root(), 0, 0, 0, -kValueInf, kValueInf);
+    return pv_search(game_.root(), 0, 0, -kValueInf, kValueInf);
+  }
+
+ private:
+  SplitOutcome pv_search(const typename G::Position& pos, int ply,
+                         std::uint64_t start, Value alpha, Value beta) {
+    // At (or below) the processor tree's height, hand over to tree-splitting.
+    if (depth_ - ply <= procs_.height)
+      return splitter_.search(pos, ply, procs_.height, start, alpha, beta);
+
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(pos, kids);
+    SplitOutcome out;
+    if (kids.empty()) {
+      out.value = game_.evaluate(pos);
+      out.stats.leaves_evaluated = 1;
+      out.finish = start + cost_.of(out.stats);
+      return out;
+    }
+    out.stats.interior_expanded = 1;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, out.stats);
+    std::uint64_t now = start + cost_.of(out.stats);
+
+    // 1. Evaluate the PV child with the full machine.
+    const SplitOutcome pv =
+        pv_search(kids[0], ply + 1, now, negate(beta), negate(alpha));
+    out.stats += pv.stats;
+    now = pv.finish;
+    Value m = std::max(alpha, negate(pv.value));
+    if (m >= beta) {
+      out.value = m;
+      out.finish = now;
+      return out;
+    }
+
+    // 2. Distribute the remaining siblings over the processor tree's slave
+    //    subtrees (the paper: "the tree-splitting algorithm is then run on
+    //    [the remaining siblings] simultaneously").
+    std::vector<typename G::Position> rest(kids.begin() + 1, kids.end());
+    if (!rest.empty()) {
+      now = splitter_.master_loop(rest, ply + 1, procs_.height - 1, now, m,
+                                  beta, out.stats);
+    }
+    out.value = m;
+    out.finish = now;
+    return out;
+  }
+
+  const G& game_;
+  int depth_;
+  ProcessorTree procs_;
+  OrderingPolicy ordering_;
+  sim::CostModel cost_;
+  TreeSplitSimulator<G> splitter_;
+};
+
+template <Game G>
+[[nodiscard]] SplitOutcome pv_splitting_search(const G& game, int depth,
+                                               ProcessorTree procs,
+                                               OrderingPolicy ordering = {},
+                                               sim::CostModel cost = {}) {
+  return PvSplitSimulator<G>(game, depth, procs, ordering, cost).run();
+}
+
+}  // namespace ers::baselines

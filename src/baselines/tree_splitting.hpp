@@ -1,0 +1,165 @@
+#pragma once
+// The tree-splitting algorithm (paper §4.3; Fishburn 1981) on a simulated
+// processor tree, plus the master/slave scheduling core reused by
+// PV-splitting (§4.4).
+//
+// A master owns a game-tree node: it generates the children, hands each to
+// a free slave (children beyond the slave count queue up), narrows the
+// alpha-beta window of later assignments as earlier slaves report back, and
+// cuts off the remainder when the window closes.  Interior processors are
+// masters of their own slaves one level down; leaf processors run serial
+// alpha-beta.  The simulation is a per-master event loop over slave
+// completion times, so window-update *timing* — the source of tree
+// splitting's speculative loss — is modeled faithfully.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/alpha_beta.hpp"
+#include "sim/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace ers::baselines {
+
+/// Shape of the processor tree: `branching` slaves per master, `height`
+/// levels of masters (height 0 = a single leaf processor).
+struct ProcessorTree {
+  int branching = 2;
+  int height = 2;
+
+  [[nodiscard]] int total_leaf_processors() const noexcept {
+    int p = 1;
+    for (int i = 0; i < height; ++i) p *= branching;
+    return p;
+  }
+};
+
+struct SplitOutcome {
+  Value value = 0;             ///< fail-hard result for the searched node
+  std::uint64_t finish = 0;    ///< simulated absolute completion time
+  SearchStats stats;           ///< nodes examined below this node
+};
+
+template <Game G>
+class TreeSplitSimulator {
+ public:
+  TreeSplitSimulator(const G& game, int depth, ProcessorTree procs,
+                     OrderingPolicy ordering = {}, sim::CostModel cost = {})
+      : game_(game), depth_(depth), procs_(procs), ordering_(ordering),
+        cost_(cost) {}
+
+  /// Tree-splitting search of the whole game to the configured depth.
+  [[nodiscard]] SplitOutcome run() {
+    return search(game_.root(), 0, procs_.height, 0, -kValueInf, kValueInf);
+  }
+
+  /// Search `pos` (at absolute ply `ply`, starting at simulated time
+  /// `start`) with a processor subtree of the given height.
+  [[nodiscard]] SplitOutcome search(const typename G::Position& pos, int ply,
+                                    int proc_height, std::uint64_t start,
+                                    Value alpha, Value beta) {
+    if (proc_height == 0) return leaf_processor(pos, ply, start, alpha, beta);
+
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(pos, kids);
+    SplitOutcome out;
+    if (kids.empty()) {
+      out.value = game_.evaluate(pos);
+      out.stats.leaves_evaluated = 1;
+      out.finish = start + cost_.of(out.stats);
+      return out;
+    }
+    out.stats.interior_expanded = 1;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, out.stats);
+    const std::uint64_t ready = start + cost_.of(out.stats);
+
+    out.value = alpha;
+    out.finish =
+        master_loop(kids, ply + 1, proc_height - 1, ready, out.value, beta,
+                    out.stats);
+    return out;
+  }
+
+  /// The master/slave event loop shared with PV-splitting: distribute
+  /// `kids` over `procs_.branching` slave subtrees of height
+  /// `slave_height`, narrowing windows as results arrive.  `m` carries the
+  /// running maximum in/out; returns the completion time.
+  std::uint64_t master_loop(const std::vector<typename G::Position>& kids,
+                            int child_ply, int slave_height,
+                            std::uint64_t start, Value& m, Value beta,
+                            SearchStats& stats) {
+    struct Pending {
+      std::uint64_t finish;
+      std::size_t child;
+      Value value;
+      bool operator>(const Pending& o) const noexcept {
+        return finish != o.finish ? finish > o.finish : child > o.child;
+      }
+    };
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> running;
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<>>
+        free_slaves;
+    for (int s = 0; s < procs_.branching; ++s) free_slaves.push(start);
+
+    std::size_t next_child = 0;
+    std::uint64_t now = start;
+    auto assign = [&](std::uint64_t at) {
+      const SplitOutcome r = search(kids[next_child], child_ply, slave_height,
+                                    at, negate(beta), negate(m));
+      stats += r.stats;
+      running.push(Pending{r.finish, next_child, r.value});
+      ++next_child;
+    };
+
+    // Seed every slave, then process completions in time order, assigning
+    // queued children to freed slaves with the freshest window.
+    while (next_child < kids.size() && !free_slaves.empty()) {
+      const std::uint64_t at = free_slaves.top();
+      free_slaves.pop();
+      assign(at);
+    }
+    while (!running.empty()) {
+      const Pending done = running.top();
+      running.pop();
+      now = std::max(now, done.finish);
+      const Value t = negate(done.value);
+      if (t > m) m = t;
+      if (m >= beta) return now;  // cutoff: abandon the remaining slaves
+      if (next_child < kids.size()) assign(now);
+    }
+    return now;
+  }
+
+ private:
+  SplitOutcome leaf_processor(const typename G::Position& pos, int ply,
+                              std::uint64_t start, Value alpha, Value beta) {
+    AlphaBetaSearcher<G> searcher(game_, depth_, ordering_);
+    const SearchResult r = searcher.run_from(pos, ply, Window{alpha, beta});
+    SplitOutcome out;
+    out.value = r.value;
+    out.stats = r.stats;
+    out.finish = start + cost_.of(r.stats);
+    return out;
+  }
+
+  const G& game_;
+  int depth_;
+  ProcessorTree procs_;
+  OrderingPolicy ordering_;
+  sim::CostModel cost_;
+};
+
+/// Convenience wrapper: full tree-splitting run.
+template <Game G>
+[[nodiscard]] SplitOutcome tree_splitting_search(const G& game, int depth,
+                                                 ProcessorTree procs,
+                                                 OrderingPolicy ordering = {},
+                                                 sim::CostModel cost = {}) {
+  return TreeSplitSimulator<G>(game, depth, procs, ordering, cost).run();
+}
+
+}  // namespace ers::baselines

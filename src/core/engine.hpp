@@ -1,0 +1,708 @@
+#pragma once
+// The parallel ER problem-heap engine (paper §6).
+//
+// This class is the *scheduling state machine* only: it owns the shared
+// search tree, the primary priority queue (scheduled work, deepest first)
+// and the speculative priority queue (potential e-child selections, fewest
+// e-children first, then shallower).  It performs no threading and keeps no
+// clock; executors drive it through a three-phase protocol:
+//
+//     acquire()  -> WorkItem        pick the next unit (Table 1 dispatch /
+//                                   speculative promotion / serial subtree)
+//     compute()  -> ComputeResult   the heavy, *pure* part of the unit —
+//                                   child generation or a serial-ER subtree
+//                                   search.  Touches no engine state, so the
+//                                   thread executor runs it outside the lock
+//                                   and the simulator charges its cost.
+//     commit()                      apply the result: mutate the tree, run
+//                                   the paper's combine procedure, apply the
+//                                   Table 2 actions, refill the queues.
+//
+// acquire/commit must be externally serialized (the simulator is single
+// threaded; the thread runtime holds a mutex); compute calls may run
+// concurrently with anything.
+//
+// Work classification follows the paper exactly:
+//   * nodes at ply >= serial_depth are leaves of the *parallel* tree and are
+//     resolved by one serial-ER search (the heavy unit);
+//   * Table 1 governs what a node popped from the primary queue generates;
+//   * the combine procedure backs values up until it reaches a node that
+//     still has work below it and cannot be cut off; Table 2 (implemented in
+//     reconsider()) decides what new work that node schedules;
+//   * the speculative queue holds e-nodes that may select another e-child;
+//     popping one promotes the node's best unpromoted child.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "gametree/game.hpp"
+#include "search/er_serial.hpp"
+#include "util/check.hpp"
+#include "util/value.hpp"
+
+namespace ers::core {
+
+template <Game G>
+class Engine {
+ public:
+  using Position = typename G::Position;
+
+  /// Result of the pure compute phase of a work unit.
+  struct ComputeResult {
+    /// kExpand / kSerialEvalFirst: generated (and ordered) child positions.
+    std::vector<Position> child_positions;
+    bool positions_computed = false;
+    /// Serial units / kExpand on a terminal position: the node's value.
+    Value value = 0;
+    bool is_leaf = false;
+    /// kSerialEvalFirst: the first child's evaluation already resolved the
+    /// node (cutoff, single child, or leaf).
+    bool is_done = false;
+    /// Work performed, for engine totals and the simulator's cost model.
+    SearchStats stats;
+  };
+
+  Engine(const G&&, EngineConfig) = delete;  // the game must outlive the engine
+  Engine(const G& game, EngineConfig cfg) : game_(game), cfg_(cfg) {
+    ERS_CHECK(cfg_.search_depth >= 0);
+    cfg_.serial_depth = std::clamp(cfg_.serial_depth, 0, cfg_.search_depth);
+    nodes_.push_back(Node(game_.root(), kNoNode, 0, NodeType::kENode, 0));
+    push_primary(0);
+  }
+
+  // --- executor protocol -------------------------------------------------
+
+  [[nodiscard]] std::optional<WorkItem> acquire() {
+    while (!primary_.empty()) {
+      const PrimaryEntry e = primary_.top();
+      primary_.pop();
+      Node& n = nodes_[e.node];
+      if (!n.in_primary) continue;  // stale entry
+      n.in_primary = false;
+      if (n.finished || is_dead(e.node)) {
+        ++stats_.dead_items_dropped;
+        continue;
+      }
+      // Pop-time cutoff: the node's tentative value may already refute it
+      // against the parent's *current* bound.
+      if (n.parent != kNoNode && n.value >= beta_of(e.node)) {
+        ++stats_.cutoffs_at_pop;
+        finish_and_combine(e.node);
+        continue;
+      }
+      if (n.ply >= cfg_.serial_depth) {
+        const Window w = window_of(e.node);
+        if (!w.is_open()) {
+          // Empty window: an ancestor's bound already refutes the parent.
+          // Finish the parent instead of searching nothing.
+          ++stats_.cutoffs_at_pop;
+          finish_and_combine(n.parent);
+          continue;
+        }
+        n.in_flight = true;
+        return WorkItem{e.node, serial_kind(n), w, n.value, &n};
+      }
+      n.in_flight = true;
+      return WorkItem{e.node, WorkKind::kExpand, full_window(), -kValueInf, &n};
+    }
+    while (!spec_.empty()) {
+      const SpecEntry e = spec_.top();
+      spec_.pop();
+      Node& n = nodes_[e.node];
+      if (!n.on_spec || e.spec_seq != n.spec_seq) continue;  // stale
+      n.on_spec = false;
+      if (n.finished || is_dead(e.node) || !spec_eligible(e.node)) continue;
+      return WorkItem{e.node, WorkKind::kPromote, full_window(), -kValueInf, &n};
+    }
+    return std::nullopt;
+  }
+
+  /// Pure phase; safe to run concurrently with acquire/commit on other
+  /// items.  Reads only fields frozen while the item is in flight.
+  [[nodiscard]] ComputeResult compute(const WorkItem& item) const {
+    // Use the pointer captured under the lock: indexing nodes_ here would
+    // race with commits growing the deque on other threads.
+    const Node& n = *static_cast<const Node*>(item.node_ref);
+    ComputeResult out;
+    ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
+    switch (item.kind) {
+      case WorkKind::kPromote:
+        break;  // nothing heavy
+      case WorkKind::kSerialFull: {
+        const SearchResult r = searcher.run_from(n.pos, n.ply, item.window);
+        out.value = r.value;
+        out.stats = r.stats;
+        break;
+      }
+      case WorkKind::kSerialEvalFirst: {
+        auto r = searcher.eval_first_from(n.pos, n.ply, item.window);
+        out.value = r.value;
+        out.is_done = r.done || r.children.empty();
+        out.child_positions = std::move(r.children);
+        out.stats = r.stats;
+        break;
+      }
+      case WorkKind::kSerialRefuteRest: {
+        const SearchResult r = searcher.refute_rest_from(
+            n.pos, n.ply, item.window, item.tentative, n.child_positions);
+        out.value = r.value;
+        out.stats = r.stats;
+        break;
+      }
+      case WorkKind::kSerialRefute: {
+        const SearchResult r = searcher.refute_from(n.pos, n.ply, item.window);
+        out.value = r.value;
+        out.stats = r.stats;
+        break;
+      }
+      case WorkKind::kExpand: {
+        if (n.expanded) break;  // positions already known (promoted e-child)
+        out.positions_computed = true;
+        game_.generate_children(n.pos, out.child_positions);
+        if (out.child_positions.empty()) {
+          out.is_leaf = true;
+          out.value = game_.evaluate(n.pos);
+          out.stats.leaves_evaluated += 1;
+          break;
+        }
+        out.stats.interior_expanded += 1;
+        // Paper §7: children of e-nodes are never statically sorted.
+        if (n.type != NodeType::kENode && cfg_.ordering.should_sort(n.ply))
+          sort_children_by_static_value(game_, out.child_positions, out.stats);
+        break;
+      }
+    }
+    return out;
+  }
+
+  void commit(const WorkItem& item, ComputeResult&& r) {
+    Node& n = nodes_[item.node];
+    n.in_flight = false;
+    stats_.search += r.stats;
+    ++stats_.units_processed;
+    switch (item.kind) {
+      case WorkKind::kPromote:
+        commit_promotion(item.node);
+        break;
+      case WorkKind::kSerialFull:
+      case WorkKind::kSerialRefuteRest:
+      case WorkKind::kSerialRefute:
+        ++stats_.serial_units;
+        n.value = std::max(n.value, r.value);
+        finish_and_combine(item.node);
+        break;
+      case WorkKind::kSerialEvalFirst:
+        commit_eval_first(item.node, std::move(r));
+        break;
+      case WorkKind::kExpand:
+        commit_expand(item.node, std::move(r));
+        break;
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] Value root_value() const noexcept { return nodes_[0].value; }
+
+  /// Position of the root child that achieved the root value — the move to
+  /// play.  Empty when the root was resolved inside a single serial unit
+  /// (serial_depth == 0) or is a leaf.
+  [[nodiscard]] std::optional<Position> best_root_position() const {
+    const std::uint32_t b = nodes_[0].best_child;
+    if (b == kNoNode) return std::nullopt;
+    return nodes_[b].pos;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// True if no work is queued.  An executor observing has_work()==false,
+  /// done()==false and no in-flight items has found a scheduling bug.
+  [[nodiscard]] bool has_queued_work() const noexcept {
+    return !primary_.empty() || !spec_.empty();
+  }
+
+  [[nodiscard]] std::size_t tree_size() const noexcept { return nodes_.size(); }
+
+  /// Diagnostic dump of all unfinished, non-dead nodes (used by the
+  /// executors' stall reports; see tests/core/engine_test.cpp).
+  void debug_dump_unfinished(std::FILE* out) const {
+    for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (n.finished || is_dead(id)) continue;
+      std::fprintf(
+          out,
+          "node %u parent %d ply %d type %d value %d gen %d fin %d elder %d "
+          "d %d e_ch %d partial %d expanded %d inprim %d inflight %d "
+          "first_e %d e_eval %d seqref %d\n",
+          id, static_cast<int>(n.parent), n.ply, static_cast<int>(n.type),
+          n.value, n.generated, n.finished_children, n.elder_done,
+          child_count(n), n.e_children, n.partial ? 1 : 0, n.expanded ? 1 : 0,
+          n.in_primary ? 1 : 0, n.in_flight ? 1 : 0, n.first_e_selected ? 1 : 0,
+          n.e_child_evaluated ? 1 : 0, static_cast<int>(n.seq_refuting));
+    }
+  }
+
+ private:
+  struct Node {
+    Node(Position position, std::uint32_t parent_id, int ply_at, NodeType ty,
+         int index_in_parent)
+        : pos(std::move(position)),
+          parent(parent_id),
+          ply(ply_at),
+          child_index(index_in_parent),
+          type(ty) {}
+
+    Position pos;
+    std::uint32_t parent;
+    std::int32_t ply;
+    std::int32_t child_index;  ///< index within the parent's child list
+    NodeType type;
+    Value value = -kValueInf;  ///< monotone tentative value, own perspective
+
+    bool finished = false;      ///< subtree resolved (evaluated or refuted)
+    bool expanded = false;      ///< child_positions computed
+    bool partial = false;       ///< cutover node: Eval_first unit completed
+    bool in_primary = false;    ///< a live entry exists in the primary queue
+    bool in_flight = false;     ///< a worker holds this node
+    bool on_spec = false;       ///< a live entry exists in the spec queue
+    bool elder_counted = false; ///< contributed to parent's elder_done
+    bool first_e_selected = false;
+    bool e_child_evaluated = false;   ///< some promoted e-child has finished
+    bool refutation_dispatched = false;
+
+    std::vector<Position> child_positions;
+    std::vector<std::uint32_t> child_nodes;  ///< kNoNode until generated
+    std::int32_t generated = 0;          ///< children instantiated as nodes
+    std::int32_t finished_children = 0;
+    std::int32_t elder_done = 0;  ///< children with tentative value / finished
+    std::int32_t e_children = 0;  ///< children promoted to e-node
+    std::uint32_t seq_refuting = kNoNode;  ///< sequential-refutation cursor
+    std::uint32_t best_child = kNoNode;    ///< child that last raised value
+    std::uint64_t spec_seq = 0;
+  };
+
+  struct PrimaryEntry {
+    std::int32_t ply;
+    std::uint64_t seq;
+    std::uint32_t node;
+    /// Deepest first; LIFO among equals, so a processor keeps descending
+    /// into the subtree it just expanded (depth-first focus).  At P=1 this
+    /// makes the schedule coincide with serial ER's recursion order.
+    bool operator<(const PrimaryEntry& o) const noexcept {
+      if (ply != o.ply) return ply < o.ply;
+      return seq < o.seq;
+    }
+  };
+
+  struct SpecEntry {
+    /// Policy-dependent ranking keys, smaller = scheduled sooner (see
+    /// SpecRankPolicy and spec_keys_for).
+    std::int64_t key1;
+    std::int64_t key2;
+    std::uint64_t seq;
+    std::uint32_t node;
+    std::uint64_t spec_seq;
+    bool operator<(const SpecEntry& o) const noexcept {
+      if (key1 != o.key1) return key1 > o.key1;
+      if (key2 != o.key2) return key2 > o.key2;
+      return seq > o.seq;
+    }
+  };
+
+  /// Ranking keys for the speculative queue under the configured policy.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> spec_keys_for(
+      std::uint32_t id) const {
+    const Node& n = nodes_[id];
+    switch (cfg_.spec_rank) {
+      case SpecRankPolicy::kFewestEChildren:
+        return {n.e_children, n.ply};
+      case SpecRankPolicy::kBestBound: {
+        const std::uint32_t c = best_promotion_candidate(n);
+        return {c == kNoNode ? kValueInf : nodes_[c].value, n.ply};
+      }
+      case SpecRankPolicy::kFifo:
+        return {0, 0};
+    }
+    return {0, 0};
+  }
+
+  // --- queue helpers -----------------------------------------------------
+
+  void push_primary(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.in_primary || n.in_flight || n.finished) return;
+    n.in_primary = true;
+    primary_.push(PrimaryEntry{n.ply, seq_++, id});
+  }
+
+  void push_spec(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.on_spec || n.finished) return;
+    n.on_spec = true;
+    ++n.spec_seq;
+    const auto [k1, k2] = spec_keys_for(id);
+    spec_.push(SpecEntry{k1, k2, seq_++, id, n.spec_seq});
+  }
+
+  // --- predicates ---------------------------------------------------------
+
+  /// Which serial unit a cutover node needs, per its current role (see
+  /// WorkKind).  A node with a tentative value from an earlier Eval_first
+  /// unit continues with Refute_rest whether it was promoted to e-child or
+  /// re-typed for refutation — exactly Figure 8's two halves.
+  [[nodiscard]] WorkKind serial_kind(const Node& n) const {
+    if (n.ply >= cfg_.search_depth) return WorkKind::kSerialFull;  // horizon
+    if (n.partial) return WorkKind::kSerialRefuteRest;
+    switch (n.type) {
+      case NodeType::kENode: return WorkKind::kSerialFull;
+      case NodeType::kUndecided: return WorkKind::kSerialEvalFirst;
+      case NodeType::kRNode: return WorkKind::kSerialRefute;
+    }
+    return WorkKind::kSerialFull;
+  }
+
+  /// The node's effective search window, folded down from the root exactly
+  /// as Figure 8 flips windows at each ply:
+  ///     w(child) = ( -beta(parent), -max(alpha(parent), value(parent)) ).
+  /// Using the whole ancestor chain (not just -parent.value) preserves the
+  /// deep-cutoff information the serial recursion carries implicitly.
+  [[nodiscard]] Window window_of(std::uint32_t id) const {
+    // Collected on the stack: this runs on every combine-step cutoff check,
+    // and search depths are tiny (the horizon bounds the path length).
+    std::array<std::uint32_t, 64> path;  // id's ancestors, root last
+    std::size_t depth = 0;
+    for (std::uint32_t a = nodes_[id].parent; a != kNoNode; a = nodes_[a].parent) {
+      ERS_CHECK(depth < path.size());
+      path[depth++] = a;
+    }
+    Window w = full_window();
+    while (depth-- > 0) {
+      const Value alpha = std::max(w.alpha, nodes_[path[depth]].value);
+      w = Window{negate(w.beta), negate(alpha)};
+    }
+    return w;
+  }
+
+  [[nodiscard]] Value beta_of(std::uint32_t id) const {
+    return window_of(id).beta;
+  }
+
+  /// A node is dead when some proper ancestor has finished (its subtree was
+  /// abandoned: speculative loss).
+  [[nodiscard]] bool is_dead(std::uint32_t id) const {
+    for (std::uint32_t a = nodes_[id].parent; a != kNoNode; a = nodes_[a].parent)
+      if (nodes_[a].finished) return true;
+    return false;
+  }
+
+  [[nodiscard]] int child_count(const Node& n) const {
+    return static_cast<int>(n.child_positions.size());
+  }
+
+  /// Children that can still be promoted to e-child: dormant (not queued,
+  /// not running), undecided, unfinished, with a tentative value.
+  [[nodiscard]] bool is_promotion_candidate(std::uint32_t id) const {
+    const Node& c = nodes_[id];
+    return !c.finished && c.type == NodeType::kUndecided && c.elder_counted &&
+           !c.in_primary && !c.in_flight;
+  }
+
+  [[nodiscard]] std::uint32_t best_promotion_candidate(const Node& p) const {
+    std::uint32_t best = kNoNode;
+    for (const std::uint32_t c : p.child_nodes) {
+      if (c == kNoNode || !is_promotion_candidate(c)) continue;
+      if (best == kNoNode || nodes_[c].value < nodes_[best].value) best = c;
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool spec_eligible(std::uint32_t id) const {
+    const Node& n = nodes_[id];
+    if (n.type != NodeType::kENode || n.finished || !n.expanded) return false;
+    if (!cfg_.speculation.multiple_e_children && n.first_e_selected) return false;
+    const int d = child_count(n);
+    const int need = cfg_.speculation.early_e_child_choice ? d - 1 : d;
+    if (n.elder_done < need) return false;
+    return best_promotion_candidate(n) != kNoNode;
+  }
+
+  /// Commit an Eval_first unit at a cutover node: store the tentative value
+  /// and the frozen child order; the node either resolves immediately (done
+  /// or cut off against the parent's current bound) or goes dormant awaiting
+  /// promotion/re-typing, feeding the parent's elder-grandchild accounting.
+  void commit_eval_first(std::uint32_t id, ComputeResult&& r) {
+    Node& n = nodes_[id];
+    ++stats_.serial_units;
+    n.value = std::max(n.value, r.value);
+    n.partial = true;
+    n.child_positions = std::move(r.child_positions);
+    if (r.is_done || n.value >= beta_of(id)) {
+      finish_and_combine(id);
+      return;
+    }
+    if (n.parent == kNoNode || nodes_[n.parent].finished) return;
+    const std::uint32_t pid = n.parent;
+    count_elder(pid, id);  // n now has a tentative value (Table 2 rows 4/5)
+    // If the node was promoted or re-typed for refutation while this unit
+    // was in flight, it must continue with a Refute_rest unit now — nothing
+    // else will ever reschedule it.
+    if (n.type != NodeType::kUndecided) push_primary(id);
+    reconsider(pid);
+  }
+
+  // --- Table 1: expansion -------------------------------------------------
+
+  void commit_expand(std::uint32_t id, ComputeResult&& r) {
+    Node& n = nodes_[id];
+    if (r.positions_computed) {
+      if (r.is_leaf) {
+        // Terminal position above the cutover: a true leaf of the game.
+        n.expanded = true;
+        n.value = std::max(n.value, r.value);
+        finish_and_combine(id);
+        return;
+      }
+      n.expanded = true;
+      n.child_positions = std::move(r.child_positions);
+      n.child_nodes.assign(n.child_positions.size(), kNoNode);
+    }
+    ERS_CHECK(n.expanded);
+    switch (n.type) {
+      case NodeType::kENode: {
+        // Generate all (missing) children as undecided (Table 1 row 1).
+        const bool e_child_done =
+            n.child_nodes[0] != kNoNode && nodes_[n.child_nodes[0]].finished;
+        // Create in reverse index order: the primary queue is LIFO among
+        // equals, so pops then visit the children left to right.
+        for (int i = child_count(n) - 1; i >= 0; --i)
+          if (n.child_nodes[i] == kNoNode)
+            make_child(id, i, NodeType::kUndecided);
+        if (e_child_done) {
+          // A promoted e-child arrives with its first child — the elder
+          // grandchild evaluated while this node was undecided — already
+          // finished.  That child *is* its e-child, so Table 2 row 3
+          // applies immediately: refute the remaining children rather than
+          // running a second elder-grandchild sweep (this matches serial
+          // ER, where the e-child is completed by Refute_rest).
+          n.first_e_selected = true;
+          if (n.e_children == 0) n.e_children = 1;
+          n.e_child_evaluated = true;
+          reconsider_e_node(id);
+        }
+        break;
+      }
+      case NodeType::kUndecided:
+        // Elder-grandchild evaluation: first child only, as an e-node.
+        if (n.child_nodes[0] == kNoNode) make_child(id, 0, NodeType::kENode);
+        break;
+      case NodeType::kRNode:
+        if (n.generated == 0) {
+          make_child(id, 0, NodeType::kENode);
+        } else if (n.generated < child_count(n)) {
+          // Refutation proceeds one child at a time (Table 1 row 4).
+          make_child(id, n.generated, NodeType::kRNode);
+        }
+        break;
+    }
+  }
+
+  void make_child(std::uint32_t parent_id, int index, NodeType type) {
+    Node& p = nodes_[parent_id];
+    ERS_CHECK(p.child_nodes[index] == kNoNode);
+    const auto child_id = static_cast<std::uint32_t>(nodes_.size());
+    // nodes_ is a deque: growth never invalidates existing references.
+    nodes_.push_back(
+        Node(p.child_positions[index], parent_id, p.ply + 1, type, index));
+    p.child_nodes[index] = child_id;
+    p.generated += 1;
+    push_primary(child_id);
+  }
+
+  // --- speculative promotion ----------------------------------------------
+
+  void commit_promotion(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.finished || !spec_eligible(id)) return;  // state moved on
+    const std::uint32_t child = best_promotion_candidate(n);
+    if (child == kNoNode) return;
+    promote_to_e_child(id, child, /*mandatory=*/false);
+    if (spec_eligible(id)) push_spec(id);  // paper: "E is returned to the queue"
+  }
+
+  void promote_to_e_child(std::uint32_t parent_id, std::uint32_t child_id,
+                          bool mandatory) {
+    Node& p = nodes_[parent_id];
+    Node& c = nodes_[child_id];
+    ERS_CHECK(c.type == NodeType::kUndecided && !c.finished);
+    c.type = NodeType::kENode;
+    p.e_children += 1;
+    p.first_e_selected = true;
+    if (mandatory)
+      ++stats_.promotions_mandatory;
+    else
+      ++stats_.promotions_speculative;
+    push_primary(child_id);
+  }
+
+  // --- combine (paper §6) ---------------------------------------------------
+
+  void finish_and_combine(std::uint32_t id) {
+    std::uint32_t cur = id;
+    for (;;) {
+      Node& n = nodes_[cur];
+      n.finished = true;
+      n.on_spec = false;  // lazily invalidates any spec entry
+      if (cur == 0) {
+        done_ = true;
+        return;
+      }
+      const std::uint32_t pid = n.parent;
+      Node& p = nodes_[pid];
+      if (p.finished) return;  // abandoned subtree; result discarded
+      if (negate(n.value) > p.value) {
+        p.value = negate(n.value);
+        p.best_child = cur;  // strict raise: an exactly-evaluated child
+      }
+      p.finished_children += 1;
+      count_elder(pid, cur);  // cur is certainly evaluated-or-finished now
+      if (n.type == NodeType::kENode && p.type == NodeType::kENode)
+        p.e_child_evaluated = true;
+      if (is_node_complete(pid)) {
+        cur = pid;  // keep backing up
+        continue;
+      }
+      // Combine stops here: p still has live work.  p just gained (or
+      // confirmed) a tentative value, which advances its own parent's
+      // elder-grandchild accounting (Table 2 rows 4/5).
+      const std::uint32_t gp = p.parent;
+      const bool p_new_elder = gp != kNoNode && count_elder(gp, pid);
+      reconsider(pid);
+      if (p_new_elder && !nodes_[gp].finished) reconsider(gp);
+      return;
+    }
+  }
+
+  /// Mark `child` as contributing to p's elder-grandchild accounting (it has
+  /// a tentative value or is finished).  Returns true the first time.
+  bool count_elder(std::uint32_t parent_id, std::uint32_t child_id) {
+    Node& c = nodes_[child_id];
+    if (c.elder_counted) return false;
+    c.elder_counted = true;
+    nodes_[parent_id].elder_done += 1;
+    return true;
+  }
+
+  [[nodiscard]] bool is_node_complete(std::uint32_t id) const {
+    const Node& n = nodes_[id];
+    if (id != 0 && n.value >= beta_of(id)) return true;  // cut off (refuted)
+    return n.expanded && n.generated == child_count(n) &&
+           n.finished_children == child_count(n);
+  }
+
+  /// Table 2: decide what new work `id` schedules after its state changed.
+  void reconsider(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.finished) return;
+    switch (n.type) {
+      case NodeType::kUndecided:
+        // Dormant: waits for its parent to promote or re-type it.
+        return;
+      case NodeType::kRNode:
+        // A child combined and the node survives: schedule the next child
+        // (Table 1 row 4 runs when it is popped).
+        if (n.generated < child_count(n) &&
+            n.generated == n.finished_children)
+          push_primary(id);
+        return;
+      case NodeType::kENode:
+        reconsider_e_node(id);
+        return;
+    }
+  }
+
+  void reconsider_e_node(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (!n.expanded) return;  // not yet popped; Table 1 will handle it
+    const int d = child_count(n);
+    // Table 2 row 2: mandatory first e-child selection once every elder
+    // grandchild is evaluated.
+    if (!n.first_e_selected && n.elder_done == d) {
+      const std::uint32_t child = best_promotion_candidate(n);
+      if (child != kNoNode) promote_to_e_child(id, child, /*mandatory=*/true);
+    }
+    // Table 2 row 3: once an e-child has been fully evaluated, refute the
+    // remaining (undecided) children — all at once under parallel
+    // refutation, one at a time otherwise.
+    if (n.e_child_evaluated) {
+      if (cfg_.speculation.parallel_refutation) {
+        if (!n.refutation_dispatched) {
+          n.refutation_dispatched = true;
+          dispatch_refutations(id, /*all=*/true);
+        }
+      } else {
+        dispatch_refutations(id, /*all=*/false);
+      }
+    }
+    // Table 2 rows 1/4: speculative queue eligibility.
+    if (spec_eligible(id)) push_spec(id);
+  }
+
+  void dispatch_refutations(std::uint32_t id, bool all) {
+    Node& n = nodes_[id];
+    if (!all) {
+      // Sequential refutation: only one child under refutation at a time.
+      if (n.seq_refuting != kNoNode && !nodes_[n.seq_refuting].finished) return;
+      n.seq_refuting = kNoNode;
+    }
+    // Re-type in ascending tentative-value order (serial ER's refutation
+    // order after its sort).
+    std::vector<std::uint32_t> undecided;
+    for (const std::uint32_t c : n.child_nodes) {
+      if (c == kNoNode) continue;
+      const Node& cn = nodes_[c];
+      if (!cn.finished && cn.type == NodeType::kUndecided) undecided.push_back(c);
+    }
+    if (undecided.empty()) return;
+    std::stable_sort(undecided.begin(), undecided.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return nodes_[a].value < nodes_[b].value;
+                     });
+    if (!all) {
+      // Sequential refutation: take only the most promising candidate.
+      Node& cn = nodes_[undecided.front()];
+      cn.type = NodeType::kRNode;
+      ++stats_.refutations_dispatched;
+      if (!cn.in_primary && !cn.in_flight) push_primary(undecided.front());
+      n.seq_refuting = undecided.front();
+      return;
+    }
+    // Parallel refutation: dispatch every candidate.  Push in reverse of
+    // the tentative order so LIFO pops refute the most promising first.
+    for (auto it = undecided.rbegin(); it != undecided.rend(); ++it) {
+      Node& cn = nodes_[*it];
+      cn.type = NodeType::kRNode;
+      ++stats_.refutations_dispatched;
+      // A child that is queued or running continues its current flow; a
+      // dormant one needs a fresh pop to make progress.
+      if (!cn.in_primary && !cn.in_flight) push_primary(*it);
+    }
+  }
+
+  const G& game_;
+  EngineConfig cfg_;
+  std::deque<Node> nodes_;  // stable references: children are created while
+                            // parent references are live
+  std::priority_queue<PrimaryEntry> primary_;
+  std::priority_queue<SpecEntry> spec_;
+  std::uint64_t seq_ = 0;
+  bool done_ = false;
+  EngineStats stats_;
+};
+
+}  // namespace ers::core

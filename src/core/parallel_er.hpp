@@ -1,0 +1,63 @@
+#pragma once
+// Public entry points for parallel ER search — the library's headline API.
+//
+//   * parallel_er_threads: run on real std::thread workers (shared-memory
+//     runtime, the production path).
+//   * parallel_er_sim: run on the deterministic P-processor simulator and
+//     report timing metrics (the experiment path; see DESIGN.md §1).
+
+#include <optional>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/types.hpp"
+#include "gametree/game.hpp"
+#include "runtime/thread_executor.hpp"
+#include "sim/executor.hpp"
+
+namespace ers {
+
+template <typename Position>
+struct ParallelSearchResult {
+  Value value = 0;
+  core::EngineStats engine;
+  /// The root child achieving the value (the move to play); empty when the
+  /// whole search ran as one serial unit or the root is a leaf.
+  std::optional<Position> best_move;
+};
+
+template <typename Position>
+struct SimulatedSearchResult {
+  Value value = 0;
+  core::EngineStats engine;
+  sim::SimMetrics metrics;
+  std::optional<Position> best_move;
+};
+
+/// Search `game` to cfg.search_depth with parallel ER on `threads` OS
+/// threads.  The returned value equals serial negmax.
+template <Game G>
+[[nodiscard]] ParallelSearchResult<typename G::Position> parallel_er_threads(
+    const G& game, const core::EngineConfig& cfg, int threads) {
+  core::Engine<G> engine(game, cfg);
+  runtime::ThreadExecutor<core::Engine<G>> exec(threads);
+  exec.run(engine);
+  return ParallelSearchResult<typename G::Position>{
+      engine.root_value(), engine.stats(), engine.best_root_position()};
+}
+
+/// Search `game` with parallel ER on `processors` simulated processors;
+/// deterministic for fixed inputs.  metrics.makespan is the simulated
+/// parallel time used by the efficiency figures.
+template <Game G>
+[[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
+    const G& game, const core::EngineConfig& cfg, int processors,
+    sim::CostModel cost = {}, int queue_shards = 1) {
+  core::Engine<G> engine(game, cfg);
+  sim::SimExecutor<core::Engine<G>> exec(processors, cost, queue_shards);
+  const sim::SimMetrics m = exec.run(engine);
+  return SimulatedSearchResult<typename G::Position>{
+      engine.root_value(), engine.stats(), m, engine.best_root_position()};
+}
+
+}  // namespace ers

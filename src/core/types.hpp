@@ -1,0 +1,106 @@
+#pragma once
+// Shared types for the parallel ER problem-heap engine (paper §6).
+
+#include <cstdint>
+#include <limits>
+
+#include "search/ordering.hpp"
+#include "util/value.hpp"
+
+namespace ers::core {
+
+/// Sentinel for "no node" in the engines' child/parent links.
+inline constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
+
+/// Node roles in the parallel tree (paper §6, Tables 1 and 2).
+enum class NodeType : std::uint8_t {
+  kENode,      ///< all children generated and examined (one becomes the value)
+  kRNode,      ///< children examined sequentially until one refutes the node
+  kUndecided,  ///< first child (elder grandchild) evaluated; role pending
+};
+
+/// The three speculation mechanisms of §5, individually toggleable for the
+/// ablation benches.  The paper's implementation enables all three.
+struct SpeculationConfig {
+  /// After the e-child of E is evaluated, refute E's remaining children in
+  /// parallel (all dispatched at once) rather than one at a time.
+  bool parallel_refutation = true;
+  /// Keep selecting additional e-children from the speculative queue while
+  /// the first is still being evaluated.
+  bool multiple_e_children = true;
+  /// Allow e-child selection once all but one elder grandchild is evaluated
+  /// (paper §6: "as soon as all but one ... have been evaluated").
+  bool early_e_child_choice = true;
+};
+
+/// How potential speculative work (e-nodes on the speculative queue) is
+/// ranked globally.  The paper uses kFewestEChildren and calls it "a rather
+/// naive ordering"; finding a better global ranking is its §8 future work,
+/// so the alternatives are first-class here and compared in
+/// bench_spec_policy.
+enum class SpecRankPolicy : std::uint8_t {
+  /// Paper §6: fewest e-children first, ties in favor of shallower nodes.
+  kFewestEChildren,
+  /// Most promising first: rank by the best unpromoted candidate's
+  /// tentative value (lower = closer to becoming the node's real e-child),
+  /// ties in favor of shallower nodes.
+  kBestBound,
+  /// Arrival order (no ranking) — the control.
+  kFifo,
+};
+
+struct EngineConfig {
+  int search_depth = 7;
+  /// Ply at which serial ER takes over: nodes at this ply are resolved as a
+  /// single (heavy) work unit.  Must be in [0, search_depth].
+  int serial_depth = 5;
+  /// Move ordering applied to non-e-node children (paper §7).
+  OrderingPolicy ordering;
+  SpeculationConfig speculation;
+  SpecRankPolicy spec_rank = SpecRankPolicy::kFewestEChildren;
+};
+
+/// Aggregate counters kept by the engine; nodes_generated feeds Figures
+/// 12/13 and the simulator's cost model.
+struct EngineStats {
+  SearchStats search;               ///< nodes/evals, parallel region + serial units
+  std::uint64_t units_processed = 0;        ///< work units completed
+  std::uint64_t serial_units = 0;           ///< units resolved by serial ER
+  std::uint64_t promotions_mandatory = 0;   ///< first e-child selections
+  std::uint64_t promotions_speculative = 0; ///< extra e-children (spec queue)
+  std::uint64_t refutations_dispatched = 0; ///< children re-typed r-node
+  std::uint64_t cutoffs_at_pop = 0;         ///< units cancelled before compute
+  std::uint64_t dead_items_dropped = 0;     ///< queue entries under finished ancestors
+};
+
+/// What a worker should do with an acquired node.  Nodes at or below the
+/// serial-depth cutover become serial work units whose semantics depend on
+/// the node's role, mirroring Figure 8 exactly: a full ER evaluation for
+/// e-nodes, an Eval_first for undecided nodes (elder-grandchild evaluation),
+/// and Refute_rest / Eval_first+Refute_rest for refutations.
+enum class WorkKind : std::uint8_t {
+  kExpand,           ///< apply Table 1 (cheap tree bookkeeping)
+  kSerialFull,       ///< full serial-ER evaluation (e-node or horizon leaf)
+  kSerialEvalFirst,  ///< evaluate only the first child (undecided node)
+  kSerialRefuteRest, ///< finish a partially evaluated node (has tentative)
+  kSerialRefute,     ///< refute a fresh node (Eval_first + Refute_rest)
+  kPromote,          ///< speculative-queue pop: select another e-child
+};
+
+struct WorkItem {
+  std::uint32_t node = 0;
+  WorkKind kind = WorkKind::kExpand;
+  /// Search window captured at acquire time (serial units only).
+  Window window;
+  /// Tentative value from the node's earlier Eval_first unit
+  /// (kSerialRefuteRest only).
+  Value tentative = -kValueInf;
+  /// Stable pointer to the engine node, captured under the engine lock at
+  /// acquire time.  compute() runs *outside* the lock in the thread
+  /// runtime, and indexing the node container there would race with
+  /// concurrent commits growing it; deque element references are stable,
+  /// so the pointer is safe while the item is in flight.
+  const void* node_ref = nullptr;
+};
+
+}  // namespace ers::core

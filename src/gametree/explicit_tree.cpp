@@ -1,0 +1,48 @@
+#include "gametree/explicit_tree.hpp"
+
+#include <algorithm>
+
+namespace ers {
+
+ExplicitTree ExplicitTree::complete(int degree, int height,
+                                    std::span<const Value> leaves) {
+  ERS_CHECK(degree >= 1 && height >= 0);
+  std::uint64_t expected = 1;
+  for (int i = 0; i < height; ++i) expected *= static_cast<std::uint64_t>(degree);
+  ERS_CHECK(leaves.size() == expected);
+
+  ExplicitTree t;
+  std::size_t next_leaf = 0;
+  // Recursive lambda building depth-first, consuming leaves left-to-right.
+  auto build = [&](auto&& self, Position at, int remaining) -> void {
+    if (remaining == 0) {
+      t.set_value(at, leaves[next_leaf++]);
+      return;
+    }
+    for (int i = 0; i < degree; ++i) {
+      const Position c = t.add_child(at);
+      self(self, c, remaining - 1);
+    }
+  };
+  build(build, 0, height);
+  ERS_CHECK(next_leaf == leaves.size());
+  return t;
+}
+
+int ExplicitTree::height(Position p) const {
+  ERS_CHECK(p < nodes_.size());
+  int h = 0;
+  for (Position c : nodes_[p].children) h = std::max(h, 1 + height(c));
+  return h;
+}
+
+Value ExplicitTree::negmax_value(Position p) const {
+  ERS_CHECK(p < nodes_.size());
+  const auto& kids = nodes_[p].children;
+  if (kids.empty()) return nodes_[p].value;
+  Value m = -kValueInf;
+  for (Position c : kids) m = std::max(m, negate(negmax_value(c)));
+  return m;
+}
+
+}  // namespace ers

@@ -1,0 +1,141 @@
+#pragma once
+// An explicitly stored game tree.
+//
+// Used for (a) encoding the worked examples from the paper's figures as unit
+// tests, (b) materializing any Game to a fixed depth so algorithms that need
+// random access to the whole tree (e.g. the MWF baseline's minimal-tree
+// phase) can run on it, and (c) oracle computations in tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "util/check.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+/// Literal tree description, so tests can transcribe a figure directly:
+///   TreeSpec{.kids = {TreeSpec{.value = 5}, TreeSpec{.value = -7}}}
+/// Interior nodes ignore `value`; leaves ignore `kids`.
+struct TreeSpec {
+  Value value = 0;
+  std::vector<TreeSpec> kids;
+};
+
+class ExplicitTree {
+ public:
+  /// Node index into the tree; the root is position 0.
+  using Position = std::uint32_t;
+
+  ExplicitTree() { nodes_.push_back(Node{}); }
+
+  /// Build from a literal spec (root = spec).
+  static ExplicitTree from_spec(const TreeSpec& spec) {
+    ExplicitTree t;
+    t.nodes_[0].value = spec.value;
+    t.build(0, spec);
+    return t;
+  }
+
+  /// Complete `degree`-ary tree of height `height` whose leaves take the
+  /// given values in left-to-right order.  Requires degree^height values.
+  static ExplicitTree complete(int degree, int height, std::span<const Value> leaves);
+
+  /// Append a child under `parent`; returns the new node's position.
+  Position add_child(Position parent, Value leaf_value = 0) {
+    ERS_CHECK(parent < nodes_.size());
+    const auto id = static_cast<Position>(nodes_.size());
+    nodes_.push_back(Node{.value = leaf_value, .children = {}});
+    nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  void set_value(Position p, Value v) {
+    ERS_CHECK(p < nodes_.size());
+    nodes_[p].value = v;
+  }
+
+  // --- Game interface -------------------------------------------------
+  [[nodiscard]] Position root() const noexcept { return 0; }
+
+  void generate_children(Position p, std::vector<Position>& out) const {
+    ERS_CHECK(p < nodes_.size());
+    const auto& kids = nodes_[p].children;
+    out.insert(out.end(), kids.begin(), kids.end());
+  }
+
+  [[nodiscard]] Value evaluate(Position p) const {
+    ERS_CHECK(p < nodes_.size());
+    return nodes_[p].value;
+  }
+
+  // --- Introspection ---------------------------------------------------
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] std::size_t num_children(Position p) const {
+    ERS_CHECK(p < nodes_.size());
+    return nodes_[p].children.size();
+  }
+
+  [[nodiscard]] Position child(Position p, std::size_t i) const {
+    ERS_CHECK(p < nodes_.size() && i < nodes_[p].children.size());
+    return nodes_[p].children[i];
+  }
+
+  [[nodiscard]] bool is_leaf(Position p) const { return num_children(p) == 0; }
+
+  /// Height of the subtree rooted at p (0 for a leaf).
+  [[nodiscard]] int height(Position p = 0) const;
+
+  /// Exact negmax value of the subtree at p (ignores any depth limit) —
+  /// the oracle for every other algorithm's tests.
+  [[nodiscard]] Value negmax_value(Position p = 0) const;
+
+ private:
+  struct Node {
+    Value value = 0;
+    std::vector<Position> children;
+  };
+
+  void build(Position at, const TreeSpec& spec) {
+    for (const TreeSpec& k : spec.kids) {
+      const Position c = add_child(at, k.value);
+      build(c, k);
+    }
+  }
+
+  std::vector<Node> nodes_;
+};
+
+/// Materialize any Game to `depth` plies as an ExplicitTree.  Positions at
+/// the horizon (or terminal earlier) become leaves carrying their static
+/// value.  Interior nodes also record their static value so move-ordering
+/// policies behave identically on the materialized copy.
+template <Game G>
+ExplicitTree materialize(const G& game, int depth) {
+  ExplicitTree t;
+  struct Item {
+    typename G::Position pos;
+    ExplicitTree::Position node;
+    int remaining;
+  };
+  std::vector<Item> stack{{game.root(), 0, depth}};
+  t.set_value(0, game.evaluate(game.root()));
+  std::vector<typename G::Position> kids;
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.remaining == 0) continue;
+    kids.clear();
+    game.generate_children(it.pos, kids);
+    for (const auto& k : kids) {
+      const auto child = t.add_child(it.node, game.evaluate(k));
+      stack.push_back(Item{k, child, it.remaining - 1});
+    }
+  }
+  return t;
+}
+
+}  // namespace ers

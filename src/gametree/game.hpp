@@ -1,0 +1,65 @@
+#pragma once
+// The Game concept: the minimal interface a two-player zero-sum game must
+// expose for the search algorithms in this library.
+//
+// Conventions (negmax, as in the paper §2):
+//   * evaluate(p) returns the value of position p from the point of view of
+//     the player to move at p; the value of a position for one player is the
+//     negative of its value for the other.
+//   * generate_children(p, out) appends the positions reachable in one move.
+//     A position with no children is terminal (win/loss/draw or a game rule
+//     such as "board full").  The *search* additionally truncates at a depth
+//     limit and applies the static evaluator there.
+//   * All games must be deterministic and positions cheap to copy: the
+//     parallel engines store positions by value in their node records.
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "util/value.hpp"
+
+namespace ers {
+
+template <typename G>
+concept Game = requires(const G& g, const typename G::Position& p,
+                        std::vector<typename G::Position>& out) {
+  typename G::Position;
+  requires std::copyable<typename G::Position>;
+  { g.root() } -> std::convertible_to<typename G::Position>;
+  { g.generate_children(p, out) } -> std::same_as<void>;
+  { g.evaluate(p) } -> std::convertible_to<Value>;
+};
+
+/// Work counters shared by every search algorithm.  "Nodes generated" in the
+/// paper's Figures 12/13 corresponds to nodes_generated() here.
+struct SearchStats {
+  std::uint64_t interior_expanded = 0;  ///< interior nodes whose children were generated
+  std::uint64_t leaves_evaluated = 0;   ///< static evaluations at the search horizon
+  std::uint64_t child_sorts = 0;        ///< child-list sorts performed (move ordering)
+  std::uint64_t sort_evals = 0;         ///< static evaluations done *only* for ordering
+
+  [[nodiscard]] std::uint64_t nodes_generated() const noexcept {
+    return interior_expanded + leaves_evaluated;
+  }
+  /// Total static-evaluator applications (horizon + ordering).
+  [[nodiscard]] std::uint64_t total_static_evals() const noexcept {
+    return leaves_evaluated + sort_evals;
+  }
+
+  SearchStats& operator+=(const SearchStats& o) noexcept {
+    interior_expanded += o.interior_expanded;
+    leaves_evaluated += o.leaves_evaluated;
+    child_sorts += o.child_sorts;
+    sort_evals += o.sort_evals;
+    return *this;
+  }
+};
+
+/// Result of a (serial or parallel) search.
+struct SearchResult {
+  Value value = 0;
+  SearchStats stats;
+};
+
+}  // namespace ers

@@ -1,0 +1,49 @@
+#pragma once
+// The experimental trees of paper Table 3, addressable by name:
+//
+//   | Name | Type    | Degree  | Search depth | Serial depth |
+//   | R1   | Random  | 4       | 10 ply       | 7            |
+//   | R2   | Random  | 4       | 11 ply       | 7            |
+//   | R3   | Random  | 8       | 7 ply        | 5            |
+//   | O1   | Othello | varying | 7 ply        | 5            |
+//   | O2   | Othello | varying | 7 ply        | 5            |
+//   | O3   | Othello | varying | 7 ply        | 5            |
+//
+// Othello trees are sorted by static value down to ply 5 (paper §7); random
+// trees are not sorted (their static values are uninformative noise).
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+#include "othello/game.hpp"
+#include "randomtree/random_tree.hpp"
+
+namespace ers::harness {
+
+using GameVariant = std::variant<UniformRandomTree, othello::OthelloGame>;
+
+struct ExperimentTree {
+  std::string name;
+  GameVariant game;
+  core::EngineConfig engine;  ///< search depth, serial depth, ordering
+
+  [[nodiscard]] bool is_othello() const {
+    return std::holds_alternative<othello::OthelloGame>(game);
+  }
+};
+
+/// All six Table 3 trees.  `scale_depth` (default 0) uniformly reduces every
+/// search depth and serial depth — used by the quick modes of the benches to
+/// keep runtimes small without changing the experiment's structure.
+[[nodiscard]] std::vector<ExperimentTree> table3_trees(int scale_depth = 0);
+
+/// Look up one tree by name ("R1".."R3", "O1".."O3").
+[[nodiscard]] ExperimentTree tree_by_name(const std::string& name,
+                                          int scale_depth = 0);
+
+/// The processor counts plotted in Figures 10-13.
+[[nodiscard]] std::vector<int> figure_processor_counts();
+
+}  // namespace ers::harness

@@ -1,0 +1,135 @@
+#pragma once
+// Othello rules: board representation, legal-move generation, disc flipping,
+// pass handling and game-over detection.  This module replaces the Othello
+// program by Steven Scott used in the paper (see DESIGN.md §1).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "othello/bitboard.hpp"
+#include "util/check.hpp"
+
+namespace ers::othello {
+
+enum class Player : std::uint8_t { Black = 0, White = 1 };
+
+[[nodiscard]] constexpr Player opponent_of(Player p) noexcept {
+  return p == Player::Black ? Player::White : Player::Black;
+}
+
+/// Full game state.  `black`/`white` are disjoint disc sets; `to_move` is the
+/// side whose turn it is (a side with no legal move must pass; the game ends
+/// when neither side can move).
+struct Board {
+  Bitboard black = 0;
+  Bitboard white = 0;
+  Player to_move = Player::Black;
+
+  [[nodiscard]] constexpr Bitboard own() const noexcept {
+    return to_move == Player::Black ? black : white;
+  }
+  [[nodiscard]] constexpr Bitboard opp() const noexcept {
+    return to_move == Player::Black ? white : black;
+  }
+  [[nodiscard]] constexpr Bitboard occupied() const noexcept { return black | white; }
+  [[nodiscard]] constexpr Bitboard empty() const noexcept { return ~occupied(); }
+
+  friend bool operator==(const Board&, const Board&) = default;
+};
+
+/// The standard initial position (black to move).
+[[nodiscard]] constexpr Board initial_board() noexcept {
+  Board b;
+  b.white = bit(square_from_name("d4")) | bit(square_from_name("e5"));
+  b.black = bit(square_from_name("e4")) | bit(square_from_name("d5"));
+  b.to_move = Player::Black;
+  return b;
+}
+
+/// Bitboard of squares where `own` may legally place a disc against `opp`.
+/// Dumb7-style fill: in each direction, accumulate runs of opponent discs
+/// adjacent to own discs; a legal square is an empty square one step beyond
+/// such a run.
+[[nodiscard]] constexpr Bitboard legal_moves(Bitboard own, Bitboard opp) noexcept {
+  const Bitboard empty = ~(own | opp);
+  Bitboard moves = 0;
+  for (int d = 0; d < 8; ++d) {
+    Bitboard run = opp & shift_dir(own, d);
+    for (int step = 0; step < 5; ++step) run |= opp & shift_dir(run, d);
+    moves |= empty & shift_dir(run, d);
+  }
+  return moves;
+}
+
+[[nodiscard]] constexpr Bitboard legal_moves(const Board& b) noexcept {
+  return legal_moves(b.own(), b.opp());
+}
+
+/// Discs flipped if `own` plays on `square` (0 if the move is illegal).
+[[nodiscard]] constexpr Bitboard flips_for(Bitboard own, Bitboard opp,
+                                           int square) noexcept {
+  const Bitboard placed = bit(square);
+  if ((own | opp) & placed) return 0;
+  Bitboard all = 0;
+  for (int d = 0; d < 8; ++d) {
+    Bitboard run = 0;
+    Bitboard cursor = shift_dir(placed, d);
+    while (cursor & opp) {
+      run |= cursor;
+      cursor = shift_dir(cursor, d);
+    }
+    if (cursor & own) all |= run;  // run is bracketed by an own disc
+  }
+  return all;
+}
+
+/// Apply a disc placement for the side to move; the move must be legal.
+[[nodiscard]] constexpr Board apply_move(const Board& b, int square) noexcept {
+  const Bitboard flips = flips_for(b.own(), b.opp(), square);
+  Board next = b;
+  const Bitboard placed = bit(square);
+  if (b.to_move == Player::Black) {
+    next.black = b.black | placed | flips;
+    next.white = b.white & ~flips;
+  } else {
+    next.white = b.white | placed | flips;
+    next.black = b.black & ~flips;
+  }
+  next.to_move = opponent_of(b.to_move);
+  return next;
+}
+
+/// Apply a pass (only legal when the side to move has no moves).
+[[nodiscard]] constexpr Board apply_pass(const Board& b) noexcept {
+  Board next = b;
+  next.to_move = opponent_of(b.to_move);
+  return next;
+}
+
+[[nodiscard]] constexpr bool must_pass(const Board& b) noexcept {
+  return legal_moves(b) == 0;
+}
+
+[[nodiscard]] constexpr bool is_game_over(const Board& b) noexcept {
+  return legal_moves(b.own(), b.opp()) == 0 && legal_moves(b.opp(), b.own()) == 0;
+}
+
+/// Disc count difference from the side-to-move's perspective.
+[[nodiscard]] constexpr int disc_difference(const Board& b) noexcept {
+  return popcount(b.own()) - popcount(b.opp());
+}
+
+/// Leaf count of the game tree to `depth` plies (passes count as one ply, as
+/// in standard Othello perft).  Used to validate move generation.
+[[nodiscard]] std::uint64_t perft(const Board& b, int depth);
+
+/// ASCII rendering (rank 8 at the top; 'X' black, 'O' white, '.' empty,
+/// '*' marks legal moves for the side to move).
+[[nodiscard]] std::string to_string(const Board& b, bool mark_moves = false);
+
+/// Parse the rendering produced by to_string (ignoring move marks); the
+/// inverse is used by tests.  `to_move` must be supplied.
+[[nodiscard]] Board board_from_ascii(const std::string& art, Player to_move);
+
+}  // namespace ers::othello

@@ -1,0 +1,50 @@
+#include "othello/positions.hpp"
+
+#include <vector>
+
+#include "othello/eval.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ers::othello {
+
+Board selfplay_position(int plies, std::uint64_t seed) {
+  Board b = initial_board();
+  Xoshiro256StarStar rng(seed);
+  for (int ply = 0; ply < plies; ++ply) {
+    if (is_game_over(b)) break;
+    Bitboard moves = legal_moves(b);
+    if (moves == 0) {
+      b = apply_pass(b);
+      continue;
+    }
+    // Greedy by static evaluation of the successor (lower is better for the
+    // mover since values are from the opponent-to-move perspective), with a
+    // small random perturbation so different seeds explore different lines.
+    int best_sq = -1;
+    long long best_score = 0;
+    while (moves != 0) {
+      const int sq = pop_lsb(moves);
+      const Board child = apply_move(b, sq);
+      const long long score = -static_cast<long long>(evaluate_board(child)) +
+                              static_cast<long long>(rng.below(120));
+      if (best_sq < 0 || score > best_score) {
+        best_sq = sq;
+        best_score = score;
+      }
+    }
+    b = apply_move(b, best_sq);
+  }
+  return b;
+}
+
+Board paper_position(int index) {
+  ERS_CHECK(index >= 1 && index <= 3);
+  // Odd ply counts from the initial position leave WHITE to move (no passes
+  // occur this early in seeded self-play; verified by OthelloPositionsTest).
+  static constexpr int kPlies[3] = {11, 15, 19};
+  static constexpr std::uint64_t kSeeds[3] = {0x01u, 0x22u, 0x333u};
+  return selfplay_position(kPlies[index - 1], kSeeds[index - 1]);
+}
+
+}  // namespace ers::othello

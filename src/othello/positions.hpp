@@ -1,0 +1,25 @@
+#pragma once
+// The three experimental root configurations O1, O2, O3 (paper Figure 9).
+//
+// The paper's figure is an image that is not available in the source text,
+// so the positions themselves cannot be transcribed.  As documented in
+// DESIGN.md §1 we substitute three deterministic mid-game positions, WHITE
+// to move (as in the paper), reached from the standard initial position by
+// seeded self-play with the library's own static evaluator choosing moves.
+// The resulting trees have the same character the experiments need: varying
+// branching factor, strongly ordered under the static evaluator, depth-7
+// searchable.
+
+#include "othello/board.hpp"
+
+namespace ers::othello {
+
+/// Returns root configuration index ∈ {1,2,3}; WHITE to move in each.
+[[nodiscard]] Board paper_position(int index);
+
+/// Play `plies` moves from the start, each chosen greedily by the static
+/// evaluator with a small seeded perturbation; used by paper_position and
+/// available for generating additional test positions.
+[[nodiscard]] Board selfplay_position(int plies, std::uint64_t seed);
+
+}  // namespace ers::othello

@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic random game trees (paper §7, trees R1/R2/R3).
+//
+// The trees are *implicit*: a position is a 64-bit hash of the path from the
+// root plus bookkeeping, and children/values are derived from that hash with
+// splitmix64.  The full R2 tree (4^11 ≈ 4.2M leaves) therefore costs no
+// memory, every algorithm sees bit-identical values for a given seed, and a
+// position can be revisited at any time (required by the problem-heap
+// engines, which hold positions in node records).
+//
+// UniformRandomTree matches the paper: fixed degree, fixed height, each leaf
+// value independent and uniform.  Interior static values are likewise
+// uniform hashes — i.e. move ordering on these trees is uninformative, as in
+// the paper's random experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+class UniformRandomTree {
+ public:
+  struct Position {
+    std::uint64_t hash = 0;  ///< path hash; determines subtree contents
+    std::int32_t depth = 0;  ///< plies from the root
+
+    friend bool operator==(const Position&, const Position&) = default;
+  };
+
+  /// A tree of the given degree whose leaves live at `height` plies, with
+  /// leaf values uniform in [min_value, max_value].
+  UniformRandomTree(int degree, int height, std::uint64_t seed,
+                    Value min_value = -10'000, Value max_value = 10'000)
+      : degree_(degree),
+        height_(height),
+        seed_(seed),
+        min_value_(min_value),
+        max_value_(max_value) {
+    ERS_CHECK(degree >= 1);
+    ERS_CHECK(height >= 0);
+    ERS_CHECK(min_value <= max_value);
+    ERS_CHECK(is_valid_value(min_value) && is_valid_value(max_value));
+  }
+
+  [[nodiscard]] Position root() const noexcept {
+    return Position{splitmix64(seed_), 0};
+  }
+
+  void generate_children(const Position& p, std::vector<Position>& out) const {
+    if (p.depth >= height_) return;
+    for (int i = 0; i < degree_; ++i) {
+      out.push_back(Position{hash_combine(p.hash, static_cast<std::uint64_t>(i) + 1),
+                             p.depth + 1});
+    }
+  }
+
+  [[nodiscard]] Value evaluate(const Position& p) const noexcept {
+    const std::uint64_t h = splitmix64(p.hash ^ 0xa5a5a5a5a5a5a5a5ULL);
+    const auto span = static_cast<std::uint64_t>(max_value_ - min_value_) + 1;
+    return min_value_ + static_cast<Value>(h % span);
+  }
+
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  int degree_;
+  int height_;
+  std::uint64_t seed_;
+  Value min_value_;
+  Value max_value_;
+};
+
+static_assert(Game<UniformRandomTree>);
+
+}  // namespace ers

@@ -1,0 +1,89 @@
+#pragma once
+// Strongly-ordered synthetic trees (Marsland's sense, §4.4): the first move
+// from a node is best most of the time, so a static-value sort puts the tree
+// "nearly" in best-first order.  Used to exercise PV-splitting and the
+// best-first analyses (Fishburn's tree-splitting bound holds on these).
+//
+// Model: every edge to child i carries a nonnegative cost
+//     cost(i) = i * bias + U[0, noise)
+// and a position's value from its own side's perspective is
+//     score(child) = -score(parent) + cost(i).
+// The parent maximizes -score(child) = score(parent) - cost(i), so low-cost
+// (low-index) children are preferred; bias/noise controls how often the
+// first child is actually best.  Static evaluation returns the running
+// score, i.e. ordering information is genuinely informative, unlike
+// UniformRandomTree.
+
+#include <cstdint>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+class StronglyOrderedTree {
+ public:
+  struct Position {
+    std::uint64_t hash = 0;
+    std::int32_t depth = 0;
+    Value score = 0;  ///< value estimate from side-to-move's perspective
+
+    friend bool operator==(const Position&, const Position&) = default;
+  };
+
+  struct Config {
+    int min_degree = 4;
+    int max_degree = 4;      ///< degree drawn uniformly per node in [min,max]
+    int height = 8;
+    Value bias = 40;         ///< per-index penalty; larger = more ordered
+    Value noise = 100;       ///< uniform noise magnitude added to each edge
+    std::uint64_t seed = 1;
+  };
+
+  explicit StronglyOrderedTree(const Config& cfg) : cfg_(cfg) {
+    ERS_CHECK(cfg.min_degree >= 1 && cfg.max_degree >= cfg.min_degree);
+    ERS_CHECK(cfg.height >= 0);
+    ERS_CHECK(cfg.bias >= 0 && cfg.noise >= 1);
+  }
+
+  [[nodiscard]] Position root() const noexcept {
+    return Position{splitmix64(cfg_.seed), 0, 0};
+  }
+
+  void generate_children(const Position& p, std::vector<Position>& out) const {
+    if (p.depth >= cfg_.height) return;
+    const int d = degree_at(p);
+    for (int i = 0; i < d; ++i) {
+      const std::uint64_t h =
+          hash_combine(p.hash, static_cast<std::uint64_t>(i) + 1);
+      const Value cost = static_cast<Value>(i) * cfg_.bias + edge_noise(h);
+      out.push_back(Position{h, p.depth + 1, negate(p.score) + cost});
+    }
+  }
+
+  [[nodiscard]] Value evaluate(const Position& p) const noexcept { return p.score; }
+
+  [[nodiscard]] int degree_at(const Position& p) const noexcept {
+    if (cfg_.min_degree == cfg_.max_degree) return cfg_.min_degree;
+    const std::uint64_t h = splitmix64(p.hash ^ 0xdeadbeefcafef00dULL);
+    const auto span = static_cast<std::uint64_t>(cfg_.max_degree - cfg_.min_degree) + 1;
+    return cfg_.min_degree + static_cast<int>(h % span);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] Value edge_noise(std::uint64_t edge_hash) const noexcept {
+    const std::uint64_t h = splitmix64(edge_hash ^ 0x5bd1e9955bd1e995ULL);
+    return static_cast<Value>(h % static_cast<std::uint64_t>(cfg_.noise));
+  }
+
+  Config cfg_;
+};
+
+static_assert(Game<StronglyOrderedTree>);
+
+}  // namespace ers

@@ -1,0 +1,93 @@
+#pragma once
+// Shared-memory runtime: real std::thread workers driving a problem-heap
+// engine (the counterpart of the paper's Sequent implementation).
+//
+// The engine's acquire/commit phases mutate the shared tree and queues, so
+// they run under one mutex (the paper likewise reports contention for the
+// shared tree as a first-order cost).  The heavy compute phase — child
+// generation and serial subtree searches — runs outside the lock, which is
+// where the real parallelism lives.
+//
+// Works with any engine exposing the core::Engine protocol.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ers::runtime {
+
+struct ThreadRunReport {
+  std::uint64_t units = 0;
+  int threads = 0;
+};
+
+template <typename EngineT>
+class ThreadExecutor {
+ public:
+  explicit ThreadExecutor(int threads) : threads_(threads) {
+    ERS_CHECK(threads >= 1);
+  }
+
+  /// Run the engine to completion on `threads_` workers; blocks until done.
+  ThreadRunReport run(EngineT& engine) {
+    std::mutex mu;
+    std::condition_variable cv;
+    int in_flight = 0;
+    std::uint64_t units = 0;
+    bool failed = false;
+
+    auto worker = [&] {
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) {
+        if (engine.done() || failed) return;
+        auto item = engine.acquire();
+        if (!item) {
+          // acquire() itself can finish the search (pop-time cutoffs can
+          // combine all the way to the root); re-check before declaring a
+          // stall.
+          if (engine.done()) {
+            cv.notify_all();
+            return;
+          }
+          if (in_flight == 0) {
+            // No queued work, nothing in flight, root not combined: the
+            // scheduling state machine leaked work.  Fail loudly rather
+            // than deadlock.
+            failed = true;
+            cv.notify_all();
+            return;
+          }
+          cv.wait(lock);
+          continue;
+        }
+        ++in_flight;
+        lock.unlock();
+        auto result = engine.compute(*item);  // heavy part, unlocked
+        lock.lock();
+        --in_flight;
+        engine.commit(*item, std::move(result));
+        ++units;
+        cv.notify_all();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (int i = 0; i < threads_; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    ERS_CHECK(!failed && "problem-heap engine stalled");
+    ERS_CHECK(engine.done());
+    return ThreadRunReport{units, threads_};
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace ers::runtime

@@ -1,0 +1,144 @@
+#pragma once
+// Serial alpha-beta (paper §2.1), fail-hard, in the Knuth–Moore negmax
+// formulation, plus the "shallow" variant without deep cutoffs whose minimal
+// tree (1- and 2-nodes only) is what the MWF baseline exploits (§2.2, §4.2).
+
+#include <optional>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+template <Game G>
+class AlphaBetaSearcher {
+ public:
+  AlphaBetaSearcher(const G& game, int depth, OrderingPolicy ordering = {})
+      : game_(game), depth_(depth), ordering_(ordering) {}
+  AlphaBetaSearcher(const G&&, int, OrderingPolicy = {}) = delete;
+
+  /// Search with the given initial window (full width by default).  With a
+  /// full-width window the result equals negmax; with a narrower window the
+  /// usual fail-hard semantics apply (result <= alpha means "true value
+  /// <= alpha", result >= beta means "true value >= beta").
+  [[nodiscard]] SearchResult run(Window w = full_window()) {
+    return run_from(game_.root(), 0, w);
+  }
+
+  /// Search the subtree rooted at `pos` (at absolute ply `start_ply`; the
+  /// horizon stays at the configured depth) with the given window.  Used by
+  /// the parallel baselines' slave processors.
+  [[nodiscard]] SearchResult run_from(const typename G::Position& pos,
+                                      int start_ply, Window w = full_window()) {
+    stats_ = {};
+    best_root_.reset();
+    root_ply_ = start_ply;
+    const Value v = visit(pos, w.alpha, w.beta, start_ply);
+    return SearchResult{v, stats_};
+  }
+
+  /// The root child that achieved the returned value (the move to play);
+  /// empty if the root was a leaf.  Valid after run()/run_from().
+  [[nodiscard]] const std::optional<typename G::Position>& best_root_position()
+      const noexcept {
+    return best_root_;
+  }
+
+ private:
+  Value visit(const typename G::Position& p, Value alpha, Value beta, int ply) {
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(p, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      return game_.evaluate(p);
+    }
+    ++stats_.interior_expanded;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, stats_);
+    Value m = alpha;
+    for (const auto& k : kids) {
+      const Value t = negate(visit(k, negate(beta), negate(m), ply + 1));
+      if (t > m) {
+        m = t;
+        if (ply == root_ply_) best_root_ = k;
+      }
+      if (m >= beta) return m;
+    }
+    return m;
+  }
+
+  const G& game_;
+  int depth_;
+  OrderingPolicy ordering_;
+  SearchStats stats_;
+  std::optional<typename G::Position> best_root_;
+  int root_ply_ = 0;
+};
+
+template <Game G>
+[[nodiscard]] SearchResult alpha_beta_search(const G& game, int depth,
+                                             OrderingPolicy ordering = {},
+                                             Window w = full_window()) {
+  return AlphaBetaSearcher<G>(game, depth, ordering).run(w);
+}
+
+/// Alpha-beta *without deep cutoffs*: each node keeps only its local bound,
+/// so a node's window derives solely from its parent (shallow cutoffs), never
+/// from remoter ancestors.  Searches exactly the 1-/2-node minimal tree of
+/// §2.2 on a best-first-ordered tree.
+template <Game G>
+class ShallowAlphaBetaSearcher {
+ public:
+  ShallowAlphaBetaSearcher(const G& game, int depth, OrderingPolicy ordering = {})
+      : game_(game), depth_(depth), ordering_(ordering) {}
+  ShallowAlphaBetaSearcher(const G&&, int, OrderingPolicy = {}) = delete;
+
+  [[nodiscard]] SearchResult run() { return run_from(game_.root(), 0); }
+
+  /// Subtree search with an inherited local bound (see class comment); the
+  /// MWF baseline uses this for its speculative right-child units.
+  [[nodiscard]] SearchResult run_from(const typename G::Position& pos,
+                                      int start_ply, Value beta = kValueInf) {
+    stats_ = {};
+    const Value v = visit(pos, beta, start_ply);
+    return SearchResult{v, stats_};
+  }
+
+ private:
+  // `beta` is the only inherited bound (the negation of the parent's local
+  // maximum); the local maximum starts at -inf rather than at an ancestral
+  // alpha, which is precisely what forgoes deep cutoffs.
+  Value visit(const typename G::Position& p, Value beta, int ply) {
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(p, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      return game_.evaluate(p);
+    }
+    ++stats_.interior_expanded;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, stats_);
+    Value m = -kValueInf;
+    for (const auto& k : kids) {
+      const Value t = negate(visit(k, negate(m), ply + 1));
+      if (t > m) m = t;
+      if (m >= beta) return m;
+    }
+    return m;
+  }
+
+  const G& game_;
+  int depth_;
+  OrderingPolicy ordering_;
+  SearchStats stats_;
+};
+
+template <Game G>
+[[nodiscard]] SearchResult alpha_beta_shallow_search(const G& game, int depth,
+                                                     OrderingPolicy ordering = {}) {
+  return ShallowAlphaBetaSearcher<G>(game, depth, ordering).run();
+}
+
+}  // namespace ers

@@ -1,0 +1,55 @@
+#pragma once
+// Serial aspiration search: guess a window around an estimate of the root
+// value, search with it, and re-search with a widened window on failure.
+// This is the serial building block of Baudet's *parallel* aspiration search
+// (paper §4.1), where the full window is split into disjoint intervals
+// instead of being guessed.
+
+#include "gametree/game.hpp"
+#include "search/alpha_beta.hpp"
+#include "util/check.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+struct AspirationResult {
+  Value value = 0;
+  SearchStats stats;     ///< accumulated over all (re-)searches
+  int searches = 1;      ///< 1 = the aspiration window held
+  bool failed_low = false;
+  bool failed_high = false;
+};
+
+/// Search `game` to `depth` with window (estimate-delta, estimate+delta),
+/// re-searching with the appropriate half-open window on failure.  Always
+/// returns the exact negmax value.
+template <Game G>
+[[nodiscard]] AspirationResult aspiration_search(const G& game, int depth,
+                                                 Value estimate, Value delta,
+                                                 OrderingPolicy ordering = {}) {
+  ERS_CHECK(delta > 0);
+  AspirationResult out;
+  AlphaBetaSearcher<G> searcher(game, depth, ordering);
+
+  const Window guess{estimate - delta, estimate + delta};
+  SearchResult r = searcher.run(guess);
+  out.stats += r.stats;
+
+  if (r.value <= guess.alpha) {
+    // Fail low: true value <= alpha.  Re-search below.
+    out.failed_low = true;
+    ++out.searches;
+    r = searcher.run(Window{-kValueInf, guess.alpha + 1});
+    out.stats += r.stats;
+  } else if (r.value >= guess.beta) {
+    // Fail high: true value >= beta.  Re-search above.
+    out.failed_high = true;
+    ++out.searches;
+    r = searcher.run(Window{guess.beta - 1, kValueInf});
+    out.stats += r.stats;
+  }
+  out.value = r.value;
+  return out;
+}
+
+}  // namespace ers

@@ -1,0 +1,239 @@
+#pragma once
+// Serial ER (paper §5, Figure 8).
+//
+// ER views search as *evaluating* one child per node (the e-child) and
+// *refuting* the rest.  Before committing to an e-child of node E, ER
+// evaluates the first child of every child of E (E's "elder grandchildren"),
+// then sorts E's children by the resulting tentative values and finishes
+// them in that order: the first unfinished child effectively becomes the
+// e-child, and the improved bound it produces refutes the others.
+//
+// Structure, following Figure 8:
+//   er(P)          — the paper's ER: Eval_first every child, sort by
+//                    tentative value, then Refute_rest the unfinished ones.
+//   eval_first(P)  — evaluate P's first child (recursively, with er), giving
+//                    P a tentative value; P is done if that already cuts off
+//                    or P has a single child.
+//   refute_rest(P) — finish P: try to refute its remaining children in
+//                    order, re-descending with eval_first/refute_rest.
+//
+// Deviation from the printed pseudocode (documented in DESIGN.md §1):
+// Refute_rest begins with `value := max(value, alpha)` rather than
+// `value := alpha`; the literal assignment discards the tentative value from
+// Eval_first and can produce an unsound spurious cutoff in the parent.  The
+// regression test RefuteRestKeepsTentativeValue pins a tree where the
+// literal pseudocode returns a wrong root value.
+//
+// Move ordering (paper §7): children of non-e-nodes may be statically
+// sorted; e-node children never are — ER orders them by the (better)
+// search-derived tentative values, which is why serial ER can beat
+// alpha-beta in wall time even while visiting more nodes (the O1 anomaly).
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "util/check.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+template <Game G>
+class ErSerialSearcher {
+ public:
+  ErSerialSearcher(const G& game, int depth, OrderingPolicy ordering = {})
+      : game_(game), depth_(depth), ordering_(ordering) {}
+  ErSerialSearcher(const G&&, int, OrderingPolicy = {}) = delete;
+
+  [[nodiscard]] SearchResult run() { return run_from(game_.root(), 0); }
+
+  /// Search the subtree rooted at `pos` (which sits at absolute ply
+  /// `start_ply`; the horizon stays at the searcher's configured depth) with
+  /// an initial window.  Fail-hard with respect to `w`.  This entry point is
+  /// what the parallel engine uses below its serial-depth cutover.
+  [[nodiscard]] SearchResult run_from(typename G::Position pos, int start_ply,
+                                      Window w = full_window()) {
+    stats_ = {};
+    best_root_.reset();
+    root_ply_ = start_ply;
+    Rec root(std::move(pos));
+    const Value v = er(root, w.alpha, w.beta, start_ply);
+    return SearchResult{v, stats_};
+  }
+
+  /// The root child that achieved the returned value (the move to play);
+  /// empty if the root was a leaf.  Valid after run()/run_from().
+  [[nodiscard]] const std::optional<typename G::Position>& best_root_position()
+      const noexcept {
+    return best_root_;
+  }
+
+  /// Result of an Eval_first-only unit (parallel engine, cutover nodes).
+  struct PartialResult {
+    Value value = 0;
+    bool done = false;  ///< cutoff achieved or single child: node resolved
+    std::vector<typename G::Position> children;  ///< generated child order
+    SearchStats stats;
+  };
+
+  /// Figure 8's Eval_first applied at (pos, start_ply): generate (and
+  /// order) the children, fully evaluate the first one, and report the
+  /// node's tentative value plus the frozen child order so a later
+  /// refute_rest_from continues consistently.
+  [[nodiscard]] PartialResult eval_first_from(typename G::Position pos,
+                                              int start_ply, Window w) {
+    stats_ = {};
+    Rec root(std::move(pos));
+    PartialResult out;
+    out.value = eval_first(root, w.alpha, w.beta, start_ply);
+    out.done = root.done;
+    out.children.reserve(root.kids.size());
+    for (Rec& k : root.kids) out.children.push_back(std::move(k.pos));
+    out.stats = stats_;
+    return out;
+  }
+
+  /// Figure 8's Refute_rest applied at (pos, start_ply): finish a node whose
+  /// first child already contributed `tentative`; `children` must be the
+  /// exact list returned by eval_first_from (the expansion is not recounted).
+  [[nodiscard]] SearchResult refute_rest_from(
+      typename G::Position pos, int start_ply, Window w, Value tentative,
+      const std::vector<typename G::Position>& children) {
+    stats_ = {};
+    ERS_CHECK(!children.empty());
+    Rec root(std::move(pos));
+    root.expanded = true;
+    root.kids.reserve(children.size());
+    for (const auto& c : children) root.kids.emplace_back(c);
+    root.value = tentative;
+    const Value v = refute_rest(root, w.alpha, w.beta, start_ply);
+    return SearchResult{v, stats_};
+  }
+
+  /// Serial refutation of a fresh node: Eval_first, then (if not already
+  /// done) Refute_rest — the r-node path of Figure 8's main loop.
+  [[nodiscard]] SearchResult refute_from(typename G::Position pos,
+                                         int start_ply, Window w) {
+    stats_ = {};
+    Rec root(std::move(pos));
+    Value v = eval_first(root, w.alpha, w.beta, start_ply);
+    if (!root.done) v = refute_rest(root, w.alpha, w.beta, start_ply);
+    return SearchResult{v, stats_};
+  }
+
+ private:
+  /// Per-node search record: Figure 8's `node` with the child list cached so
+  /// eval_first and refute_rest see one consistent, once-generated ordering.
+  struct Rec {
+    explicit Rec(typename G::Position position) : pos(std::move(position)) {}
+
+    typename G::Position pos;
+    Value value = -kValueInf;  ///< tentative value, own side's perspective
+    bool done = false;
+    bool expanded = false;
+    std::vector<Rec> kids;
+  };
+
+  /// Generate (once) and possibly statically order the children of `r`.
+  /// Returns true if `r` is a leaf at this ply.
+  bool expand(Rec& r, int ply, bool is_e_node) {
+    if (r.expanded) return r.kids.empty();
+    r.expanded = true;
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(r.pos, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      return true;
+    }
+    ++stats_.interior_expanded;
+    if (!is_e_node && ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, stats_);
+    r.kids.reserve(kids.size());
+    for (auto& k : kids) r.kids.emplace_back(std::move(k));
+    return false;
+  }
+
+  /// Figure 8, function ER.
+  Value er(Rec& p, Value alpha, Value beta, int ply) {
+    if (expand(p, ply, /*is_e_node=*/true)) return game_.evaluate(p.pos);
+    p.value = alpha;
+    // Phase 1: evaluate every child's first child (the elder grandchildren).
+    for (Rec& c : p.kids) {
+      const Value t = negate(eval_first(c, negate(beta), negate(p.value), ply + 1));
+      if (c.done) {
+        if (t > p.value) {
+          p.value = t;
+          if (ply == root_ply_) best_root_ = c.pos;
+        }
+        if (p.value >= beta) return p.value;
+      }
+    }
+    // Phase 2: sort by tentative value (ascending: lowest child value is the
+    // most promising e-child) and finish the unfinished children in order.
+    std::stable_sort(p.kids.begin(), p.kids.end(),
+                     [](const Rec& a, const Rec& b) { return a.value < b.value; });
+    for (Rec& c : p.kids) {
+      if (c.done) continue;
+      const Value t = negate(refute_rest(c, negate(beta), negate(p.value), ply + 1));
+      if (t > p.value) {
+        p.value = t;
+        if (ply == root_ply_) best_root_ = c.pos;
+      }
+      if (p.value >= beta) return p.value;
+    }
+    return p.value;
+  }
+
+  /// Figure 8, function Eval_first: give `p` a tentative value by fully
+  /// evaluating (with ER) its first child.
+  Value eval_first(Rec& p, Value alpha, Value beta, int ply) {
+    if (expand(p, ply, /*is_e_node=*/false)) {
+      p.done = true;
+      p.value = game_.evaluate(p.pos);
+      return p.value;
+    }
+    p.value = alpha;
+    const Value t = negate(er(p.kids.front(), negate(beta), negate(p.value), ply + 1));
+    if (t > p.value) p.value = t;
+    p.done = p.value >= beta || p.kids.size() == 1;
+    return p.value;
+  }
+
+  /// Figure 8, function Refute_rest: examine p's remaining children until p
+  /// is refuted (value >= beta) or exhausted.
+  Value refute_rest(Rec& p, Value alpha, Value beta, int ply) {
+    ERS_DCHECK(p.expanded && !p.kids.empty());
+    // Keep the tentative value from Eval_first (see header comment).
+    p.value = std::max(p.value, alpha);
+    // The parent's bound may have tightened since Eval_first ran; the
+    // tentative value alone can already refute p.
+    if (p.value >= beta) return p.value;
+    for (std::size_t i = 1; i < p.kids.size(); ++i) {
+      Rec& c = p.kids[i];
+      Value t = negate(eval_first(c, negate(beta), negate(p.value), ply + 1));
+      if (!c.done)
+        t = negate(refute_rest(c, negate(beta), negate(p.value), ply + 1));
+      if (t > p.value) p.value = t;
+      if (p.value >= beta) return p.value;
+    }
+    return p.value;
+  }
+
+  const G& game_;
+  int depth_;
+  OrderingPolicy ordering_;
+  SearchStats stats_;
+  std::optional<typename G::Position> best_root_;
+  int root_ply_ = 0;
+};
+
+template <Game G>
+[[nodiscard]] SearchResult er_serial_search(const G& game, int depth,
+                                            OrderingPolicy ordering = {}) {
+  return ErSerialSearcher<G>(game, depth, ordering).run();
+}
+
+}  // namespace ers

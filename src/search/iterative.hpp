@@ -1,0 +1,52 @@
+#pragma once
+// Iterative deepening with aspiration windows — the standard driver a game
+// program wraps around a fixed-depth search (extension beyond the paper,
+// which searches fixed depths; §4.1's aspiration idea supplies the windows).
+//
+// Depth d+1 is searched with the window (v_d - delta, v_d + delta) around
+// the previous iteration's value, re-searching with the appropriate open
+// window on failure; delta == 0 disables aspiration (full windows).
+
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/aspiration.hpp"
+#include "util/check.hpp"
+
+namespace ers {
+
+struct IterativeResult {
+  Value value = 0;            ///< value at the deepest completed iteration
+  int depth_reached = 0;
+  SearchStats stats;          ///< accumulated over all iterations
+  std::vector<Value> per_depth;  ///< value after each iteration (1..depth)
+  int researches = 0;         ///< aspiration failures that forced re-search
+};
+
+template <Game G>
+[[nodiscard]] IterativeResult iterative_deepening_search(
+    const G& game, int max_depth, OrderingPolicy ordering = {},
+    Value aspiration_delta = 0) {
+  ERS_CHECK(max_depth >= 0);
+  ERS_CHECK(aspiration_delta >= 0);
+  IterativeResult out;
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    if (depth == 0 || aspiration_delta == 0) {
+      const SearchResult r = alpha_beta_search(game, depth, ordering);
+      out.stats += r.stats;
+      out.value = r.value;
+    } else {
+      const AspirationResult r = aspiration_search(
+          game, depth, out.value, aspiration_delta, ordering);
+      out.stats += r.stats;
+      out.value = r.value;
+      out.researches += r.searches - 1;
+    }
+    out.depth_reached = depth;
+    if (depth > 0) out.per_depth.push_back(out.value);
+  }
+  return out;
+}
+
+}  // namespace ers

@@ -1,0 +1,71 @@
+#include "search/minimal_tree.hpp"
+
+#include "util/check.hpp"
+
+namespace ers {
+namespace {
+
+void classify(const ExplicitTree& t, ExplicitTree::Position p,
+              CriticalNodeType type, MinimalTreeKind kind,
+              std::vector<CriticalNodeType>& out) {
+  out[p] = type;
+  const std::size_t n = t.num_children(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = t.child(p, i);
+    switch (type) {
+      case CriticalNodeType::kType1:
+        // Rule ii: first child type 1, remaining children type 2.
+        classify(t, c, i == 0 ? CriticalNodeType::kType1 : CriticalNodeType::kType2,
+                 kind, out);
+        break;
+      case CriticalNodeType::kType2:
+        // Rule iii: only the first child is critical (type 3 with deep
+        // cutoffs, type 1 in the shallow-only classification).
+        if (i == 0) {
+          classify(t, c,
+                   kind == MinimalTreeKind::kWithDeepCutoffs
+                       ? CriticalNodeType::kType3
+                       : CriticalNodeType::kType1,
+                   kind, out);
+        }
+        break;
+      case CriticalNodeType::kType3:
+        // Rule iv: all children of a type 3 node are type 2.
+        classify(t, c, CriticalNodeType::kType2, kind, out);
+        break;
+      case CriticalNodeType::kNotCritical:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CriticalNodeType> classify_critical_nodes(const ExplicitTree& tree,
+                                                      MinimalTreeKind kind) {
+  std::vector<CriticalNodeType> out(tree.size(), CriticalNodeType::kNotCritical);
+  classify(tree, tree.root(), CriticalNodeType::kType1, kind, out);
+  return out;
+}
+
+std::uint64_t count_critical_leaves(const ExplicitTree& tree,
+                                    MinimalTreeKind kind) {
+  const auto types = classify_critical_nodes(tree, kind);
+  std::uint64_t n = 0;
+  for (ExplicitTree::Position p = 0; p < tree.size(); ++p)
+    if (tree.is_leaf(p) && types[p] != CriticalNodeType::kNotCritical) ++n;
+  return n;
+}
+
+std::uint64_t minimal_leaf_count(int degree, int height) {
+  ERS_CHECK(degree >= 1 && height >= 0);
+  auto ipow = [](std::uint64_t b, int e) {
+    std::uint64_t r = 1;
+    while (e-- > 0) r *= b;
+    return r;
+  };
+  const auto d = static_cast<std::uint64_t>(degree);
+  return ipow(d, (height + 1) / 2) + ipow(d, height / 2) - 1;
+}
+
+}  // namespace ers

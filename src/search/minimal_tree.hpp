@@ -1,0 +1,45 @@
+#pragma once
+// Knuth–Moore minimal-tree analysis (paper §2.2).
+//
+// Two classifications are provided:
+//  * kWithDeepCutoffs — critical nodes of types 1/2/3 (rules i–v), the
+//    minimal tree of full alpha-beta;
+//  * kShallowOnly — types 1/2 only (second rule set), the minimal tree of
+//    alpha-beta without deep cutoffs, which is what MWF searches first.
+//
+// Note on the closed form: the paper prints d^ceil(h/2) + d^floor(h/2) + 1;
+// the Knuth–Moore count is d^ceil(h/2) + d^floor(h/2) - 1 (tested here by
+// exhaustive enumeration), so this module implements the "-1" form.
+
+#include <cstdint>
+#include <vector>
+
+#include "gametree/explicit_tree.hpp"
+
+namespace ers {
+
+enum class CriticalNodeType : std::uint8_t {
+  kNotCritical = 0,
+  kType1 = 1,
+  kType2 = 2,
+  kType3 = 3,
+};
+
+enum class MinimalTreeKind {
+  kWithDeepCutoffs,  ///< rules i–v: types 1, 2 and 3
+  kShallowOnly,      ///< types 1 and 2 only
+};
+
+/// Classify every node of `tree`; index by ExplicitTree::Position.
+[[nodiscard]] std::vector<CriticalNodeType> classify_critical_nodes(
+    const ExplicitTree& tree, MinimalTreeKind kind);
+
+/// Number of critical *leaves* in the minimal tree of `tree`.
+[[nodiscard]] std::uint64_t count_critical_leaves(const ExplicitTree& tree,
+                                                  MinimalTreeKind kind);
+
+/// Closed-form count of minimal-tree leaves for a complete d-ary tree of
+/// height h (with deep cutoffs): d^ceil(h/2) + d^floor(h/2) - 1.
+[[nodiscard]] std::uint64_t minimal_leaf_count(int degree, int height);
+
+}  // namespace ers

@@ -1,0 +1,81 @@
+#pragma once
+// NegaScout / principal-variation search (Reinefeld's refinement of
+// Pearl's Scout).  Included as a serial baseline because it is the
+// *serial* embodiment of ER's evaluate/refute view (§5): the first child is
+// evaluated with a full window, every later child is first *refuted* with a
+// null window (alpha, alpha+1) and only re-searched when the refutation
+// fails.  Marsland & Popowich's parallel PV-splitting variant (§4.4
+// footnote) verifies PV siblings with exactly these minimal windows.
+
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+template <Game G>
+class NegaScoutSearcher {
+ public:
+  NegaScoutSearcher(const G& game, int depth, OrderingPolicy ordering = {})
+      : game_(game), depth_(depth), ordering_(ordering) {}
+  NegaScoutSearcher(const G&&, int, OrderingPolicy = {}) = delete;
+
+  [[nodiscard]] SearchResult run(Window w = full_window()) {
+    stats_ = {};
+    researches_ = 0;
+    const Value v = visit(game_.root(), w.alpha, w.beta, 0);
+    return SearchResult{v, stats_};
+  }
+
+  /// Null-window refutations that failed and forced a re-search.
+  [[nodiscard]] std::uint64_t researches() const noexcept { return researches_; }
+
+ private:
+  Value visit(const typename G::Position& p, Value alpha, Value beta, int ply) {
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(p, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      return game_.evaluate(p);
+    }
+    ++stats_.interior_expanded;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, stats_);
+
+    Value m = alpha;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      Value t;
+      if (i == 0) {
+        t = negate(visit(kids[i], negate(beta), negate(m), ply + 1));
+      } else {
+        // Refute with a null window first.
+        t = negate(visit(kids[i], negate(m) - 1, negate(m), ply + 1));
+        if (t > m && t < beta && depth_ - ply > 1) {
+          // Refutation failed: this child may be best; re-search with the
+          // real window.  (At the last ply the null-window value is exact.)
+          ++researches_;
+          t = negate(visit(kids[i], negate(beta), negate(t), ply + 1));
+        }
+      }
+      if (t > m) m = t;
+      if (m >= beta) return m;
+    }
+    return m;
+  }
+
+  const G& game_;
+  int depth_;
+  OrderingPolicy ordering_;
+  SearchStats stats_;
+  std::uint64_t researches_ = 0;
+};
+
+template <Game G>
+[[nodiscard]] SearchResult negascout_search(const G& game, int depth,
+                                            OrderingPolicy ordering = {}) {
+  return NegaScoutSearcher<G>(game, depth, ordering).run();
+}
+
+}  // namespace ers

@@ -1,0 +1,50 @@
+#pragma once
+// Full-width negmax search (paper §2): the value oracle against which every
+// pruning algorithm is checked, and the "whole tree" cost reference.
+
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+template <Game G>
+class NegmaxSearcher {
+ public:
+  explicit NegmaxSearcher(const G& game, int depth) : game_(game), depth_(depth) {}
+  NegmaxSearcher(const G&&, int) = delete;  // the game must outlive the searcher
+
+  [[nodiscard]] SearchResult run() {
+    stats_ = {};
+    const Value v = visit(game_.root(), 0);
+    return SearchResult{v, stats_};
+  }
+
+ private:
+  Value visit(const typename G::Position& p, int ply) {
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(p, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      return game_.evaluate(p);
+    }
+    ++stats_.interior_expanded;
+    Value m = -kValueInf;
+    for (const auto& k : kids) m = std::max(m, negate(visit(k, ply + 1)));
+    return m;
+  }
+
+  const G& game_;
+  int depth_;
+  SearchStats stats_;
+};
+
+/// Depth-limited negmax value of the game's root.
+template <Game G>
+[[nodiscard]] SearchResult negmax_search(const G& game, int depth) {
+  return NegmaxSearcher<G>(game, depth).run();
+}
+
+}  // namespace ers

@@ -1,0 +1,48 @@
+#pragma once
+// Move-ordering policy (paper §7): "children were sorted according to values
+// returned by the static evaluator.  Sorting was not performed below ply
+// five.  Successors of e-nodes were also not sorted."
+//
+// A child with a *lower* static value (from its own side-to-move view) is
+// better for the parent, so ordering sorts ascending.
+
+#include <algorithm>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+struct OrderingPolicy {
+  bool sort_by_static_value = false;
+  /// Sort the children of nodes at ply < max_sort_ply (root is ply 0).
+  int max_sort_ply = 5;
+
+  [[nodiscard]] bool should_sort(int ply) const noexcept {
+    return sort_by_static_value && ply < max_sort_ply;
+  }
+};
+
+/// Sort `children` ascending by static value; charges one sort and one
+/// static evaluation per child to `stats`.
+template <Game G>
+void sort_children_by_static_value(const G& game,
+                                   std::vector<typename G::Position>& children,
+                                   SearchStats& stats) {
+  if (children.size() < 2) return;
+  stats.child_sorts += 1;
+  stats.sort_evals += children.size();
+  std::vector<std::pair<Value, std::size_t>> keyed;
+  keyed.reserve(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i)
+    keyed.emplace_back(game.evaluate(children[i]), i);
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<typename G::Position> sorted;
+  sorted.reserve(children.size());
+  for (const auto& [v, i] : keyed) sorted.push_back(children[i]);
+  children = std::move(sorted);
+}
+
+}  // namespace ers

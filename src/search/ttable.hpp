@@ -1,0 +1,161 @@
+#pragma once
+// Transposition table and a TT-backed alpha-beta (engine substrate beyond
+// the paper's scope; Othello transposes heavily, so real programs — e.g.
+// Rosenbloom's — keep one).
+//
+// The table is a fixed-size, depth-preferred direct-mapped cache.  Entries
+// record fail-hard bounds (kExact / kLower / kUpper) so probed values are
+// only trusted when their stored depth covers the remaining search depth
+// and their bound resolves against the current window.
+//
+// The searcher is generic over any Game plus a Hasher mapping positions to
+// 64-bit keys (othello::zobrist_hash, or UniformRandomTree's path hash).
+
+#include <cstdint>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "search/ordering.hpp"
+#include "util/check.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+enum class BoundKind : std::uint8_t { kExact, kLower, kUpper };
+
+class TranspositionTable {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    Value value = 0;
+    std::int16_t depth = -1;  ///< remaining depth the value is valid for
+    BoundKind bound = BoundKind::kExact;
+    bool used = false;
+  };
+
+  /// `size_log2` buckets of 2^size_log2 entries (direct mapped).
+  explicit TranspositionTable(int size_log2 = 18)
+      : mask_((std::uint64_t{1} << size_log2) - 1),
+        entries_(std::size_t{1} << size_log2) {
+    ERS_CHECK(size_log2 >= 4 && size_log2 <= 28);
+  }
+
+  [[nodiscard]] const Entry* probe(std::uint64_t key) const {
+    const Entry& e = entries_[key & mask_];
+    return e.used && e.key == key ? &e : nullptr;
+  }
+
+  /// Depth-preferred store: never evict a deeper entry for the same slot
+  /// unless the keys match (fresher result for the same position).
+  void store(std::uint64_t key, Value value, int depth, BoundKind bound) {
+    Entry& e = entries_[key & mask_];
+    if (e.used && e.key != key && e.depth > depth) return;
+    e = Entry{key, value, static_cast<std::int16_t>(depth), bound, true};
+  }
+
+  void clear() {
+    for (auto& e : entries_) e.used = false;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  void count_probe(bool hit) noexcept {
+    ++probes_;
+    if (hit) ++hits_;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<Entry> entries_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+/// Fail-hard alpha-beta with a transposition table.  Hasher is a callable
+/// mapping a position to a 64-bit key; positions that compare equal must
+/// hash equal (hash collisions of distinct positions are accepted as the
+/// usual TT risk and bounded by the 64-bit key check).
+template <Game G, typename Hasher>
+class TtAlphaBetaSearcher {
+ public:
+  TtAlphaBetaSearcher(const G& game, int depth, Hasher hasher,
+                      TranspositionTable* table, OrderingPolicy ordering = {})
+      : game_(game), depth_(depth), hasher_(std::move(hasher)), table_(table),
+        ordering_(ordering) {
+    ERS_CHECK(table_ != nullptr);
+  }
+
+  [[nodiscard]] SearchResult run(Window w = full_window()) {
+    stats_ = {};
+    const Value v = visit(game_.root(), w.alpha, w.beta, 0);
+    return SearchResult{v, stats_};
+  }
+
+ private:
+  Value visit(const typename G::Position& p, Value alpha, Value beta, int ply) {
+    const int remaining = depth_ - ply;
+    const std::uint64_t key = hasher_(p);
+    if (const auto* e = table_->probe(key); e != nullptr && e->depth >= remaining) {
+      table_->count_probe(true);
+      switch (e->bound) {
+        case BoundKind::kExact:
+          return e->value;
+        case BoundKind::kLower:
+          if (e->value >= beta) return e->value;
+          if (e->value > alpha) alpha = e->value;
+          break;
+        case BoundKind::kUpper:
+          if (e->value <= alpha) return e->value;
+          if (e->value < beta) beta = e->value;
+          break;
+      }
+    } else {
+      table_->count_probe(false);
+    }
+
+    std::vector<typename G::Position> kids;
+    if (ply < depth_) game_.generate_children(p, kids);
+    if (kids.empty()) {
+      ++stats_.leaves_evaluated;
+      const Value v = game_.evaluate(p);
+      table_->store(key, v, remaining, BoundKind::kExact);
+      return v;
+    }
+    ++stats_.interior_expanded;
+    if (ordering_.should_sort(ply))
+      sort_children_by_static_value(game_, kids, stats_);
+
+    const Value alpha_orig = alpha;
+    Value m = alpha;
+    for (const auto& k : kids) {
+      const Value t = negate(visit(k, negate(beta), negate(m), ply + 1));
+      if (t > m) m = t;
+      if (m >= beta) break;
+    }
+    const BoundKind bound = m >= beta  ? BoundKind::kLower
+                            : m <= alpha_orig ? BoundKind::kUpper
+                                              : BoundKind::kExact;
+    table_->store(key, m, remaining, bound);
+    return m;
+  }
+
+  const G& game_;
+  int depth_;
+  Hasher hasher_;
+  TranspositionTable* table_;
+  OrderingPolicy ordering_;
+  SearchStats stats_;
+};
+
+template <Game G, typename Hasher>
+[[nodiscard]] SearchResult tt_alpha_beta_search(const G& game, int depth,
+                                                Hasher hasher,
+                                                TranspositionTable* table,
+                                                OrderingPolicy ordering = {}) {
+  return TtAlphaBetaSearcher<G, Hasher>(game, depth, std::move(hasher), table,
+                                        ordering)
+      .run();
+}
+
+}  // namespace ers

@@ -1,0 +1,178 @@
+#pragma once
+// Deterministic discrete-event simulation of P processors driving a
+// problem-heap engine (DESIGN.md §1: the substitute for the paper's Sequent
+// Symmetry).
+//
+// The executor works with any engine exposing the protocol of
+// core::Engine — acquire()/compute()/commit()/done() — so the same harness
+// simulates parallel ER and the MWF baseline.
+//
+// Model:
+//  * P identical virtual processors.  A processor is either idle (starving)
+//    or busy with one work unit.
+//  * acquire+compute+commit form one unit.  The heavy compute part costs
+//    CostModel::of(unit stats) time units; the acquire and commit each
+//    perform one access to the shared problem heap, which is serialized
+//    across processors (a single lock), modeling the paper's interference
+//    loss.  Engine state changes are applied atomically in event order, so
+//    the schedule is deterministic and the search result is exact; the lock
+//    models *time*, not state races.
+//  * The run ends the moment the engine reports done (root combined); work
+//    still in flight at that point is abandoned speculative work, exactly as
+//    on the real machine.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace ers::sim {
+
+struct SimMetrics {
+  std::uint64_t makespan = 0;        ///< simulated completion time
+  std::uint64_t busy_time = 0;       ///< total processor-time spent computing
+  std::uint64_t idle_time = 0;       ///< total processor-time starving
+  std::uint64_t lock_wait_time = 0;  ///< total time blocked on the heap lock
+  std::uint64_t units = 0;           ///< work units completed
+  int processors = 0;
+
+  /// Fraction of processor-time that did useful work.
+  [[nodiscard]] double utilization() const noexcept {
+    const double total =
+        static_cast<double>(makespan) * static_cast<double>(processors);
+    return total > 0 ? static_cast<double>(busy_time) / total : 0.0;
+  }
+};
+
+template <typename EngineT>
+class SimExecutor {
+ public:
+  /// `queue_shards` models the paper's §8 proposal of distributing the
+  /// problem heap to reduce processor interaction: heap accesses spread
+  /// over S independently-locked shards instead of one global lock.  The
+  /// schedule (which unit runs when, state-wise) is unchanged — only the
+  /// serialization *delay* shrinks.  S = 1 is the paper's implementation.
+  SimExecutor(int processors, CostModel cost = {}, int queue_shards = 1)
+      : processors_(processors), cost_(cost), shards_(queue_shards) {
+    ERS_CHECK(processors >= 1);
+    ERS_CHECK(queue_shards >= 1);
+  }
+
+  /// Run the engine to completion; returns the simulated metrics.
+  SimMetrics run(EngineT& engine) {
+    using WorkItemT = decltype(*engine.acquire());
+    using ComputeT = decltype(engine.compute(*engine.acquire()));
+
+    struct Completion {
+      std::uint64_t t;
+      std::uint64_t seq;
+      std::uint64_t started;
+      int worker;
+      std::decay_t<WorkItemT> item;
+      ComputeT result;
+      std::uint64_t cost;
+    };
+    struct Later {
+      bool operator()(const Completion& a, const Completion& b) const noexcept {
+        return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+      }
+    };
+    std::priority_queue<Completion, std::vector<Completion>, Later> inflight;
+
+    struct IdleWorker {
+      std::uint64_t since;
+      int id;
+      bool operator>(const IdleWorker& o) const noexcept {
+        return since != o.since ? since > o.since : id > o.id;
+      }
+    };
+    std::priority_queue<IdleWorker, std::vector<IdleWorker>, std::greater<>> idle;
+    for (int w = 0; w < processors_; ++w) idle.push(IdleWorker{0, w});
+
+    SimMetrics m;
+    m.processors = processors_;
+    std::uint64_t now = 0;
+    std::vector<std::uint64_t> lock_free(shards_, 0);
+    // A heap access goes to the earliest-available shard (an idealized
+    // balanced distribution of the queues).
+    auto lock_acquire = [&](std::uint64_t at) {
+      auto it = std::min_element(lock_free.begin(), lock_free.end());
+      const std::uint64_t start = std::max(at, *it);
+      *it = start + cost_.per_queue_op;
+      return start;
+    };
+    std::uint64_t seq = 0;
+
+    auto dispatch = [&] {
+      while (!idle.empty()) {
+        auto item = engine.acquire();
+        if (!item) break;
+        const IdleWorker w = idle.top();
+        idle.pop();
+        m.idle_time += now - w.since;
+        // Serialized heap access for the acquire.
+        const std::uint64_t start = lock_acquire(now);
+        m.lock_wait_time += start - now;
+        auto result = engine.compute(*item);
+        const std::uint64_t c = unit_cost(*item, result);
+        const std::uint64_t done_at = start + cost_.per_queue_op + c;
+        inflight.push(
+            Completion{done_at, seq++, start, w.id, *item, std::move(result), c});
+      }
+    };
+
+    dispatch();
+    while (!engine.done()) {
+      ERS_CHECK(!inflight.empty() && "problem-heap engine stalled");
+      Completion ev = std::move(const_cast<Completion&>(inflight.top()));
+      inflight.pop();
+      now = ev.t;
+      // Serialized heap access for the commit.
+      const std::uint64_t start = lock_acquire(now);
+      m.lock_wait_time += start - now;
+      const std::uint64_t freed_at = start + cost_.per_queue_op;
+      // Busy time is credited at commit so that work still in flight when
+      // the root combines can be clamped to the makespan below.
+      m.busy_time += (ev.t - ev.started) + cost_.per_queue_op;
+      engine.commit(ev.item, std::move(ev.result));
+      ++m.units;
+      m.makespan = std::max(m.makespan, freed_at);
+      idle.push(IdleWorker{freed_at, ev.worker});
+      now = freed_at;
+      dispatch();
+    }
+
+    // Work still in flight when the search completed is abandoned
+    // speculative work: it kept its processor busy only until the makespan.
+    while (!inflight.empty()) {
+      const Completion& ev = inflight.top();
+      if (m.makespan > ev.started) m.busy_time += m.makespan - ev.started;
+      inflight.pop();
+    }
+    // Remaining in-flight work is abandoned; idle processors starve until
+    // the makespan.
+    while (!idle.empty()) {
+      const IdleWorker w = idle.top();
+      idle.pop();
+      if (m.makespan > w.since) m.idle_time += m.makespan - w.since;
+    }
+    return m;
+  }
+
+ private:
+  template <typename Item, typename Result>
+  [[nodiscard]] std::uint64_t unit_cost(const Item&, const Result& r) const {
+    return cost_.of(r.stats);
+  }
+
+  int processors_;
+  CostModel cost_;
+  int shards_;
+};
+
+}  // namespace ers::sim

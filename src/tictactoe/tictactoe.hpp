@@ -1,0 +1,80 @@
+#pragma once
+// Tic-tac-toe, the paper's Figure 1 example.  The full game tree is small
+// enough to search exactly, which makes this game the cheapest end-to-end
+// check of every algorithm (the root negmax value must be 0 — a draw).
+//
+// Values are from the side-to-move's perspective: +100 win, 0 draw,
+// -100 loss; the non-terminal heuristic counts open lines so the game can
+// also exercise depth-limited, move-ordered search.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gametree/game.hpp"
+#include "util/value.hpp"
+
+namespace ers {
+
+class TicTacToe {
+ public:
+  struct Position {
+    std::uint16_t to_move = 0;  ///< bitboard (9 bits) of the player to move
+    std::uint16_t waiting = 0;  ///< bitboard of the player who just moved
+
+    friend bool operator==(const Position&, const Position&) = default;
+  };
+
+  static constexpr Value kWin = 100;
+  static constexpr Value kLoss = -100;
+
+  [[nodiscard]] Position root() const noexcept { return Position{}; }
+
+  void generate_children(const Position& p, std::vector<Position>& out) const {
+    if (has_line(p.waiting)) return;  // previous mover already won: terminal
+    const std::uint16_t occupied = p.to_move | p.waiting;
+    for (int sq = 0; sq < 9; ++sq) {
+      const auto bit = static_cast<std::uint16_t>(1u << sq);
+      if (occupied & bit) continue;
+      // The mover places a stone and it becomes the opponent's turn.
+      out.push_back(Position{p.waiting, static_cast<std::uint16_t>(p.to_move | bit)});
+    }
+  }
+
+  [[nodiscard]] Value evaluate(const Position& p) const noexcept {
+    if (has_line(p.waiting)) return kLoss;  // opponent completed a line
+    if ((p.to_move | p.waiting) == 0x1FF) return 0;  // full board: draw
+    return static_cast<Value>(open_lines(p.to_move, p.waiting) -
+                              open_lines(p.waiting, p.to_move));
+  }
+
+  /// True if the 9-bit board contains three in a row.
+  [[nodiscard]] static bool has_line(std::uint16_t board) noexcept {
+    for (const std::uint16_t line : kLines)
+      if ((board & line) == line) return true;
+    return false;
+  }
+
+ private:
+  static constexpr std::array<std::uint16_t, 8> kLines = {
+      0007, 0070, 0700,  // rows
+      0111, 0222, 0444,  // columns
+      0421, 0124,        // diagonals
+  };
+
+  /// Lines still winnable for `mine` (no opposing stone on them).
+  [[nodiscard]] static int open_lines(std::uint16_t mine,
+                                      std::uint16_t theirs) noexcept {
+    (void)mine;
+    int n = 0;
+    for (const std::uint16_t line : kLines)
+      if ((theirs & line) == 0) ++n;
+    return n;
+  }
+
+  friend class TicTacToePrinter;
+};
+
+static_assert(Game<TicTacToe>);
+
+}  // namespace ers

@@ -1,0 +1,28 @@
+#pragma once
+// Internal invariant checking.  ERS_CHECK is active in all build types (the
+// scheduling engine's correctness matters more than the nanoseconds); the
+// expensive structural audits use ERS_DCHECK, compiled out of release builds.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ers::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "ERS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace ers::detail
+
+#define ERS_CHECK(expr)                                            \
+  do {                                                             \
+    if (!(expr)) ::ers::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifndef NDEBUG
+#define ERS_DCHECK(expr) ERS_CHECK(expr)
+#else
+#define ERS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif

@@ -1,0 +1,113 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//   * SplitMix64 — a stateless-style mixer used to derive child seeds and to
+//     hash tree paths; this is what makes the implicit random game trees
+//     (src/randomtree) reproducible without materializing them.
+//   * Xoshiro256StarStar — the general-purpose stream generator used where a
+//     long sequence is needed (workload generation, fuzzing).
+//
+// Neither is cryptographic; both are fully deterministic from their seed,
+// which the experiment harness requires for bit-reproducible figures.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ers {
+
+/// One round of the splitmix64 output mixer (Steele, Lea & Flood 2014).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a seed with a sequence of indices (e.g. a tree path) into one
+/// well-mixed 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return splitmix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// SplitMix64 as a stateful stream; also used to seed Xoshiro.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Fast, 256-bit state, passes BigCrush.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256StarStar(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be nonzero.  Uses rejection
+  /// sampling (Lemire-style threshold) to avoid modulo bias.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace ers

@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-width text tables, used by the benchmark binaries to print
+// paper-style rows (one table per figure).
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ers {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+      for (std::size_t c = 0; c < widths.size(); ++c)
+        os << '+' << std::string(widths[c] + 2, '-');
+      os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << "| " << s << std::string(widths[c] - s.size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ers

@@ -1,0 +1,61 @@
+#pragma once
+// Game values and windows.
+//
+// Game-tree algorithms negate values at every ply (negmax convention), so the
+// value domain must be symmetric around zero: naive use of INT_MIN breaks
+// `-v`.  All search code in this library uses ers::Value with the bounds
+// below; ers::negate is total on [-kValueInf, kValueInf].
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace ers {
+
+/// Signed game value from the side-to-move's point of view.
+using Value = std::int32_t;
+
+/// Largest magnitude a static evaluator may return.
+inline constexpr Value kValueMax = 1'000'000'000;
+
+/// "Infinity" used for open window bounds; strictly greater than any
+/// evaluator output so a full-width window never cuts.
+inline constexpr Value kValueInf = kValueMax + 1;
+
+/// Negate a value; total on [-kValueInf, kValueInf].
+[[nodiscard]] constexpr Value negate(Value v) noexcept { return -v; }
+
+/// True if v is representable as a static-evaluation result.
+[[nodiscard]] constexpr bool is_valid_value(Value v) noexcept {
+  return v >= -kValueMax && v <= kValueMax;
+}
+
+/// An (alpha, beta) search window, alpha < beta.  The window is *exclusive*
+/// of its bounds in the usual alpha-beta sense: values <= alpha fail low,
+/// values >= beta fail high.
+struct Window {
+  Value alpha = -kValueInf;
+  Value beta = kValueInf;
+
+  /// The child's window under negmax: (-beta, -alpha).
+  [[nodiscard]] constexpr Window flipped() const noexcept {
+    return Window{negate(beta), negate(alpha)};
+  }
+  /// Narrow alpha to at least `v`.
+  [[nodiscard]] constexpr Window raised(Value v) const noexcept {
+    return Window{std::max(alpha, v), beta};
+  }
+  [[nodiscard]] constexpr bool is_open() const noexcept { return alpha < beta; }
+  [[nodiscard]] constexpr bool cuts(Value v) const noexcept { return v >= beta; }
+};
+
+[[nodiscard]] constexpr Window full_window() noexcept { return Window{}; }
+
+/// Human-readable value (renders the infinities symbolically).
+[[nodiscard]] inline std::string value_to_string(Value v) {
+  if (v >= kValueInf) return "+inf";
+  if (v <= -kValueInf) return "-inf";
+  return std::to_string(v);
+}
+
+}  // namespace ers

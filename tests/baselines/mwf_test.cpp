@@ -1,0 +1,118 @@
+#include "baselines/mwf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "randomtree/random_tree.hpp"
+#include "randomtree/strongly_ordered.hpp"
+#include "search/negmax.hpp"
+#include "sim/executor.hpp"
+
+namespace ers::baselines {
+namespace {
+
+template <Game G>
+struct MwfRun {
+  Value value;
+  MwfStats stats;
+  sim::SimMetrics metrics;
+};
+
+template <Game G>
+MwfRun<G> run_mwf(const G& game, int depth, int serial_depth, int processors) {
+  typename MwfEngine<G>::Config cfg;
+  cfg.search_depth = depth;
+  cfg.serial_depth = serial_depth;
+  MwfEngine<G> engine(game, cfg);
+  sim::SimExecutor<MwfEngine<G>> exec(processors);
+  const auto metrics = exec.run(engine);
+  return MwfRun<G>{engine.root_value(), engine.stats(), metrics};
+}
+
+TEST(Mwf, ExactOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -60, 60);
+    const Value oracle = negmax_search(g, 5).value;
+    for (int p : {1, 4, 16}) {
+      const auto r = run_mwf(g, 5, 3, p);
+      EXPECT_EQ(r.value, oracle) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(Mwf, ExactAcrossSerialDepths) {
+  const UniformRandomTree g(4, 5, 31, -100, 100);
+  const Value oracle = negmax_search(g, 5).value;
+  for (int sd = 0; sd <= 5; ++sd) {
+    const auto r = run_mwf(g, 5, sd, 8);
+    EXPECT_EQ(r.value, oracle) << "sd=" << sd;
+  }
+}
+
+TEST(Mwf, ExactOnVaryingDegreeTrees) {
+  StronglyOrderedTree::Config c;
+  c.min_degree = 1;
+  c.max_degree = 5;
+  c.height = 5;
+  for (std::uint64_t seed = 70; seed < 80; ++seed) {
+    c.seed = seed;
+    const StronglyOrderedTree g(c);
+    const auto r = run_mwf(g, 5, 3, 8);
+    EXPECT_EQ(r.value, negmax_search(g, 5).value) << "seed=" << seed;
+  }
+}
+
+TEST(Mwf, SpeculativeUnitsAppearWhenRefutationsFail) {
+  // Random trees are poorly ordered, so many 2-node first children fail to
+  // refute and the gated right children must run.
+  const UniformRandomTree g(4, 6, 3, -100, 100);
+  const auto r = run_mwf(g, 6, 4, 8);
+  EXPECT_GT(r.stats.speculative_units, 0u);
+}
+
+TEST(Mwf, SpeedupPlateaus) {
+  // Akl's finding (§4.2): speedup rises for the first processors, then
+  // plateaus near 5-6; extra processors only starve.
+  const UniformRandomTree g(4, 6, 13, -1000, 1000);
+  const auto p1 = run_mwf(g, 6, 4, 1);
+  const auto p8 = run_mwf(g, 6, 4, 8);
+  const auto p32 = run_mwf(g, 6, 4, 32);
+  EXPECT_LT(p8.metrics.makespan, p1.metrics.makespan);
+  // Doubling 8 -> 32 processors must give much less than 2x.
+  EXPECT_GT(static_cast<double>(p32.metrics.makespan) * 2.0,
+            static_cast<double>(p8.metrics.makespan));
+}
+
+TEST(Mwf, NodesPlateauWithProcessors) {
+  // "the number of nodes examined by MWF increases moderately, but rapidly
+  // reaches a plateau as the number of processors is increased."
+  const UniformRandomTree g(4, 6, 17, -1000, 1000);
+  const auto p1 = run_mwf(g, 6, 4, 1);
+  const auto p16 = run_mwf(g, 6, 4, 16);
+  const auto p32 = run_mwf(g, 6, 4, 32);
+  EXPECT_GE(p16.stats.search.nodes_generated(),
+            p1.stats.search.nodes_generated());
+  // 16 -> 32 processors: nodes grow by at most a few percent.
+  EXPECT_LT(static_cast<double>(p32.stats.search.nodes_generated()),
+            1.10 * static_cast<double>(p16.stats.search.nodes_generated()));
+}
+
+TEST(Mwf, UnaryChain) {
+  const UniformRandomTree g(1, 6, 5, -9, 9);
+  const auto r = run_mwf(g, 6, 3, 4);
+  EXPECT_EQ(r.value, negmax_search(g, 6).value);
+}
+
+TEST(Mwf, DepthZero) {
+  const UniformRandomTree g(3, 3, 5, -9, 9);
+  const auto r = run_mwf(g, 0, 0, 4);
+  EXPECT_EQ(r.value, g.evaluate(g.root()));
+}
+
+TEST(Mwf, TiesEverywhere) {
+  const UniformRandomTree g(4, 5, 9, 0, 0);  // all leaves equal
+  const auto r = run_mwf(g, 5, 3, 8);
+  EXPECT_EQ(r.value, negmax_search(g, 5).value);
+}
+
+}  // namespace
+}  // namespace ers::baselines

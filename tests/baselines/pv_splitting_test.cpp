@@ -1,0 +1,88 @@
+#include "baselines/pv_splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/tree_splitting.hpp"
+#include "randomtree/random_tree.hpp"
+#include "randomtree/strongly_ordered.hpp"
+#include "search/negmax.hpp"
+
+namespace ers::baselines {
+namespace {
+
+TEST(PvSplitting, ExactOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -80, 80);
+    const Value oracle = negmax_search(g, 5).value;
+    for (const ProcessorTree procs : {ProcessorTree{2, 1}, ProcessorTree{2, 2},
+                                      ProcessorTree{3, 1}}) {
+      const auto r = pv_splitting_search(g, 5, procs);
+      EXPECT_EQ(r.value, oracle) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(PvSplitting, ExactOnVaryingDegreeTrees) {
+  StronglyOrderedTree::Config c;
+  c.min_degree = 1;
+  c.max_degree = 5;
+  c.height = 6;
+  for (std::uint64_t seed = 40; seed < 50; ++seed) {
+    c.seed = seed;
+    const StronglyOrderedTree g(c);
+    EXPECT_EQ(pv_splitting_search(g, 6, ProcessorTree{2, 2}).value,
+              negmax_search(g, 6).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(PvSplitting, FewerNodesThanTreeSplittingOnOrderedTrees) {
+  // The whole point of PV-splitting (§4.4): establishing the PV child's
+  // bound before splitting slashes speculative loss on ordered trees.
+  StronglyOrderedTree::Config c;
+  c.height = 7;
+  c.bias = 60;
+  c.noise = 50;
+  c.seed = 5;
+  const StronglyOrderedTree g(c);
+  OrderingPolicy ordered{.sort_by_static_value = true, .max_sort_ply = 99};
+  const auto ts = tree_splitting_search(g, 7, ProcessorTree{2, 3}, ordered);
+  const auto pv = pv_splitting_search(g, 7, ProcessorTree{2, 3}, ordered);
+  EXPECT_EQ(ts.value, pv.value);
+  EXPECT_LT(pv.stats.nodes_generated(), ts.stats.nodes_generated());
+}
+
+TEST(PvSplitting, CloseToSerialNodeCountOnOrderedTrees) {
+  // Marsland's observation: pv-splitting with few processors examines only
+  // modestly more nodes than serial alpha-beta (5% on his strongly ordered
+  // chess trees; our synthetic trees are less well ordered, so the band
+  // here is 2x — still far below tree-splitting's blowup).
+  StronglyOrderedTree::Config c;
+  c.height = 7;
+  c.bias = 80;
+  c.noise = 40;
+  c.seed = 7;
+  const StronglyOrderedTree g(c);
+  OrderingPolicy ordered{.sort_by_static_value = true, .max_sort_ply = 99};
+  const auto serial = alpha_beta_search(g, 7, ordered);
+  const auto pv = pv_splitting_search(g, 7, ProcessorTree{2, 2}, ordered);
+  EXPECT_EQ(serial.value, pv.value);
+  EXPECT_LT(static_cast<double>(pv.stats.nodes_generated()),
+            2.0 * static_cast<double>(serial.stats.nodes_generated()));
+}
+
+TEST(PvSplitting, DegenerateShallowTree) {
+  // Tree shallower than the processor tree: pure tree-splitting kicks in.
+  const UniformRandomTree g(3, 2, 3, -10, 10);
+  const auto r = pv_splitting_search(g, 2, ProcessorTree{2, 3});
+  EXPECT_EQ(r.value, negmax_search(g, 2).value);
+}
+
+TEST(PvSplitting, UnaryChain) {
+  const UniformRandomTree g(1, 7, 4, -9, 9);
+  const auto r = pv_splitting_search(g, 7, ProcessorTree{2, 2});
+  EXPECT_EQ(r.value, negmax_search(g, 7).value);
+}
+
+}  // namespace
+}  // namespace ers::baselines

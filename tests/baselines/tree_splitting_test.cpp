@@ -1,0 +1,103 @@
+#include "baselines/tree_splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "randomtree/random_tree.hpp"
+#include "randomtree/strongly_ordered.hpp"
+#include "search/negmax.hpp"
+
+namespace ers::baselines {
+namespace {
+
+TEST(TreeSplitting, ExactOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -80, 80);
+    const Value oracle = negmax_search(g, 5).value;
+    for (const ProcessorTree procs :
+         {ProcessorTree{2, 1}, ProcessorTree{2, 2}, ProcessorTree{4, 1},
+          ProcessorTree{3, 2}}) {
+      const auto r = tree_splitting_search(g, 5, procs);
+      EXPECT_EQ(r.value, oracle)
+          << "seed=" << seed << " procs=" << procs.branching << "^"
+          << procs.height;
+    }
+  }
+}
+
+TEST(TreeSplitting, SingleLeafProcessorEqualsSerialAlphaBeta) {
+  const UniformRandomTree g(4, 4, 5, -100, 100);
+  const auto r = tree_splitting_search(g, 4, ProcessorTree{2, 0});
+  const auto ab = alpha_beta_search(g, 4);
+  EXPECT_EQ(r.value, ab.value);
+  EXPECT_EQ(r.stats.nodes_generated(), ab.stats.nodes_generated());
+}
+
+TEST(TreeSplitting, ProcessorTreeLeafCount) {
+  EXPECT_EQ((ProcessorTree{2, 2}.total_leaf_processors()), 4);
+  EXPECT_EQ((ProcessorTree{3, 2}.total_leaf_processors()), 9);
+  EXPECT_EQ((ProcessorTree{2, 4}.total_leaf_processors()), 16);
+  EXPECT_EQ((ProcessorTree{5, 0}.total_leaf_processors()), 1);
+}
+
+TEST(TreeSplitting, ParallelIsFasterOnUnorderedTrees) {
+  // Fishburn: on poorly ordered trees tree-splitting approaches linear
+  // speedup; at minimum it must beat one processor.
+  const UniformRandomTree g(4, 6, 9, -1000, 1000);
+  const auto serial = tree_splitting_search(g, 6, ProcessorTree{2, 0});
+  const auto par = tree_splitting_search(g, 6, ProcessorTree{2, 4});
+  EXPECT_EQ(serial.value, par.value);
+  EXPECT_LT(par.finish, serial.finish);
+}
+
+TEST(TreeSplitting, MissesCutoffsOnOrderedTrees) {
+  // The speculative loss story (§4.3/§4.4): on a strongly ordered tree,
+  // slaves started in parallel miss cutoffs serial alpha-beta would get, so
+  // tree splitting examines more nodes.
+  StronglyOrderedTree::Config c;
+  c.height = 6;
+  c.bias = 60;
+  c.noise = 50;
+  c.seed = 3;
+  const StronglyOrderedTree g(c);
+  OrderingPolicy ordered{.sort_by_static_value = true, .max_sort_ply = 99};
+  const auto serial = alpha_beta_search(g, 6, ordered);
+  const auto par = tree_splitting_search(g, 6, ProcessorTree{2, 3}, ordered);
+  EXPECT_EQ(par.value, serial.value);
+  EXPECT_GT(par.stats.nodes_generated(), serial.stats.nodes_generated());
+}
+
+TEST(TreeSplitting, SublinearOnOrderedTrees) {
+  // Fishburn's bound: ~O(1/sqrt(k)) efficiency relative to alpha-beta on a
+  // best-first-ordered tree.  With 16 leaf processors the speedup must be
+  // well below 16 and also below k^0.5 * 2 (loose sanity band).
+  StronglyOrderedTree::Config c;
+  c.height = 8;
+  c.min_degree = c.max_degree = 3;
+  c.bias = 80;
+  c.noise = 40;
+  c.seed = 11;
+  const StronglyOrderedTree g(c);
+  OrderingPolicy ordered{.sort_by_static_value = true, .max_sort_ply = 99};
+  const sim::CostModel cost;
+  const auto serial = alpha_beta_search(g, 8, ordered);
+  const auto par = tree_splitting_search(g, 8, ProcessorTree{2, 4}, ordered, cost);
+  const double speedup =
+      static_cast<double>(cost.of(serial.stats)) / static_cast<double>(par.finish);
+  EXPECT_LT(speedup, 9.0) << "16 processors cannot get near-linear speedup "
+                             "on a strongly ordered tree";
+}
+
+TEST(TreeSplitting, DegenerateUnaryChain) {
+  const UniformRandomTree g(1, 6, 2, -9, 9);
+  const auto r = tree_splitting_search(g, 6, ProcessorTree{2, 2});
+  EXPECT_EQ(r.value, negmax_search(g, 6).value);
+}
+
+TEST(TreeSplitting, DepthZeroRoot) {
+  const UniformRandomTree g(4, 4, 2, -9, 9);
+  const auto r = tree_splitting_search(g, 0, ProcessorTree{2, 2});
+  EXPECT_EQ(r.value, g.evaluate(g.root()));
+}
+
+}  // namespace
+}  // namespace ers::baselines

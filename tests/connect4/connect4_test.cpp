@@ -1,0 +1,173 @@
+#include "connect4/connect4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel_er.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/er_serial.hpp"
+#include "search/negmax.hpp"
+
+namespace ers::connect4 {
+namespace {
+
+// Full search from a mid-game position (wraps it as a Game rooted there).
+Value negmax_search_from(const Connect4&, const Connect4::Position& p) {
+  struct Sub {
+    using Position = Connect4::Position;
+    Position start;
+    Position root() const { return start; }
+    void generate_children(const Position& q, std::vector<Position>& out) const {
+      Connect4{}.generate_children(q, out);
+    }
+    Value evaluate(const Position& q) const { return Connect4{}.evaluate(q); }
+  };
+  return ers::alpha_beta_search(Sub{p}, 4).value;
+}
+
+Connect4::Position play(std::initializer_list<int> columns) {
+  const Connect4 g;
+  Connect4::Position p = g.root();
+  for (const int col : columns) {
+    std::vector<Connect4::Position> kids;
+    g.generate_children(p, kids);
+    bool moved = false;
+    for (const auto& k : kids) {
+      if (Connect4::move_column(p, k) == col) {
+        p = k;
+        moved = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(moved) << "illegal column " << col;
+  }
+  return p;
+}
+
+TEST(Connect4, RootHasSevenMoves) {
+  const Connect4 g;
+  std::vector<Connect4::Position> kids;
+  g.generate_children(g.root(), kids);
+  EXPECT_EQ(kids.size(), 7u);
+}
+
+TEST(Connect4, FullColumnRemovesMove) {
+  // Fill column 0 with six alternating discs.
+  const auto p = play({0, 0, 0, 0, 0, 0});
+  const Connect4 g;
+  std::vector<Connect4::Position> kids;
+  g.generate_children(p, kids);
+  EXPECT_EQ(kids.size(), 6u);
+  for (const auto& k : kids) EXPECT_NE(Connect4::move_column(p, k), 0);
+}
+
+TEST(Connect4, VerticalWinDetected) {
+  // First player stacks column 3; second player wastes moves in column 0.
+  const auto p = play({3, 0, 3, 0, 3, 0, 3});
+  EXPECT_TRUE(has_four(p.theirs)) << "four in a row vertically";
+  const Connect4 g;
+  std::vector<Connect4::Position> kids;
+  g.generate_children(p, kids);
+  EXPECT_TRUE(kids.empty()) << "a won game is terminal";
+  EXPECT_EQ(g.evaluate(p), -Connect4::kWin);
+}
+
+TEST(Connect4, HorizontalWinDetected) {
+  const auto p = play({0, 0, 1, 1, 2, 2, 3});
+  EXPECT_TRUE(has_four(p.theirs));
+}
+
+TEST(Connect4, DiagonalWinDetected) {
+  // Classic staircase: X at (0,0),(1,1),(2,2),(3,3).
+  const auto p = play({0, 1, 1, 2, 2, 3, 2, 3, 3, 0, 3});
+  EXPECT_TRUE(has_four(p.theirs));
+}
+
+TEST(Connect4, NoWrapAcrossColumns) {
+  // Discs at the top of column c and bottom of column c+1 must not form a
+  // "vertical" run through the sentinel row.
+  Bitboard b = 0;
+  for (int r = 3; r < 6; ++r) b |= Bitboard{1} << (0 * 7 + r);
+  b |= Bitboard{1} << (1 * 7 + 0);
+  EXPECT_FALSE(has_four(b));
+}
+
+TEST(Connect4, ImmediateWinFound) {
+  // Side to move has three in a column and the fourth cell open.
+  const auto p = play({3, 0, 3, 0, 3, 0});
+  const Connect4 g;
+  EXPECT_EQ(negmax_search_from(g, p), Connect4::kWin);
+}
+
+TEST(Connect4, MustBlockOpponent) {
+  // Opponent threatens a vertical four; any non-blocking move loses.  A
+  // depth-2 search must see the loss after a bad move.
+  const auto p = play({3, 0, 3, 0, 3});  // mover must answer column 3
+  const Connect4 g;
+  std::vector<Connect4::Position> kids;
+  g.generate_children(p, kids);
+  for (const auto& k : kids) {
+    // After the reply k it is the first player's turn again; if k did not
+    // block column 3, the first player wins immediately.
+    std::vector<Connect4::Position> grand;
+    g.generate_children(k, grand);
+    bool first_can_win = false;
+    for (const auto& gk : grand)
+      if (has_four(gk.theirs)) first_can_win = true;
+    if (Connect4::move_column(p, k) == 3) {
+      EXPECT_FALSE(first_can_win);
+    } else {
+      EXPECT_TRUE(first_can_win)
+          << "column " << Connect4::move_column(p, k) << " fails to block";
+    }
+  }
+}
+
+TEST(Connect4, AlgorithmsAgreeAtDepth6) {
+  const Connect4 g;
+  for (int depth : {1, 2, 3, 4, 5, 6}) {
+    const Value oracle = negmax_search(g, depth).value;
+    EXPECT_EQ(alpha_beta_search(g, depth).value, oracle) << depth;
+    EXPECT_EQ(er_serial_search(g, depth).value, oracle) << depth;
+  }
+}
+
+TEST(Connect4, ParallelErAgrees) {
+  const Connect4 g;
+  core::EngineConfig cfg;
+  cfg.search_depth = 7;
+  cfg.serial_depth = 4;
+  const Value oracle = alpha_beta_search(g, 7).value;
+  EXPECT_EQ(parallel_er_sim(g, cfg, 8).value, oracle);
+  EXPECT_EQ(parallel_er_threads(g, cfg, 4).value, oracle);
+}
+
+TEST(Connect4, HeuristicIsAntisymmetric) {
+  const auto p = play({3, 2, 3, 4, 0, 3});
+  const Connect4 g;
+  const Connect4::Position swapped{p.theirs, p.mine};
+  EXPECT_EQ(g.evaluate(p), negate(g.evaluate(swapped)));
+}
+
+TEST(Connect4, MoveColumnRoundTrips) {
+  const Connect4 g;
+  Connect4::Position p = g.root();
+  for (int col : {6, 0, 3, 3, 5}) {
+    std::vector<Connect4::Position> kids;
+    g.generate_children(p, kids);
+    bool found = false;
+    for (const auto& k : kids) {
+      if (Connect4::move_column(p, k) == col) {
+        p = k;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << col;
+  }
+  EXPECT_EQ(std::popcount(p.mine | p.theirs), 5);
+}
+
+}  // namespace
+}  // namespace ers::connect4

@@ -1,0 +1,95 @@
+#include "gametree/explicit_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ers {
+namespace {
+
+TEST(ExplicitTree, SingleNodeIsLeafRoot) {
+  ExplicitTree t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_EQ(t.height(), 0);
+  t.set_value(0, 7);
+  EXPECT_EQ(t.evaluate(0), 7);
+  EXPECT_EQ(t.negmax_value(), 7);
+}
+
+TEST(ExplicitTree, AddChildBuildsStructure) {
+  ExplicitTree t;
+  const auto a = t.add_child(0, 3);
+  const auto b = t.add_child(0, -5);
+  EXPECT_EQ(t.num_children(0), 2u);
+  EXPECT_EQ(t.child(0, 0), a);
+  EXPECT_EQ(t.child(0, 1), b);
+  EXPECT_EQ(t.height(), 1);
+  // Root value = max(-3, 5) = 5.
+  EXPECT_EQ(t.negmax_value(), 5);
+}
+
+TEST(ExplicitTree, FromSpecTranscribesLiteralTree) {
+  // Two-level tree: root with children valued (via grandchildren) 4 and -1.
+  const TreeSpec spec{
+      .value = 0,
+      .kids = {
+          TreeSpec{.value = 0, .kids = {TreeSpec{.value = 4, .kids = {}},
+                                        TreeSpec{.value = 9, .kids = {}}}},
+          TreeSpec{.value = -1, .kids = {}},
+      }};
+  const auto t = ExplicitTree::from_spec(spec);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.num_children(0), 2u);
+  // Child 0: max(-4, -9) = -4; child 1: leaf -1.
+  // Root: max(4, 1) = 4.
+  EXPECT_EQ(t.negmax_value(), 4);
+}
+
+TEST(ExplicitTree, CompleteTreeLayout) {
+  const std::array<Value, 4> leaves{1, 2, 3, 4};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.num_children(0), 2u);
+  // Leaves appear left-to-right.
+  const auto l = t.child(t.child(0, 0), 0);
+  EXPECT_EQ(t.evaluate(l), 1);
+  const auto r = t.child(t.child(0, 1), 1);
+  EXPECT_EQ(t.evaluate(r), 4);
+}
+
+TEST(ExplicitTree, CompleteDegreeOneChain) {
+  const std::array<Value, 1> leaves{42};
+  const auto t = ExplicitTree::complete(1, 3, leaves);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.height(), 3);
+  // Odd number of negations along depth 3: -(-(-42)) = -42.
+  EXPECT_EQ(t.negmax_value(), -42);
+}
+
+TEST(ExplicitTree, NegmaxAlternatesPerspective) {
+  const std::array<Value, 4> leaves{10, -10, 3, 7};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  // Left child: max(-10, 10) = 10; right child: max(-3, -7) = -3.
+  // Root: max(-10, 3) = 3.
+  EXPECT_EQ(t.negmax_value(), 3);
+}
+
+TEST(ExplicitTree, GenerateChildrenAppends) {
+  ExplicitTree t;
+  t.add_child(0, 1);
+  t.add_child(0, 2);
+  std::vector<ExplicitTree::Position> out{99};
+  t.generate_children(0, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 99u);  // existing contents preserved
+}
+
+TEST(ExplicitTree, SatisfiesGameConcept) {
+  static_assert(Game<ExplicitTree>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "gametree/explicit_tree.hpp"
+#include "randomtree/random_tree.hpp"
+
+namespace ers {
+namespace {
+
+TEST(Materialize, PreservesShapeOfRandomTree) {
+  const UniformRandomTree g(3, 2, /*seed=*/17);
+  const ExplicitTree t = materialize(g, 2);
+  // Complete ternary tree of height 2: 1 + 3 + 9 nodes.
+  EXPECT_EQ(t.size(), 13u);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.num_children(0), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(t.num_children(t.child(0, i)), 3u);
+}
+
+TEST(Materialize, LeafValuesMatchSource) {
+  const UniformRandomTree g(2, 3, /*seed=*/5);
+  const ExplicitTree t = materialize(g, 3);
+  EXPECT_EQ(t.negmax_value(), [&] {
+    // Direct recursive negmax on the source game.
+    auto rec = [&](auto&& self, const UniformRandomTree::Position& p,
+                   int remaining) -> Value {
+      std::vector<UniformRandomTree::Position> kids;
+      if (remaining > 0) g.generate_children(p, kids);
+      if (kids.empty()) return g.evaluate(p);
+      Value m = -kValueInf;
+      for (const auto& k : kids) m = std::max(m, negate(self(self, k, remaining - 1)));
+      return m;
+    };
+    return rec(rec, g.root(), 3);
+  }());
+}
+
+TEST(Materialize, DepthLimitTruncates) {
+  const UniformRandomTree g(4, 10, /*seed=*/3);
+  const ExplicitTree t = materialize(g, 2);
+  EXPECT_EQ(t.size(), 1u + 4u + 16u);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Materialize, DepthZeroIsSingleLeaf) {
+  const UniformRandomTree g(4, 4, /*seed=*/3);
+  const ExplicitTree t = materialize(g, 0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.evaluate(0), g.evaluate(g.root()));
+}
+
+TEST(Materialize, InteriorStaticValuesCopied) {
+  const UniformRandomTree g(2, 2, /*seed=*/123);
+  const ExplicitTree t = materialize(g, 2);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(t.evaluate(t.child(0, 0)), g.evaluate(kids[0]));
+  EXPECT_EQ(t.evaluate(t.child(0, 1)), g.evaluate(kids[1]));
+}
+
+}  // namespace
+}  // namespace ers

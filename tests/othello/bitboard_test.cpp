@@ -1,0 +1,78 @@
+#include "othello/bitboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ers::othello {
+namespace {
+
+TEST(Bitboard, SquareNamesRoundTrip) {
+  for (int sq = 0; sq < 64; ++sq) {
+    const std::string name = square_name(sq);
+    EXPECT_EQ(square_from_name(name.c_str()), sq) << name;
+  }
+}
+
+TEST(Bitboard, SquareFromNameRejectsMalformed) {
+  EXPECT_EQ(square_from_name("i1"), -1);
+  EXPECT_EQ(square_from_name("a9"), -1);
+  EXPECT_EQ(square_from_name("a"), -1);
+  EXPECT_EQ(square_from_name("a1x"), -1);
+  EXPECT_EQ(square_from_name(nullptr), -1);
+}
+
+TEST(Bitboard, KnownSquares) {
+  EXPECT_EQ(square_from_name("a1"), 0);
+  EXPECT_EQ(square_from_name("h1"), 7);
+  EXPECT_EQ(square_from_name("a8"), 56);
+  EXPECT_EQ(square_from_name("h8"), 63);
+  EXPECT_EQ(square_from_name("d4"), 27);
+  EXPECT_EQ(square_from_name("e5"), 36);
+}
+
+TEST(Bitboard, EastWestMaskWraparound) {
+  // h-file pieces must not wrap to the a-file of the next rank.
+  EXPECT_EQ(east(bit(square_from_name("h1"))), 0u);
+  EXPECT_EQ(west(bit(square_from_name("a1"))), 0u);
+  EXPECT_EQ(east(bit(square_from_name("g5"))), bit(square_from_name("h5")));
+  EXPECT_EQ(west(bit(square_from_name("b5"))), bit(square_from_name("a5")));
+}
+
+TEST(Bitboard, NorthSouthShiftOffBoard) {
+  EXPECT_EQ(north(bit(square_from_name("e8"))), 0u);
+  EXPECT_EQ(south(bit(square_from_name("e1"))), 0u);
+  EXPECT_EQ(north(bit(square_from_name("e4"))), bit(square_from_name("e5")));
+  EXPECT_EQ(south(bit(square_from_name("e4"))), bit(square_from_name("e3")));
+}
+
+TEST(Bitboard, DiagonalShifts) {
+  const Bitboard e4 = bit(square_from_name("e4"));
+  EXPECT_EQ(north_east(e4), bit(square_from_name("f5")));
+  EXPECT_EQ(north_west(e4), bit(square_from_name("d5")));
+  EXPECT_EQ(south_east(e4), bit(square_from_name("f3")));
+  EXPECT_EQ(south_west(e4), bit(square_from_name("d3")));
+  // Corners fall off in the away directions.
+  EXPECT_EQ(north_east(bit(square_from_name("h8"))), 0u);
+  EXPECT_EQ(south_west(bit(square_from_name("a1"))), 0u);
+}
+
+TEST(Bitboard, NeighborsOfCenterAndCorner) {
+  EXPECT_EQ(popcount(neighbors(bit(square_from_name("e4")))), 8);
+  EXPECT_EQ(popcount(neighbors(bit(square_from_name("a1")))), 3);
+  EXPECT_EQ(popcount(neighbors(bit(square_from_name("a4")))), 5);
+}
+
+TEST(Bitboard, PopLsbIteratesAllBits) {
+  Bitboard b = bit(3) | bit(17) | bit(62);
+  EXPECT_EQ(pop_lsb(b), 3);
+  EXPECT_EQ(pop_lsb(b), 17);
+  EXPECT_EQ(pop_lsb(b), 62);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(Bitboard, CornersMask) {
+  EXPECT_EQ(kCorners, bit(square_from_name("a1")) | bit(square_from_name("h1")) |
+                          bit(square_from_name("a8")) | bit(square_from_name("h8")));
+}
+
+}  // namespace
+}  // namespace ers::othello

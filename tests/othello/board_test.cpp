@@ -1,0 +1,178 @@
+#include "othello/board.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ers::othello {
+namespace {
+
+int sq(const char* name) {
+  const int s = square_from_name(name);
+  EXPECT_GE(s, 0) << name;
+  return s;
+}
+
+TEST(Board, InitialPosition) {
+  const Board b = initial_board();
+  EXPECT_EQ(popcount(b.black), 2);
+  EXPECT_EQ(popcount(b.white), 2);
+  EXPECT_EQ(b.to_move, Player::Black);
+  EXPECT_TRUE(b.black & bit(sq("e4")));
+  EXPECT_TRUE(b.black & bit(sq("d5")));
+  EXPECT_TRUE(b.white & bit(sq("d4")));
+  EXPECT_TRUE(b.white & bit(sq("e5")));
+}
+
+TEST(Board, InitialBlackMoves) {
+  // Black's four classical first moves: d3, c4, f5, e6.
+  const Bitboard moves = legal_moves(initial_board());
+  EXPECT_EQ(popcount(moves), 4);
+  EXPECT_TRUE(moves & bit(sq("d3")));
+  EXPECT_TRUE(moves & bit(sq("c4")));
+  EXPECT_TRUE(moves & bit(sq("f5")));
+  EXPECT_TRUE(moves & bit(sq("e6")));
+}
+
+TEST(Board, ApplyMoveFlipsBracketedDiscs) {
+  const Board b = initial_board();
+  const Board after = apply_move(b, sq("d3"));
+  // d3 placed, d4 flipped to black.
+  EXPECT_TRUE(after.black & bit(sq("d3")));
+  EXPECT_TRUE(after.black & bit(sq("d4")));
+  EXPECT_FALSE(after.white & bit(sq("d4")));
+  EXPECT_EQ(popcount(after.black), 4);
+  EXPECT_EQ(popcount(after.white), 1);
+  EXPECT_EQ(after.to_move, Player::White);
+}
+
+TEST(Board, FlipsForIllegalSquareIsEmpty) {
+  const Board b = initial_board();
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("a1")), 0u);        // no bracket
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("d4")), 0u);        // occupied
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("e3")), 0u);        // adjacent own
+}
+
+TEST(Board, MultiDirectionFlip) {
+  // Construct: white discs bracketed in two directions by one black move.
+  //   row: B W W _  -> placing at _ flips both W
+  //   col: the placed square also brackets vertically.
+  Board b;
+  b.to_move = Player::Black;
+  b.black = bit(sq("a1")) | bit(sq("d4"));
+  b.white = bit(sq("b1")) | bit(sq("c1")) | bit(sq("d2")) | bit(sq("d3"));
+  const Bitboard f = flips_for(b.own(), b.opp(), sq("d1"));
+  EXPECT_EQ(f, bit(sq("b1")) | bit(sq("c1")) | bit(sq("d2")) | bit(sq("d3")));
+}
+
+TEST(Board, NoFlipThroughEmptyGap) {
+  // B W _ W placing beyond the gap must not flip across it.
+  Board b;
+  b.to_move = Player::Black;
+  b.black = bit(sq("a1"));
+  b.white = bit(sq("b1")) | bit(sq("d1"));
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("e1")), 0u);
+  // But placing at c1 (closing the first run) flips only b1.
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("c1")), bit(sq("b1")));
+}
+
+TEST(Board, EdgeRunWithoutBracketDoesNotFlip) {
+  // A run of white reaching the board edge with no black behind it.
+  Board b;
+  b.to_move = Player::Black;
+  b.black = 0;
+  b.white = bit(sq("a1")) | bit(sq("b1")) | bit(sq("c1"));
+  b.black = bit(sq("e4"));  // somewhere irrelevant
+  EXPECT_EQ(flips_for(b.own(), b.opp(), sq("d1")), 0u);
+}
+
+TEST(Board, PassSwitchesSideOnly) {
+  const Board b = initial_board();
+  const Board p = apply_pass(b);
+  EXPECT_EQ(p.black, b.black);
+  EXPECT_EQ(p.white, b.white);
+  EXPECT_EQ(p.to_move, Player::White);
+}
+
+TEST(Board, GameOverWhenNeitherCanMove) {
+  Board b;
+  b.black = bit(sq("a1"));
+  b.white = bit(sq("h8"));
+  b.to_move = Player::Black;
+  EXPECT_TRUE(must_pass(b));
+  EXPECT_TRUE(is_game_over(b));
+}
+
+TEST(Board, DiscDifferenceFromMoverPerspective) {
+  Board b;
+  b.black = bit(sq("a1")) | bit(sq("a2")) | bit(sq("a3"));
+  b.white = bit(sq("h8"));
+  b.to_move = Player::Black;
+  EXPECT_EQ(disc_difference(b), 2);
+  b.to_move = Player::White;
+  EXPECT_EQ(disc_difference(b), -2);
+}
+
+TEST(Board, PerftMatchesPublishedValues) {
+  // Standard Othello perft from the initial position.
+  const Board b = initial_board();
+  EXPECT_EQ(perft(b, 1), 4u);
+  EXPECT_EQ(perft(b, 2), 12u);
+  EXPECT_EQ(perft(b, 3), 56u);
+  EXPECT_EQ(perft(b, 4), 244u);
+  EXPECT_EQ(perft(b, 5), 1396u);
+  EXPECT_EQ(perft(b, 6), 8200u);
+  EXPECT_EQ(perft(b, 7), 55092u);
+}
+
+TEST(Board, PerftDepth8) {
+  EXPECT_EQ(perft(initial_board(), 8), 390216u);
+}
+
+TEST(Board, AsciiRoundTrip) {
+  const Board b = apply_move(initial_board(), sq("f5"));
+  const std::string art = to_string(b);
+  const Board parsed = board_from_ascii(art, b.to_move);
+  EXPECT_EQ(parsed, b);
+}
+
+TEST(Board, AsciiShowsLegalMoveMarks) {
+  const std::string art = to_string(initial_board(), /*mark_moves=*/true);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  // Marks parse back as empties.
+  const Board parsed = board_from_ascii(art, Player::Black);
+  EXPECT_EQ(parsed, initial_board());
+}
+
+TEST(Board, OwnOppTrackToMove) {
+  Board b = initial_board();
+  EXPECT_EQ(b.own(), b.black);
+  EXPECT_EQ(b.opp(), b.white);
+  b.to_move = Player::White;
+  EXPECT_EQ(b.own(), b.white);
+  EXPECT_EQ(b.opp(), b.black);
+}
+
+TEST(Board, LegalMovesNeverOverlapOccupied) {
+  Board b = initial_board();
+  for (int i = 0; i < 12; ++i) {
+    const Bitboard moves = legal_moves(b);
+    EXPECT_EQ(moves & b.occupied(), 0u);
+    if (moves == 0) break;
+    b = apply_move(b, lsb(moves));
+  }
+}
+
+TEST(Board, DiscsAreConservedOrGrow) {
+  // Each move adds exactly one disc; flips only change color.
+  Board b = initial_board();
+  for (int i = 0; i < 20; ++i) {
+    const Bitboard moves = legal_moves(b);
+    if (moves == 0) break;
+    const int before = popcount(b.occupied());
+    b = apply_move(b, lsb(moves));
+    EXPECT_EQ(popcount(b.occupied()), before + 1);
+    EXPECT_EQ(b.black & b.white, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ers::othello

@@ -1,0 +1,116 @@
+#include "othello/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "othello/positions.hpp"
+
+namespace ers::othello {
+namespace {
+
+int sq(const char* name) { return square_from_name(name); }
+
+Board swapped_side(Board b) {
+  b.to_move = opponent_of(b.to_move);
+  return b;
+}
+
+TEST(Eval, AntisymmetricUnderSideSwap) {
+  // evaluate(b) == -evaluate(b with the side to move swapped), for live
+  // positions along a deterministic game.
+  Board b = initial_board();
+  for (int i = 0; i < 30; ++i) {
+    if (is_game_over(b)) break;
+    EXPECT_EQ(evaluate_board(b), -evaluate_board(swapped_side(b)))
+        << to_string(b);
+    const Bitboard moves = legal_moves(b);
+    if (moves == 0) {
+      b = apply_pass(b);
+      continue;
+    }
+    b = apply_move(b, lsb(moves));
+  }
+}
+
+TEST(Eval, InitialPositionIsBalanced) {
+  EXPECT_EQ(evaluate_board(initial_board()), 0);
+}
+
+TEST(Eval, TerminalUsesExactDiscCount) {
+  Board b;
+  b.black = bit(sq("a1")) | bit(sq("a2"));
+  b.white = bit(sq("h8"));
+  b.to_move = Player::Black;
+  ASSERT_TRUE(is_game_over(b));
+  const auto& w = default_weights();
+  EXPECT_EQ(evaluate_board(b), 1 * w.terminal_scale);
+  b.to_move = Player::White;
+  EXPECT_EQ(evaluate_board(b), -1 * w.terminal_scale);
+}
+
+TEST(Eval, TerminalDominatesHeuristicRange) {
+  // A one-disc win must outweigh any heuristic advantage.
+  Board b;
+  b.black = bit(sq("c3")) | bit(sq("c4"));
+  b.white = bit(sq("f6"));
+  b.to_move = Player::Black;
+  ASSERT_TRUE(is_game_over(b));
+  const Value win = evaluate_board(b);
+  // Crude bound on the heuristic magnitude: all features maxed out.
+  EXPECT_GT(win, 64 * 100 / 2);
+  EXPECT_GE(win, default_weights().terminal_scale);
+}
+
+TEST(Eval, CornersAreValuable) {
+  // Same material, but one side holds a corner: corner holder evaluates
+  // higher (from its own perspective).
+  Board with_corner;
+  with_corner.black = bit(sq("a1")) | bit(sq("d4"));
+  with_corner.white = bit(sq("d5")) | bit(sq("e4"));
+  with_corner.to_move = Player::Black;
+
+  Board without_corner = with_corner;
+  without_corner.black = bit(sq("c3")) | bit(sq("d4"));
+
+  EXPECT_GT(evaluate_board(with_corner), evaluate_board(without_corner));
+}
+
+TEST(Eval, PositionalScoreSumsWeights) {
+  EXPECT_EQ(positional_score(bit(sq("a1"))), 100);
+  EXPECT_EQ(positional_score(bit(sq("b2"))), -50);
+  EXPECT_EQ(positional_score(bit(sq("a1")) | bit(sq("b2"))), 50);
+  EXPECT_EQ(positional_score(0), 0);
+}
+
+TEST(Eval, SquareWeightTableIsSymmetric) {
+  // The table must be symmetric under horizontal/vertical mirror and
+  // transpose so the evaluator has no orientation bias.
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const int w = kSquareWeights[r * 8 + c];
+      EXPECT_EQ(w, kSquareWeights[r * 8 + (7 - c)]);
+      EXPECT_EQ(w, kSquareWeights[(7 - r) * 8 + c]);
+      EXPECT_EQ(w, kSquareWeights[c * 8 + r]);
+    }
+  }
+}
+
+TEST(Eval, FrontierCountsEmptiesTouchingDiscs) {
+  Board b;
+  b.black = bit(sq("d4"));
+  b.white = 0;
+  // All 8 neighbors of d4 are empty.
+  EXPECT_EQ(frontier_count(b.black, b.empty()), 8);
+}
+
+TEST(Eval, ValuesStayWithinValueDomain) {
+  Board b = initial_board();
+  for (int i = 0; i < 60; ++i) {
+    if (is_game_over(b)) break;
+    EXPECT_TRUE(is_valid_value(evaluate_board(b)));
+    const Bitboard moves = legal_moves(b);
+    b = moves ? apply_move(b, lsb(moves)) : apply_pass(b);
+  }
+}
+
+}  // namespace
+}  // namespace ers::othello

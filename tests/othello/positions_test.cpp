@@ -1,0 +1,66 @@
+#include "othello/positions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "othello/game.hpp"
+
+namespace ers::othello {
+namespace {
+
+TEST(Positions, PaperPositionsAreWhiteToMove) {
+  // Paper §7: "It is WHITE's turn to move in each configuration."
+  for (int i = 1; i <= 3; ++i) {
+    const Board b = paper_position(i);
+    EXPECT_EQ(b.to_move, Player::White) << "O" << i;
+  }
+}
+
+TEST(Positions, PaperPositionsAreMidGameAndLive) {
+  static constexpr int kExpectedDiscs[3] = {4 + 11, 4 + 15, 4 + 19};
+  for (int i = 1; i <= 3; ++i) {
+    const Board b = paper_position(i);
+    EXPECT_FALSE(is_game_over(b)) << "O" << i;
+    // No passes occurred during seeded self-play, so disc count is exact.
+    EXPECT_EQ(popcount(b.occupied()), kExpectedDiscs[i - 1]) << "O" << i;
+    EXPECT_NE(legal_moves(b), 0u) << "O" << i;
+  }
+}
+
+TEST(Positions, PaperPositionsAreDistinct) {
+  const Board a = paper_position(1);
+  const Board b = paper_position(2);
+  const Board c = paper_position(3);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(b == c);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Positions, PaperPositionsAreDeterministic) {
+  for (int i = 1; i <= 3; ++i) EXPECT_EQ(paper_position(i), paper_position(i));
+}
+
+TEST(Positions, SelfplayRespectsRules) {
+  // Every prefix of the self-play line must be reachable: discs grow by one
+  // per ply and stay disjoint.
+  for (int plies = 1; plies <= 19; ++plies) {
+    const Board b = selfplay_position(plies, 0x22u);
+    EXPECT_EQ(b.black & b.white, 0u);
+    EXPECT_LE(popcount(b.occupied()), 4 + plies);
+  }
+}
+
+TEST(Positions, SevenPlyTreesAreSearchable) {
+  // The experiments search these positions to 7 ply; make sure the subtree
+  // is nontrivial (branching exists at the root).
+  for (int i = 1; i <= 3; ++i) {
+    const OthelloGame g(paper_position(i));
+    std::vector<OthelloGame::Position> kids;
+    g.generate_children(g.root(), kids);
+    EXPECT_GE(kids.size(), 2u) << "O" << i;
+  }
+}
+
+}  // namespace
+}  // namespace ers::othello

@@ -1,0 +1,157 @@
+// Extended Othello rules coverage: forced passes, endgames, symmetry
+// invariance of search values, and perft from the experiment positions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "othello/game.hpp"
+#include "othello/positions.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/negmax.hpp"
+
+namespace ers::othello {
+namespace {
+
+int sq(const char* name) { return square_from_name(name); }
+
+/// Mirror a bitboard horizontally (file a <-> file h).
+Bitboard mirror_files(Bitboard b) {
+  Bitboard out = 0;
+  while (b != 0) {
+    const int s = pop_lsb(b);
+    const int rank = s / 8, file = s % 8;
+    out |= bit(rank * 8 + (7 - file));
+    }
+  return out;
+}
+
+TEST(OthelloRules, ForcedPassProducesSinglePassChild) {
+  // Find a genuine forced-pass position (one side moveless, game live) by
+  // playing deterministic greedy lines from the start; real games reach
+  // such positions regularly.  The adapter must then produce exactly one
+  // child: the pass.
+  Board found;
+  bool have = false;
+  for (std::uint64_t salt = 0; salt < 64 && !have; ++salt) {
+    Board b = initial_board();
+    for (int ply = 0; ply < 70; ++ply) {
+      if (is_game_over(b)) break;
+      Bitboard moves = legal_moves(b);
+      if (moves == 0) {
+        found = b;
+        have = true;
+        break;
+      }
+      // Pick the (salted) k-th legal move, deterministically.
+      const int n = popcount(moves);
+      int k = static_cast<int>((salt + static_cast<std::uint64_t>(ply)) %
+                               static_cast<std::uint64_t>(n));
+      int sqr = -1;
+      while (k-- >= 0) sqr = pop_lsb(moves);
+      b = apply_move(b, sqr);
+    }
+  }
+  ASSERT_TRUE(have) << "no forced-pass position found in 64 greedy lines";
+  ASSERT_FALSE(is_game_over(found));
+  ASSERT_TRUE(must_pass(found));
+  const OthelloGame g(found);
+  std::vector<OthelloGame::Position> kids;
+  g.generate_children(g.root(), kids);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids[0].board.to_move, opponent_of(found.to_move));
+  EXPECT_EQ(kids[0].board.black, found.black);
+  EXPECT_EQ(kids[0].board.white, found.white);
+}
+
+TEST(OthelloRules, DoublePassEndsGameInSearch) {
+  // A sparse, interlock-free board: neither side can move; the position is
+  // terminal and evaluates to the exact scaled disc difference.
+  Board b;
+  b.black = bit(sq("a1")) | bit(sq("c5"));
+  b.white = bit(sq("h8"));
+  b.to_move = Player::White;
+  ASSERT_TRUE(is_game_over(b));
+  const OthelloGame g(b);
+  const auto r = negmax_search(g, 6);
+  EXPECT_EQ(r.value, -1 * default_weights().terminal_scale);
+  EXPECT_EQ(r.stats.leaves_evaluated, 1u);
+}
+
+TEST(OthelloRules, EndgameExactPlay) {
+  // Near-full board with a couple of empties: a deep search resolves the
+  // game exactly and the value is a scaled final disc count.
+  Board b = initial_board();
+  // Play a long deterministic line first.
+  for (int i = 0; i < 52; ++i) {
+    if (is_game_over(b)) break;
+    const Bitboard moves = legal_moves(b);
+    if (moves == 0) {
+      b = apply_pass(b);
+      continue;
+    }
+    b = apply_move(b, lsb(moves));
+  }
+  if (is_game_over(b)) GTEST_SKIP() << "line ended early";
+  const OthelloGame g(b);
+  const auto r = alpha_beta_search(g, 12);  // enough to hit the end
+  EXPECT_EQ(r.value % default_weights().terminal_scale, 0)
+      << "endgame value must be an exact scaled disc difference";
+}
+
+TEST(OthelloRules, SearchValueInvariantUnderMirror) {
+  // Mirroring the board across files is a symmetry of the rules and of the
+  // evaluator (its weight table is symmetric), so search values must match.
+  const Board b = paper_position(1);
+  Board m;
+  m.black = mirror_files(b.black);
+  m.white = mirror_files(b.white);
+  m.to_move = b.to_move;
+  const OthelloGame g(b), gm(m);
+  for (int depth : {2, 3, 4}) {
+    EXPECT_EQ(negmax_search(g, depth).value, negmax_search(gm, depth).value)
+        << "depth " << depth;
+  }
+}
+
+TEST(OthelloRules, PerftFromPaperPositionsConsistency) {
+  // perft(pos, k+1) == sum over children of perft(child, k) — including
+  // pass children.
+  for (int idx = 1; idx <= 3; ++idx) {
+    const Board b = paper_position(idx);
+    const OthelloGame g(b);
+    std::vector<OthelloGame::Position> kids;
+    g.generate_children(g.root(), kids);
+    std::uint64_t total = 0;
+    for (const auto& k : kids) total += perft(k.board, 2);
+    EXPECT_EQ(perft(b, 3), total) << "O" << idx;
+  }
+}
+
+TEST(OthelloRules, EvaluatorMirrorSymmetry) {
+  for (int idx = 1; idx <= 3; ++idx) {
+    const Board b = paper_position(idx);
+    Board m;
+    m.black = mirror_files(b.black);
+    m.white = mirror_files(b.white);
+    m.to_move = b.to_move;
+    EXPECT_EQ(evaluate_board(b), evaluate_board(m)) << "O" << idx;
+  }
+}
+
+TEST(OthelloRules, FullGameAlwaysTerminates) {
+  // Greedy self-play from the start must reach a game-over state within the
+  // theoretical bound (60 placements + passes).
+  Board b = initial_board();
+  int plies = 0;
+  while (!is_game_over(b) && plies < 130) {
+    const Bitboard moves = legal_moves(b);
+    b = moves == 0 ? apply_pass(b) : apply_move(b, lsb(moves));
+    ++plies;
+  }
+  EXPECT_TRUE(is_game_over(b)) << "no termination after " << plies << " plies";
+  EXPECT_LE(popcount(b.occupied()), 64);
+}
+
+}  // namespace
+}  // namespace ers::othello

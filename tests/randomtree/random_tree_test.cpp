@@ -1,0 +1,91 @@
+#include "randomtree/random_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ers {
+namespace {
+
+TEST(UniformRandomTree, RootIsDeterministic) {
+  const UniformRandomTree a(4, 10, 42), b(4, 10, 42);
+  EXPECT_EQ(a.root(), b.root());
+  const UniformRandomTree c(4, 10, 43);
+  EXPECT_NE(a.root().hash, c.root().hash);
+}
+
+TEST(UniformRandomTree, DegreeAndHeightRespected) {
+  const UniformRandomTree g(5, 2, 1);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  ASSERT_EQ(kids.size(), 5u);
+  for (const auto& k : kids) EXPECT_EQ(k.depth, 1);
+
+  std::vector<UniformRandomTree::Position> grand;
+  g.generate_children(kids[0], grand);
+  ASSERT_EQ(grand.size(), 5u);
+
+  std::vector<UniformRandomTree::Position> beyond;
+  g.generate_children(grand[0], beyond);
+  EXPECT_TRUE(beyond.empty()) << "height-2 tree must stop at depth 2";
+}
+
+TEST(UniformRandomTree, SiblingsHaveDistinctSubtrees) {
+  const UniformRandomTree g(8, 3, 7);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  std::set<std::uint64_t> hashes;
+  for (const auto& k : kids) hashes.insert(k.hash);
+  EXPECT_EQ(hashes.size(), kids.size());
+}
+
+TEST(UniformRandomTree, ValuesWithinConfiguredRange) {
+  const UniformRandomTree g(4, 1, 99, -50, 50);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  for (const auto& k : kids) {
+    const Value v = g.evaluate(k);
+    EXPECT_GE(v, -50);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(UniformRandomTree, ValuesApproximatelyUniform) {
+  // Bucket leaf values of a wide tree and check rough uniformity.
+  const UniformRandomTree g(1000, 1, 12345, 0, 9);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  std::map<Value, int> hist;
+  for (const auto& k : kids) ++hist[g.evaluate(k)];
+  ASSERT_EQ(hist.size(), 10u);
+  for (const auto& [v, n] : hist) {
+    EXPECT_GT(n, 50) << "value " << v;
+    EXPECT_LT(n, 200) << "value " << v;
+  }
+}
+
+TEST(UniformRandomTree, RevisitedPositionGivesSameChildren) {
+  // The problem-heap engines revisit positions; the implicit tree must be
+  // stable under re-generation.
+  const UniformRandomTree g(4, 6, 2024);
+  std::vector<UniformRandomTree::Position> a, b;
+  g.generate_children(g.root(), a);
+  g.generate_children(g.root(), b);
+  EXPECT_EQ(a, b);
+  std::vector<UniformRandomTree::Position> ga, gb;
+  g.generate_children(a[2], ga);
+  g.generate_children(b[2], gb);
+  EXPECT_EQ(ga, gb);
+}
+
+TEST(UniformRandomTree, HeightZeroRootIsLeaf) {
+  const UniformRandomTree g(4, 0, 5);
+  std::vector<UniformRandomTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  EXPECT_TRUE(kids.empty());
+  EXPECT_TRUE(is_valid_value(g.evaluate(g.root())));
+}
+
+}  // namespace
+}  // namespace ers

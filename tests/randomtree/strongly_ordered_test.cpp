@@ -1,0 +1,135 @@
+#include "randomtree/strongly_ordered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ers {
+namespace {
+
+StronglyOrderedTree::Config base_config() {
+  StronglyOrderedTree::Config c;
+  c.min_degree = 4;
+  c.max_degree = 4;
+  c.height = 5;
+  c.bias = 40;
+  c.noise = 100;
+  c.seed = 77;
+  return c;
+}
+
+// Exact negmax on the implicit tree.
+Value negmax_of(const StronglyOrderedTree& g,
+                const StronglyOrderedTree::Position& p) {
+  std::vector<StronglyOrderedTree::Position> kids;
+  g.generate_children(p, kids);
+  if (kids.empty()) return g.evaluate(p);
+  Value m = -kValueInf;
+  for (const auto& k : kids) m = std::max(m, negate(negmax_of(g, k)));
+  return m;
+}
+
+TEST(StronglyOrderedTree, Deterministic) {
+  const StronglyOrderedTree a(base_config()), b(base_config());
+  std::vector<StronglyOrderedTree::Position> ka, kb;
+  a.generate_children(a.root(), ka);
+  b.generate_children(b.root(), kb);
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(StronglyOrderedTree, DegreeVariesWithinBounds) {
+  auto c = base_config();
+  c.min_degree = 3;
+  c.max_degree = 9;
+  const StronglyOrderedTree g(c);
+  std::vector<StronglyOrderedTree::Position> kids;
+  g.generate_children(g.root(), kids);
+  EXPECT_GE(kids.size(), 3u);
+  EXPECT_LE(kids.size(), 9u);
+}
+
+TEST(StronglyOrderedTree, FirstChildIsBestMostOfTheTime) {
+  // Marsland's "strongly ordered": first branch best >= 70% of the time.
+  // Check over many interior nodes at ply 1.
+  auto c = base_config();
+  c.height = 3;
+  int first_best = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    c.seed = seed;
+    const StronglyOrderedTree g(c);
+    std::vector<StronglyOrderedTree::Position> kids;
+    g.generate_children(g.root(), kids);
+    // The best child minimizes its own negmax value.
+    Value best = kValueInf;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const Value v = negmax_of(g, kids[i]);
+      if (v < best) {
+        best = v;
+        best_idx = i;
+      }
+    }
+    ++total;
+    if (best_idx == 0) ++first_best;
+  }
+  EXPECT_GE(first_best * 100, 70 * total)
+      << first_best << "/" << total << " roots had the first child best";
+}
+
+TEST(StronglyOrderedTree, StaticValuePredictsSearchValue) {
+  // The static score of a child should correlate with its negmax value:
+  // the statically-best child should rarely be the search-worst one.
+  auto c = base_config();
+  c.height = 3;
+  int inversions = 0, total = 0;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    c.seed = seed;
+    const StronglyOrderedTree g(c);
+    std::vector<StronglyOrderedTree::Position> kids;
+    g.generate_children(g.root(), kids);
+    auto static_best = std::min_element(
+        kids.begin(), kids.end(), [&](const auto& x, const auto& y) {
+          return g.evaluate(x) < g.evaluate(y);
+        });
+    Value worst = -kValueInf;
+    std::size_t worst_idx = 0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const Value v = negmax_of(g, kids[i]);
+      if (v > worst) {
+        worst = v;
+        worst_idx = i;
+      }
+    }
+    ++total;
+    if (static_cast<std::size_t>(static_best - kids.begin()) == worst_idx)
+      ++inversions;
+  }
+  EXPECT_LT(inversions * 4, total);  // < 25% gross misprediction
+}
+
+TEST(StronglyOrderedTree, ScoreIsAntisymmetricAcrossPly) {
+  // score(child) from the child's perspective = -score(parent) + cost.
+  const StronglyOrderedTree g(base_config());
+  const auto root = g.root();
+  std::vector<StronglyOrderedTree::Position> kids;
+  g.generate_children(root, kids);
+  for (const auto& k : kids)
+    EXPECT_GE(k.score, negate(root.score)) << "edge costs are nonnegative";
+}
+
+TEST(StronglyOrderedTree, HeightRespected) {
+  auto c = base_config();
+  c.height = 2;
+  const StronglyOrderedTree g(c);
+  std::vector<StronglyOrderedTree::Position> kids, grand, beyond;
+  g.generate_children(g.root(), kids);
+  g.generate_children(kids[0], grand);
+  g.generate_children(grand[0], beyond);
+  EXPECT_FALSE(kids.empty());
+  EXPECT_FALSE(grand.empty());
+  EXPECT_TRUE(beyond.empty());
+}
+
+}  // namespace
+}  // namespace ers

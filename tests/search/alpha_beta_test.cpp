@@ -1,0 +1,161 @@
+#include "search/alpha_beta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gametree/explicit_tree.hpp"
+#include "randomtree/random_tree.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+// Paper Figure 2(a): a shallow cutoff.  A's first child pins A >= 7; B's
+// first child shows B >= -5, so B can no longer affect A and B's remaining
+// subtree is cut off.
+ExplicitTree shallow_cutoff_tree() {
+  ExplicitTree t;
+  t.add_child(0, -7);                   // A's first child: A >= 7
+  const auto b = t.add_child(0);        // node B
+  t.add_child(b, 5);                    // B's first child: B >= -5
+  t.add_child(b, -100);                 // must never be visited
+  return t;
+}
+
+// Paper Figure 2(b): a deep cutoff.  The bound established at A (two plies
+// up) cuts D's remaining children; shallow alpha-beta misses this cutoff.
+ExplicitTree deep_cutoff_tree() {
+  ExplicitTree t;
+  t.add_child(0, -7);                   // A's first child: A >= 7
+  const auto b = t.add_child(0);        // B
+  const auto c = t.add_child(b);        // C
+  t.add_child(c, -4);                   // C's first child
+  const auto d = t.add_child(c);        // D
+  t.add_child(d, 6);                    // D's first child
+  t.add_child(d, -50);                  // cut by the deep bound only
+  return t;
+}
+
+TEST(AlphaBeta, Figure2aShallowCutoff) {
+  const auto t = shallow_cutoff_tree();
+  const auto ab = alpha_beta_search(t, 10);
+  const auto nm = negmax_search(t, 10);
+  EXPECT_EQ(ab.value, 7);
+  EXPECT_EQ(nm.value, 7);
+  EXPECT_EQ(nm.stats.leaves_evaluated, 3u);
+  EXPECT_EQ(ab.stats.leaves_evaluated, 2u) << "B's second child must be cut";
+}
+
+TEST(AlphaBeta, Figure2bDeepCutoffRequiresDeepBounds) {
+  const auto t = deep_cutoff_tree();
+  const auto deep = alpha_beta_search(t, 10);
+  const auto shallow = alpha_beta_shallow_search(t, 10);
+  EXPECT_EQ(deep.value, 7);
+  EXPECT_EQ(shallow.value, 7);
+  EXPECT_EQ(deep.stats.leaves_evaluated, 3u)
+      << "full alpha-beta achieves the deep cutoff";
+  EXPECT_EQ(shallow.stats.leaves_evaluated, 4u)
+      << "without deep cutoffs D's second child is examined";
+}
+
+TEST(AlphaBeta, EqualsNegmaxOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const UniformRandomTree g(3, 4, seed, -20, 20);
+    const auto ab = alpha_beta_search(g, 4);
+    const auto nm = negmax_search(g, 4);
+    EXPECT_EQ(ab.value, nm.value) << "seed=" << seed;
+    EXPECT_LE(ab.stats.leaves_evaluated, nm.stats.leaves_evaluated);
+  }
+}
+
+TEST(AlphaBeta, ShallowNeverBeatsDeep) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const UniformRandomTree g(4, 4, seed + 100, -50, 50);
+    const auto deep = alpha_beta_search(g, 4);
+    const auto shallow = alpha_beta_shallow_search(g, 4);
+    EXPECT_EQ(deep.value, shallow.value) << "seed=" << seed;
+    EXPECT_LE(deep.stats.leaves_evaluated, shallow.stats.leaves_evaluated)
+        << "seed=" << seed;
+  }
+}
+
+TEST(AlphaBeta, FailHighAgainstNarrowWindow) {
+  const std::array<Value, 4> leaves{-9, -8, -7, -6};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  const Value exact = t.negmax_value();
+  // Window entirely below the true value: fail high (result >= beta).
+  const auto r = alpha_beta_search(t, 2, {}, Window{exact - 10, exact - 5});
+  EXPECT_GE(r.value, exact - 5);
+}
+
+TEST(AlphaBeta, FailLowAgainstNarrowWindow) {
+  const std::array<Value, 4> leaves{-9, -8, -7, -6};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  const Value exact = t.negmax_value();
+  // Window entirely above the true value: fail low (result <= alpha).
+  const auto r = alpha_beta_search(t, 2, {}, Window{exact + 5, exact + 10});
+  EXPECT_LE(r.value, exact + 5);
+}
+
+TEST(AlphaBeta, ExactWithinWindow) {
+  const std::array<Value, 4> leaves{-9, 8, 7, -6};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  const Value exact = t.negmax_value();
+  const auto r = alpha_beta_search(t, 2, {}, Window{exact - 3, exact + 3});
+  EXPECT_EQ(r.value, exact);
+}
+
+TEST(AlphaBeta, NarrowerWindowNeverExpandsMore) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const UniformRandomTree g(3, 5, seed + 7, -100, 100);
+    const Value exact = negmax_search(g, 5).value;
+    const auto full = alpha_beta_search(g, 5);
+    const auto narrow =
+        alpha_beta_search(g, 5, {}, Window{exact - 1, exact + 1});
+    EXPECT_LE(narrow.stats.leaves_evaluated, full.stats.leaves_evaluated)
+        << "seed=" << seed;
+    EXPECT_EQ(narrow.value, exact);
+  }
+}
+
+TEST(AlphaBeta, SortingImprovesOrReequalsPruning) {
+  // On strongly-ordered-by-static-value trees, sorting should not hurt node
+  // counts (it costs sort_evals instead).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const UniformRandomTree g(4, 4, seed + 55, -100, 100);
+    OrderingPolicy sorted{.sort_by_static_value = true, .max_sort_ply = 99};
+    const auto plain = alpha_beta_search(g, 4);
+    const auto with_sort = alpha_beta_search(g, 4, sorted);
+    EXPECT_EQ(plain.value, with_sort.value);
+    EXPECT_GT(with_sort.stats.sort_evals, 0u);
+    EXPECT_EQ(plain.stats.sort_evals, 0u);
+  }
+}
+
+TEST(AlphaBeta, DegenerateUnaryChain) {
+  ExplicitTree t;
+  auto a = t.add_child(0);
+  auto b = t.add_child(a);
+  t.add_child(b, -9);
+  EXPECT_EQ(alpha_beta_search(t, 10).value, 9);
+  EXPECT_EQ(alpha_beta_shallow_search(t, 10).value, 9);
+}
+
+TEST(AlphaBeta, AllEqualLeavesStillCorrect) {
+  const std::array<Value, 16> leaves{};  // all zero
+  const auto t = ExplicitTree::complete(4, 2, leaves);
+  EXPECT_EQ(alpha_beta_search(t, 2).value, 0);
+  EXPECT_EQ(alpha_beta_shallow_search(t, 2).value, 0);
+}
+
+TEST(AlphaBeta, ExtremeValuesNearDomainBound) {
+  ExplicitTree t;
+  t.add_child(0, kValueMax);
+  t.add_child(0, -kValueMax);
+  const auto r = alpha_beta_search(t, 1);
+  EXPECT_EQ(r.value, kValueMax);
+}
+
+}  // namespace
+}  // namespace ers

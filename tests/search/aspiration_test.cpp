@@ -1,0 +1,78 @@
+#include "search/aspiration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "randomtree/random_tree.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+TEST(Aspiration, WindowHoldsWhenEstimateIsGood) {
+  const UniformRandomTree g(3, 4, 42, -100, 100);
+  const Value exact = negmax_search(g, 4).value;
+  const auto r = aspiration_search(g, 4, exact, 10);
+  EXPECT_EQ(r.value, exact);
+  EXPECT_EQ(r.searches, 1);
+  EXPECT_FALSE(r.failed_low);
+  EXPECT_FALSE(r.failed_high);
+}
+
+TEST(Aspiration, FailsLowAndRecovers) {
+  const UniformRandomTree g(3, 4, 43, -100, 100);
+  const Value exact = negmax_search(g, 4).value;
+  const auto r = aspiration_search(g, 4, exact + 500, 10);
+  EXPECT_EQ(r.value, exact);
+  EXPECT_EQ(r.searches, 2);
+  EXPECT_TRUE(r.failed_low);
+  EXPECT_FALSE(r.failed_high);
+}
+
+TEST(Aspiration, FailsHighAndRecovers) {
+  const UniformRandomTree g(3, 4, 44, -100, 100);
+  const Value exact = negmax_search(g, 4).value;
+  const auto r = aspiration_search(g, 4, exact - 500, 10);
+  EXPECT_EQ(r.value, exact);
+  EXPECT_EQ(r.searches, 2);
+  EXPECT_TRUE(r.failed_high);
+  EXPECT_FALSE(r.failed_low);
+}
+
+TEST(Aspiration, GoodWindowSearchesFewerNodesThanFullWindow) {
+  const UniformRandomTree g(4, 5, 45, -1000, 1000);
+  const Value exact = negmax_search(g, 5).value;
+  const auto full = alpha_beta_search(g, 5);
+  const auto asp = aspiration_search(g, 5, exact, 5);
+  EXPECT_EQ(asp.value, exact);
+  EXPECT_LE(asp.stats.leaves_evaluated, full.stats.leaves_evaluated);
+}
+
+TEST(Aspiration, ExactValueOnWindowEdgeLow) {
+  // estimate - delta == exact: the exact value equals alpha -> fail low path
+  // must still recover the right answer.
+  const UniformRandomTree g(3, 3, 46, -50, 50);
+  const Value exact = negmax_search(g, 3).value;
+  const auto r = aspiration_search(g, 3, exact + 10, 10);
+  EXPECT_EQ(r.value, exact);
+}
+
+TEST(Aspiration, ExactValueOnWindowEdgeHigh) {
+  const UniformRandomTree g(3, 3, 47, -50, 50);
+  const Value exact = negmax_search(g, 3).value;
+  const auto r = aspiration_search(g, 3, exact - 10, 10);
+  EXPECT_EQ(r.value, exact);
+}
+
+TEST(Aspiration, ManySeedsAlwaysExact) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const UniformRandomTree g(3, 4, seed, -30, 30);
+    const Value exact = negmax_search(g, 4).value;
+    for (Value est : {exact - 37, exact, exact + 37}) {
+      const auto r = aspiration_search(g, 4, est, 8);
+      EXPECT_EQ(r.value, exact) << "seed=" << seed << " est=" << est;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,154 @@
+#include "search/er_serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gametree/explicit_tree.hpp"
+#include "randomtree/random_tree.hpp"
+#include "randomtree/strongly_ordered.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+TEST(ErSerial, LeafRoot) {
+  ExplicitTree t;
+  t.set_value(0, -3);
+  const auto r = er_serial_search(t, 5);
+  EXPECT_EQ(r.value, -3);
+  EXPECT_EQ(r.stats.leaves_evaluated, 1u);
+}
+
+TEST(ErSerial, TwoLevelTree) {
+  const std::array<Value, 4> leaves{3, -1, -4, 2};
+  const auto t = ExplicitTree::complete(2, 2, leaves);
+  EXPECT_EQ(er_serial_search(t, 2).value, t.negmax_value());
+}
+
+// DESIGN.md §1: the printed pseudocode's `value := alpha` in Refute_rest
+// discards the tentative value established by Eval_first.  On this tree the
+// literal transcription returns +100 at the root; the correct value is -3.
+TEST(ErSerial, RefuteRestKeepsTentativeValue) {
+  ExplicitTree t;
+  t.add_child(0, 20);             // X: evaluates to 20, so root >= -20
+  const auto r = t.add_child(0);  // R: must be refuted
+  t.add_child(r, -3);             // R's first child -> tentative R = 3
+  t.add_child(r, 100);            // R's second child fails low (-100 < 3)
+  ASSERT_EQ(t.negmax_value(), -3);
+  const auto res = er_serial_search(t, 10);
+  EXPECT_EQ(res.value, -3)
+      << "Refute_rest lost Eval_first's tentative value (see DESIGN.md)";
+}
+
+TEST(ErSerial, EqualsNegmaxOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const UniformRandomTree g(3, 4, seed, -25, 25);
+    const auto er = er_serial_search(g, 4);
+    const auto nm = negmax_search(g, 4);
+    EXPECT_EQ(er.value, nm.value) << "seed=" << seed;
+    EXPECT_LE(er.stats.leaves_evaluated, nm.stats.leaves_evaluated)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ErSerial, EqualsNegmaxOnVaryingDegreeTrees) {
+  StronglyOrderedTree::Config c;
+  c.min_degree = 1;
+  c.max_degree = 5;
+  c.height = 4;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    c.seed = seed;
+    const StronglyOrderedTree g(c);
+    EXPECT_EQ(er_serial_search(g, 4).value, negmax_search(g, 4).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ErSerial, DuplicateHeavyValuesStillExact) {
+  // Many equal leaves stress the tie handling in sorting and cutoffs.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const UniformRandomTree g(4, 4, seed, -2, 2);
+    EXPECT_EQ(er_serial_search(g, 4).value, negmax_search(g, 4).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ErSerial, DeepNarrowTrees) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const UniformRandomTree g(2, 8, seed, -100, 100);
+    EXPECT_EQ(er_serial_search(g, 8).value, negmax_search(g, 8).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ErSerial, UnaryChain) {
+  ExplicitTree t;
+  auto a = t.add_child(0);
+  auto b = t.add_child(a);
+  auto c = t.add_child(b);
+  t.add_child(c, 11);
+  EXPECT_EQ(er_serial_search(t, 10).value, t.negmax_value());
+}
+
+TEST(ErSerial, DepthLimitRespected) {
+  const UniformRandomTree g(3, 8, 5);
+  const auto r2 = er_serial_search(g, 2);
+  const auto nm2 = negmax_search(g, 2);
+  EXPECT_EQ(r2.value, nm2.value);
+  // ER's phase-1 evaluates every elder grandchild, so at depth 2 it visits
+  // every grandchild like negmax does, but never deeper.
+  EXPECT_LE(r2.stats.leaves_evaluated, 9u);
+}
+
+TEST(ErSerial, EvaluatesElderGrandchildrenBeforeCommitting) {
+  // A tree where static first-child order is misleading: the paper's point
+  // is that elder-grandchild information picks the right e-child.  ER must
+  // return the exact value regardless.
+  //
+  // Root with children L (looks bad first, actually best) and M.
+  ExplicitTree t;
+  const auto l = t.add_child(0);
+  const auto m = t.add_child(0);
+  t.add_child(l, 50);    // L's elder grandchild: tentative L = -50
+  t.add_child(l, -60);
+  t.add_child(m, -10);   // M's elder grandchild: tentative M = 10
+  t.add_child(m, -20);
+  // True: L = max(-50, 60) = 60 ; M = max(10, 20) = 20.
+  // Root = max(-60, -20) = -20.
+  ASSERT_EQ(t.negmax_value(), -20);
+  EXPECT_EQ(er_serial_search(t, 10).value, -20);
+}
+
+TEST(ErSerial, OrderingPolicyDoesNotChangeValue) {
+  OrderingPolicy sorted{.sort_by_static_value = true, .max_sort_ply = 3};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const UniformRandomTree g(3, 5, seed + 500, -40, 40);
+    EXPECT_EQ(er_serial_search(g, 5, sorted).value,
+              er_serial_search(g, 5).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ErSerial, SortCostOnlyOnNonENodes) {
+  // e-node children are never statically sorted (paper §7), so ER charges
+  // fewer sort_evals than alpha-beta with the same policy on the same tree.
+  OrderingPolicy sorted{.sort_by_static_value = true, .max_sort_ply = 99};
+  const UniformRandomTree g(4, 4, 77, -100, 100);
+  const auto er = er_serial_search(g, 4, sorted);
+  const auto ab = alpha_beta_search(g, 4, sorted);
+  EXPECT_EQ(er.value, ab.value);
+  EXPECT_GT(ab.stats.sort_evals, 0u);
+}
+
+TEST(ErSerial, ExtremeLeafValues) {
+  ExplicitTree t;
+  t.add_child(0, kValueMax);
+  t.add_child(0, -kValueMax);
+  t.add_child(0, 0);
+  EXPECT_EQ(er_serial_search(t, 1).value, kValueMax);
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,72 @@
+#include "search/iterative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "othello/game.hpp"
+#include "othello/positions.hpp"
+#include "randomtree/random_tree.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+TEST(IterativeDeepening, FinalValueMatchesDirectSearch) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -100, 100);
+    const Value direct = negmax_search(g, 5).value;
+    EXPECT_EQ(iterative_deepening_search(g, 5).value, direct) << seed;
+    EXPECT_EQ(iterative_deepening_search(g, 5, {}, 20).value, direct) << seed;
+  }
+}
+
+TEST(IterativeDeepening, PerDepthValuesMatchFixedDepthSearches) {
+  const UniformRandomTree g(3, 5, 3, -100, 100);
+  const auto r = iterative_deepening_search(g, 5);
+  ASSERT_EQ(r.per_depth.size(), 5u);
+  for (int d = 1; d <= 5; ++d)
+    EXPECT_EQ(r.per_depth[d - 1], negmax_search(g, d).value) << "depth " << d;
+}
+
+TEST(IterativeDeepening, DepthZero) {
+  const UniformRandomTree g(4, 4, 5, -9, 9);
+  const auto r = iterative_deepening_search(g, 0);
+  EXPECT_EQ(r.value, g.evaluate(g.root()));
+  EXPECT_EQ(r.depth_reached, 0);
+  EXPECT_TRUE(r.per_depth.empty());
+}
+
+TEST(IterativeDeepening, AspirationIsCompetitiveInAggregate) {
+  // Tight windows prune harder but pay for re-searches when the value
+  // drifts between depths; across seeds the aggregate bill must stay
+  // competitive with full windows (and correctness must hold per seed).
+  std::uint64_t full_total = 0, asp_total = 0;
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const UniformRandomTree g(4, 6, seed, -1000, 1000);
+    const auto full = iterative_deepening_search(g, 6);
+    const auto asp = iterative_deepening_search(g, 6, {}, 50);
+    EXPECT_EQ(full.value, asp.value) << "seed=" << seed;
+    full_total += full.stats.leaves_evaluated;
+    asp_total += asp.stats.leaves_evaluated;
+  }
+  EXPECT_LT(static_cast<double>(asp_total),
+            1.25 * static_cast<double>(full_total));
+}
+
+TEST(IterativeDeepening, ResearchesCountedOnUnstableValues) {
+  // delta = 1 around a value that moves between depths forces re-searches.
+  const UniformRandomTree g(3, 6, 8, -1000, 1000);
+  const auto r = iterative_deepening_search(g, 6, {}, 1);
+  EXPECT_EQ(r.value, negmax_search(g, 6).value);
+  EXPECT_GT(r.researches, 0);
+}
+
+TEST(IterativeDeepening, WorksOnOthello) {
+  const othello::OthelloGame g(othello::paper_position(2));
+  OrderingPolicy sorted{.sort_by_static_value = true, .max_sort_ply = 6};
+  const auto r = iterative_deepening_search(g, 4, sorted, 200);
+  EXPECT_EQ(r.value, negmax_search(g, 4).value);
+  EXPECT_EQ(r.depth_reached, 4);
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,76 @@
+#include "search/negascout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "connect4/connect4.hpp"
+#include "othello/game.hpp"
+#include "othello/positions.hpp"
+#include "randomtree/random_tree.hpp"
+#include "randomtree/strongly_ordered.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+TEST(NegaScout, EqualsNegmaxOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -50, 50);
+    EXPECT_EQ(negascout_search(g, 5).value, negmax_search(g, 5).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(NegaScout, EqualsNegmaxWithHeavyTies) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const UniformRandomTree g(4, 4, seed, -2, 2);
+    EXPECT_EQ(negascout_search(g, 4).value, negmax_search(g, 4).value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(NegaScout, EqualsNegmaxOnOthelloAndConnect4) {
+  const othello::OthelloGame o(othello::paper_position(3));
+  OrderingPolicy sorted{.sort_by_static_value = true, .max_sort_ply = 6};
+  EXPECT_EQ(negascout_search(o, 4, sorted).value, negmax_search(o, 4).value);
+
+  const connect4::Connect4 c;
+  EXPECT_EQ(negascout_search(c, 6).value, negmax_search(c, 6).value);
+}
+
+TEST(NegaScout, NeverMoreLeavesThanAlphaBetaOnOrderedTrees) {
+  // With good move ordering, null-window refutations dominate and NegaScout
+  // expands no more leaves than plain alpha-beta.
+  StronglyOrderedTree::Config cfg;
+  cfg.height = 7;
+  cfg.bias = 80;
+  cfg.noise = 40;
+  OrderingPolicy ordered{.sort_by_static_value = true, .max_sort_ply = 99};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    cfg.seed = seed + 300;
+    const StronglyOrderedTree g(cfg);
+    const auto ns = negascout_search(g, 7, ordered);
+    const auto ab = alpha_beta_search(g, 7, ordered);
+    EXPECT_EQ(ns.value, ab.value) << "seed=" << cfg.seed;
+    EXPECT_LE(ns.stats.leaves_evaluated, ab.stats.leaves_evaluated)
+        << "seed=" << cfg.seed;
+  }
+}
+
+TEST(NegaScout, ResearchesHappenOnUnorderedTrees) {
+  const UniformRandomTree g(4, 6, 7, -1000, 1000);
+  NegaScoutSearcher<UniformRandomTree> s(g, 6);
+  const auto r = s.run();
+  EXPECT_EQ(r.value, negmax_search(g, 6).value);
+  EXPECT_GT(s.researches(), 0u) << "random order must fail some null windows";
+}
+
+TEST(NegaScout, UnaryChainAndLeafRoot) {
+  const UniformRandomTree chain(1, 6, 3, -9, 9);
+  EXPECT_EQ(negascout_search(chain, 6).value, negmax_search(chain, 6).value);
+  const UniformRandomTree leaf(4, 0, 3, -9, 9);
+  EXPECT_EQ(negascout_search(leaf, 0).value, leaf.evaluate(leaf.root()));
+}
+
+}  // namespace
+}  // namespace ers

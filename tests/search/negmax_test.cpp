@@ -1,0 +1,74 @@
+#include "search/negmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gametree/explicit_tree.hpp"
+#include "randomtree/random_tree.hpp"
+
+namespace ers {
+namespace {
+
+TEST(Negmax, LeafRootReturnsStaticValue) {
+  ExplicitTree t;
+  t.set_value(0, 17);
+  const auto r = negmax_search(t, 4);
+  EXPECT_EQ(r.value, 17);
+  EXPECT_EQ(r.stats.leaves_evaluated, 1u);
+  EXPECT_EQ(r.stats.interior_expanded, 0u);
+}
+
+TEST(Negmax, MatchesExplicitTreeOracle) {
+  const std::array<Value, 8> leaves{3, -1, 4, -1, 5, -9, 2, -6};
+  const auto t = ExplicitTree::complete(2, 3, leaves);
+  const auto r = negmax_search(t, 3);
+  EXPECT_EQ(r.value, t.negmax_value());
+  EXPECT_EQ(r.stats.leaves_evaluated, 8u);
+  EXPECT_EQ(r.stats.interior_expanded, 7u);
+}
+
+TEST(Negmax, DepthLimitTruncatesSearch) {
+  const UniformRandomTree g(3, 6, 11);
+  const auto shallow = negmax_search(g, 2);
+  EXPECT_EQ(shallow.stats.leaves_evaluated, 9u);
+  EXPECT_EQ(shallow.stats.interior_expanded, 1u + 3u);
+}
+
+TEST(Negmax, DepthZeroEvaluatesRootOnly) {
+  const UniformRandomTree g(4, 4, 7);
+  const auto r = negmax_search(g, 0);
+  EXPECT_EQ(r.value, g.evaluate(g.root()));
+  EXPECT_EQ(r.stats.nodes_generated(), 1u);
+}
+
+TEST(Negmax, VisitsEveryLeafOfTheFullTree) {
+  const UniformRandomTree g(4, 5, 3);
+  const auto r = negmax_search(g, 5);
+  EXPECT_EQ(r.stats.leaves_evaluated, 1024u);  // 4^5
+  EXPECT_EQ(r.stats.interior_expanded, 1u + 4u + 16u + 64u + 256u);
+}
+
+TEST(Negmax, UnaryChainAlternatesSign) {
+  // A unary chain of depth 3 over a leaf of value v yields -v at the root.
+  ExplicitTree t;
+  auto a = t.add_child(0);
+  auto b = t.add_child(a);
+  auto c = t.add_child(b, 42);
+  (void)c;
+  EXPECT_EQ(negmax_search(t, 10).value, -42);
+}
+
+TEST(Negmax, TerminalBeforeDepthLimit) {
+  // Terminal positions shallower than the horizon are evaluated as leaves.
+  ExplicitTree t;
+  t.add_child(0, 5);   // leaf at ply 1
+  const auto deep = t.add_child(0);
+  t.add_child(deep, -2);
+  const auto r = negmax_search(t, 6);
+  EXPECT_EQ(r.value, std::max(-5, -(-(-2))));
+  EXPECT_EQ(r.stats.leaves_evaluated, 2u);
+}
+
+}  // namespace
+}  // namespace ers

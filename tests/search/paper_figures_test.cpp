@@ -1,0 +1,94 @@
+// The worked examples of paper §5 (Figures 6 and 7), encoded as behavioral
+// tests.  The scanned text garbles the figures' exact labels, so the trees
+// here reproduce the *described behavior* with values chosen to exercise
+// it; each test states the sentence of the paper it pins down.
+
+#include <gtest/gtest.h>
+
+#include "gametree/explicit_tree.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/er_serial.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+// Figure 6: "If evaluation of R's first child does not refute R, A need
+// only try to REFUTE (not evaluate) R's remaining children. ... [after a
+// sibling refutes R] Node G need not be examined.  If A were to evaluate
+// (rather than refute) R, G would also need to be examined."
+TEST(PaperFigure6, RefutationStopsBeforeLastChild) {
+  // Root I: first child fixes I = 10; second child K must be refuted.
+  // K's children: E = 11 (does not refute: -11 < -10), F = 9 (refutes:
+  // -9 >= -10), G = sentinel that only full evaluation would visit.
+  ExplicitTree t;
+  t.add_child(0, -10);            // i1: I >= 10
+  const auto k = t.add_child(0);  // K
+  t.add_child(k, 11);             // E: fails to refute K
+  t.add_child(k, 9);              // F: refutes K
+  t.add_child(k, -100);           // G: must never be examined
+
+  const auto nm = negmax_search(t, 10);
+  ASSERT_EQ(nm.value, 10);
+  EXPECT_EQ(nm.stats.leaves_evaluated, 4u) << "full evaluation examines G";
+
+  const auto ab = alpha_beta_search(t, 10);
+  EXPECT_EQ(ab.value, 10);
+  EXPECT_EQ(ab.stats.leaves_evaluated, 3u) << "refutation skips G";
+
+  const auto er = er_serial_search(t, 10);
+  EXPECT_EQ(er.value, 10);
+  EXPECT_EQ(er.stats.leaves_evaluated, 3u) << "ER refutes K after F";
+}
+
+// Figure 7 / §5: "Suppose that instead of choosing E1 as the e-child of E,
+// we choose E_{i,1} to be the e-child of E_i for each E_i, and evaluate all
+// of these grandchildren before committing to a choice of e-child ... the
+// information gained ... may permit a better choice of e-child."
+TEST(PaperFigure7, ElderGrandchildrenPickTheBetterEChild) {
+  // Root A with children X (first in generation order, not best) and Y
+  // (best).  Elder grandchildren: x1 = 5, y1 = 20 — so Y, whose elder
+  // grandchild is largest, is the right e-child even though X comes first.
+  ExplicitTree t;
+  const auto x = t.add_child(0);
+  const auto y = t.add_child(0);
+  t.add_child(x, 5);   // x1
+  t.add_child(x, 4);   // x2: examined only if X is evaluated
+  t.add_child(y, 20);  // y1: the largest elder grandchild
+  t.add_child(y, 16);  // y2
+  t.add_child(y, 17);  // y3
+
+  // True values: X = -4, Y = -16, A = 16 through Y.
+  ASSERT_EQ(t.negmax_value(), 16);
+
+  // Alpha-beta commits to X (the first child) and pays for its full
+  // evaluation before reaching Y.
+  const auto ab = alpha_beta_search(t, 10);
+  EXPECT_EQ(ab.value, 16);
+  EXPECT_EQ(ab.stats.leaves_evaluated, 5u);
+
+  // ER evaluates both elder grandchildren, selects Y as the e-child, and
+  // then X's tentative value alone refutes it — x2 is never examined.
+  const auto er = er_serial_search(t, 10);
+  EXPECT_EQ(er.value, 16);
+  EXPECT_EQ(er.stats.leaves_evaluated, 4u)
+      << "the elder-grandchild information must save x2";
+}
+
+// §5: "a child cannot be refuted until at least one of its siblings has
+// been completely evaluated" — with no sibling bound, refutation of the
+// only unfinished child must degenerate into full evaluation.
+TEST(PaperFigure7, RefutationOfBestChildDegeneratesToEvaluation) {
+  ExplicitTree t;
+  const auto only = t.add_child(0);
+  t.add_child(only, -3);
+  t.add_child(only, -7);
+  t.add_child(only, -5);
+  const auto er = er_serial_search(t, 10);
+  EXPECT_EQ(er.value, t.negmax_value());
+  EXPECT_EQ(er.stats.leaves_evaluated, 3u)
+      << "all children must be examined when refutation cannot succeed";
+}
+
+}  // namespace
+}  // namespace ers

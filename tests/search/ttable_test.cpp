@@ -1,0 +1,152 @@
+#include "search/ttable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "othello/game.hpp"
+#include "othello/positions.hpp"
+#include "othello/zobrist.hpp"
+#include "randomtree/random_tree.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+auto othello_hasher() {
+  return [](const othello::OthelloGame::Position& p) {
+    return othello::zobrist_hash(p.board);
+  };
+}
+
+auto random_tree_hasher() {
+  return [](const UniformRandomTree::Position& p) { return p.hash; };
+}
+
+TEST(TranspositionTable, StoreAndProbe) {
+  TranspositionTable t(8);
+  EXPECT_EQ(t.capacity(), 256u);
+  EXPECT_EQ(t.probe(42), nullptr);
+  t.store(42, 7, 3, BoundKind::kExact);
+  const auto* e = t.probe(42);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 7);
+  EXPECT_EQ(e->depth, 3);
+  EXPECT_EQ(e->bound, BoundKind::kExact);
+}
+
+TEST(TranspositionTable, DepthPreferredReplacement) {
+  TranspositionTable t(4);
+  const std::uint64_t a = 5;
+  const std::uint64_t b = 5 + 16;  // same slot (16 entries), different key
+  t.store(a, 1, 6, BoundKind::kExact);
+  t.store(b, 2, 3, BoundKind::kExact);  // shallower: must not evict a
+  ASSERT_NE(t.probe(a), nullptr);
+  EXPECT_EQ(t.probe(b), nullptr);
+  t.store(b, 2, 7, BoundKind::kExact);  // deeper: evicts
+  EXPECT_EQ(t.probe(a), nullptr);
+  ASSERT_NE(t.probe(b), nullptr);
+}
+
+TEST(TranspositionTable, SameKeyAlwaysRefreshes) {
+  TranspositionTable t(4);
+  t.store(9, 1, 6, BoundKind::kExact);
+  t.store(9, 2, 2, BoundKind::kLower);  // same position, fresher result
+  const auto* e = t.probe(9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 2);
+}
+
+TEST(TranspositionTable, ClearEmptiesTable) {
+  TranspositionTable t(4);
+  t.store(1, 1, 1, BoundKind::kExact);
+  t.clear();
+  EXPECT_EQ(t.probe(1), nullptr);
+}
+
+TEST(Zobrist, SideToMoveMatters) {
+  const othello::Board b = othello::initial_board();
+  EXPECT_NE(othello::zobrist_hash(b), othello::zobrist_hash(othello::apply_pass(b)));
+}
+
+TEST(Zobrist, DistinctPositionsDistinctHashes) {
+  // All depth-3 positions from the start: no collisions expected.
+  std::vector<othello::Board> frontier{othello::initial_board()}, next;
+  for (int d = 0; d < 3; ++d) {
+    for (const auto& b : frontier) {
+      auto moves = othello::legal_moves(b);
+      while (moves != 0) next.push_back(othello::apply_move(b, othello::pop_lsb(moves)));
+    }
+    frontier.swap(next);
+    next.clear();
+  }
+  std::vector<std::uint64_t> hashes;
+  for (const auto& b : frontier) hashes.push_back(othello::zobrist_hash(b));
+  std::sort(hashes.begin(), hashes.end());
+  // Transpositions exist (same position via different orders) but the
+  // number of *distinct boards* must match the number of distinct hashes.
+  std::sort(frontier.begin(), frontier.end(), [](const auto& x, const auto& y) {
+    return std::tie(x.black, x.white) < std::tie(y.black, y.white);
+  });
+  const auto boards_unique =
+      std::unique(frontier.begin(), frontier.end()) - frontier.begin();
+  const auto hashes_unique = std::unique(hashes.begin(), hashes.end()) - hashes.begin();
+  EXPECT_EQ(boards_unique, hashes_unique);
+}
+
+TEST(TtAlphaBeta, RootValueMatchesPlainAlphaBetaOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const UniformRandomTree g(3, 5, seed, -50, 50);
+    TranspositionTable table(12);
+    const auto tt = tt_alpha_beta_search(g, 5, random_tree_hasher(), &table);
+    EXPECT_EQ(tt.value, negmax_search(g, 5).value) << seed;
+  }
+}
+
+TEST(TtAlphaBeta, RootValueMatchesOnOthello) {
+  for (int idx = 1; idx <= 3; ++idx) {
+    const othello::OthelloGame g(othello::paper_position(idx));
+    TranspositionTable table(16);
+    const auto tt = tt_alpha_beta_search(g, 5, othello_hasher(), &table);
+    EXPECT_EQ(tt.value, alpha_beta_search(g, 5).value) << "O" << idx;
+  }
+}
+
+TEST(TtAlphaBeta, TranspositionsReduceNodesOnOthello) {
+  // Othello transposes (different move orders reach the same board), so the
+  // table must produce hits and expand fewer nodes than plain alpha-beta.
+  const othello::OthelloGame g(othello::paper_position(1));
+  TranspositionTable table(18);
+  const auto tt = tt_alpha_beta_search(g, 6, othello_hasher(), &table);
+  const auto plain = alpha_beta_search(g, 6);
+  EXPECT_EQ(tt.value, plain.value);
+  EXPECT_GT(table.hits(), 0u);
+  EXPECT_LT(tt.stats.nodes_generated(), plain.stats.nodes_generated());
+}
+
+TEST(TtAlphaBeta, TableReuseAcrossSearchesIsSound) {
+  // Search twice with the same table: the second run probes the first run's
+  // entries and must return the same value with (much) less work.
+  const othello::OthelloGame g(othello::paper_position(2));
+  TranspositionTable table(16);
+  const auto first = tt_alpha_beta_search(g, 5, othello_hasher(), &table);
+  const auto second = tt_alpha_beta_search(g, 5, othello_hasher(), &table);
+  EXPECT_EQ(first.value, second.value);
+  EXPECT_LT(second.stats.nodes_generated(), first.stats.nodes_generated() / 2);
+}
+
+TEST(TtAlphaBeta, WindowedSearchKeepsFailHardSemantics) {
+  const UniformRandomTree g(3, 4, 9, -50, 50);
+  const Value exact = negmax_search(g, 4).value;
+  TranspositionTable table(12);
+  TtAlphaBetaSearcher<UniformRandomTree, decltype(random_tree_hasher())> s(
+      g, 4, random_tree_hasher(), &table);
+  const auto low = s.run(Window{exact + 5, exact + 15});
+  EXPECT_LE(low.value, exact + 5);
+  const auto high = s.run(Window{exact - 15, exact - 5});
+  EXPECT_GE(high.value, exact - 5);
+  const auto in = s.run(Window{exact - 5, exact + 5});
+  EXPECT_EQ(in.value, exact);
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,56 @@
+// The sharded problem-heap model (paper §8's "distribute work to reduce
+// processor interaction"): shards change timing only, never results.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_er.hpp"
+#include "randomtree/random_tree.hpp"
+#include "search/negmax.hpp"
+
+namespace ers {
+namespace {
+
+core::EngineConfig fine_grained() {
+  core::EngineConfig cfg;
+  cfg.search_depth = 5;
+  cfg.serial_depth = 5;  // every leaf its own unit: contention-bound
+  return cfg;
+}
+
+TEST(Shards, ResultIndependentOfShardCount) {
+  const UniformRandomTree g(4, 5, 5, -100, 100);
+  const Value oracle = negmax_search(g, 5).value;
+  for (int shards : {1, 2, 4, 16}) {
+    const auto r = parallel_er_sim(g, fine_grained(), 16, {}, shards);
+    EXPECT_EQ(r.value, oracle) << "shards=" << shards;
+  }
+}
+
+TEST(Shards, MoreShardsReduceLockWait) {
+  const UniformRandomTree g(4, 5, 5, -100, 100);
+  const auto one = parallel_er_sim(g, fine_grained(), 16, {}, 1);
+  const auto many = parallel_er_sim(g, fine_grained(), 16, {}, 16);
+  EXPECT_GT(one.metrics.lock_wait_time, 0u)
+      << "fine-grained units on one lock must contend";
+  EXPECT_LT(many.metrics.lock_wait_time, one.metrics.lock_wait_time);
+  EXPECT_LE(many.metrics.makespan, one.metrics.makespan);
+}
+
+TEST(Shards, SingleProcessorUnaffected) {
+  const UniformRandomTree g(3, 4, 9, -50, 50);
+  const auto a = parallel_er_sim(g, fine_grained(), 1, {}, 1);
+  const auto b = parallel_er_sim(g, fine_grained(), 1, {}, 8);
+  EXPECT_EQ(a.metrics.makespan, b.metrics.makespan)
+      << "one processor never waits for a lock, sharded or not";
+}
+
+TEST(Shards, Deterministic) {
+  const UniformRandomTree g(4, 5, 11, -100, 100);
+  const auto a = parallel_er_sim(g, fine_grained(), 12, {}, 4);
+  const auto b = parallel_er_sim(g, fine_grained(), 12, {}, 4);
+  EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+  EXPECT_EQ(a.metrics.lock_wait_time, b.metrics.lock_wait_time);
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,122 @@
+#include "tictactoe/tictactoe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ers {
+namespace {
+
+std::uint16_t bit(int i) { return static_cast<std::uint16_t>(1u << i); }
+
+// Exhaustive negmax over the full game (no depth limit is ever hit: the
+// board fills in at most 9 plies).
+Value solve(const TicTacToe& g, const TicTacToe::Position& p,
+            std::uint64_t* nodes = nullptr) {
+  if (nodes) ++*nodes;
+  std::vector<TicTacToe::Position> kids;
+  g.generate_children(p, kids);
+  if (kids.empty()) return g.evaluate(p);
+  Value m = -kValueInf;
+  for (const auto& k : kids) m = std::max(m, negate(solve(g, k, nodes)));
+  return m;
+}
+
+TEST(TicTacToe, RootHasNineMoves) {
+  const TicTacToe g;
+  std::vector<TicTacToe::Position> kids;
+  g.generate_children(g.root(), kids);
+  EXPECT_EQ(kids.size(), 9u);
+}
+
+TEST(TicTacToe, RootIsDraw) {
+  // Paper Figure 1: the value 0 at the root indicates the game is a draw
+  // under optimal play.
+  const TicTacToe g;
+  std::uint64_t nodes = 0;
+  EXPECT_EQ(solve(g, g.root(), &nodes), 0);
+  // The full tic-tac-toe tree has well under a million positions.
+  EXPECT_LT(nodes, 600'000u);
+  EXPECT_GT(nodes, 100'000u);
+}
+
+TEST(TicTacToe, CompletedLineEndsGame) {
+  // X on squares 0,1,2 (bottom row) is a win; position is terminal and is a
+  // loss from the opponent's (mover's) perspective.
+  TicTacToe::Position p;
+  p.waiting = 0b000000111;  // X just completed a row
+  p.to_move = 0b000011000;
+  const TicTacToe g;
+  std::vector<TicTacToe::Position> kids;
+  g.generate_children(p, kids);
+  EXPECT_TRUE(kids.empty());
+  EXPECT_EQ(g.evaluate(p), TicTacToe::kLoss);
+}
+
+TEST(TicTacToe, FullBoardNoLineIsDraw) {
+  // X: 0,1,5,6,8 ; O: 2,3,4,7 — a standard drawn final board.
+  //   X X O
+  //   O O X
+  //   X O X
+  TicTacToe::Position p;
+  p.waiting = static_cast<std::uint16_t>(bit(0) | bit(1) | bit(5) | bit(6) | bit(8));
+  p.to_move = static_cast<std::uint16_t>(bit(2) | bit(3) | bit(4) | bit(7));
+  const TicTacToe g;
+  ASSERT_FALSE(TicTacToe::has_line(p.waiting));
+  ASSERT_FALSE(TicTacToe::has_line(p.to_move));
+  std::vector<TicTacToe::Position> kids;
+  g.generate_children(p, kids);
+  EXPECT_TRUE(kids.empty());
+  EXPECT_EQ(g.evaluate(p), 0);
+}
+
+TEST(TicTacToe, HasLineDetectsAllEightLines) {
+  const std::uint16_t lines[] = {0007, 0070, 0700, 0111, 0222, 0444, 0421, 0124};
+  for (const auto line : lines) {
+    EXPECT_TRUE(TicTacToe::has_line(line));
+  }
+  EXPECT_FALSE(TicTacToe::has_line(0));
+  EXPECT_FALSE(TicTacToe::has_line(0b000000011));
+  EXPECT_FALSE(TicTacToe::has_line(0b101000010));
+}
+
+TEST(TicTacToe, ImmediateWinIsFound) {
+  // X to move with two in a row and the third square open: value is a win.
+  TicTacToe::Position p;
+  p.to_move = static_cast<std::uint16_t>(bit(0) | bit(1));  // X on 0,1
+  p.waiting = static_cast<std::uint16_t>(bit(3) | bit(4));  // O on 3,4
+  const TicTacToe g;
+  EXPECT_EQ(solve(g, p), TicTacToe::kWin);
+}
+
+TEST(TicTacToe, ForcedLossDetected) {
+  // O to move; X (waiting) threatens two lines at once: 0,1 row and 0,3
+  // column with both 2 and 6 open.  Whatever O blocks, X wins.
+  TicTacToe::Position p;
+  p.waiting = static_cast<std::uint16_t>(bit(0) | bit(1) | bit(3));
+  p.to_move = static_cast<std::uint16_t>(bit(4) | bit(8));
+  const TicTacToe g;
+  EXPECT_EQ(solve(g, p), TicTacToe::kLoss);
+}
+
+TEST(TicTacToe, HeuristicIsAntisymmetric) {
+  TicTacToe::Position p;
+  p.to_move = static_cast<std::uint16_t>(bit(4));          // center
+  p.waiting = static_cast<std::uint16_t>(bit(0));          // corner
+  TicTacToe::Position swapped{p.waiting, p.to_move};
+  const TicTacToe g;
+  EXPECT_EQ(g.evaluate(p), negate(g.evaluate(swapped)));
+}
+
+TEST(TicTacToe, MoveCountDecreasesWithOccupancy) {
+  const TicTacToe g;
+  TicTacToe::Position p;
+  p.to_move = bit(0);
+  p.waiting = bit(4);
+  std::vector<TicTacToe::Position> kids;
+  g.generate_children(p, kids);
+  EXPECT_EQ(kids.size(), 7u);
+}
+
+}  // namespace
+}  // namespace ers

@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace ers {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(SplitMix64, StatefulFirstOutputMatchesFreeFunction) {
+  // The stateful stream's first output must equal the one-shot mixer.
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    SplitMix64 sm(seed);
+    EXPECT_EQ(sm(), splitmix64(seed)) << "seed=" << seed;
+  }
+}
+
+TEST(SplitMix64, StreamDiffersBySeed) {
+  SplitMix64 a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i)
+    if (a() != b()) ++diff;
+  EXPECT_EQ(diff, 16);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const auto ab = hash_combine(hash_combine(7, 1), 2);
+  const auto ba = hash_combine(hash_combine(7, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashCombine, NoTrivialCollisionsAmongSiblings) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash_combine(99, i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro, ReproducibleBySeed) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+  }
+}
+
+TEST(Xoshiro, BelowCoversAllResidues) {
+  Xoshiro256StarStar rng(11);
+  std::array<int, 5> hits{};
+  for (int i = 0; i < 5000; ++i) ++hits[rng.below(5)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Xoshiro, BetweenInclusiveBounds) {
+  Xoshiro256StarStar rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenInterval) {
+  Xoshiro256StarStar rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ers

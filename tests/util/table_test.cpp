@@ -1,0 +1,44 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ers {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: " << line;
+  }
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.0, 2), "1.00");
+  EXPECT_EQ(TextTable::num(0.666666, 3), "0.667");
+  EXPECT_EQ(TextTable::num(-2.5, 1), "-2.5");
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ers

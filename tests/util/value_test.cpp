@@ -1,0 +1,64 @@
+#include "util/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ers {
+namespace {
+
+TEST(Value, NegationIsTotalOnDomain) {
+  EXPECT_EQ(negate(kValueInf), -kValueInf);
+  EXPECT_EQ(negate(-kValueInf), kValueInf);
+  EXPECT_EQ(negate(kValueMax), -kValueMax);
+  EXPECT_EQ(negate(0), 0);
+  EXPECT_EQ(negate(negate(12345)), 12345);
+}
+
+TEST(Value, InfStrictlyDominatesEvaluatorRange) {
+  EXPECT_GT(kValueInf, kValueMax);
+  EXPECT_LT(-kValueInf, -kValueMax);
+  EXPECT_TRUE(is_valid_value(kValueMax));
+  EXPECT_TRUE(is_valid_value(-kValueMax));
+  EXPECT_FALSE(is_valid_value(kValueInf));
+  EXPECT_FALSE(is_valid_value(-kValueInf));
+}
+
+TEST(Window, FullWindowIsOpenAndNeverCuts) {
+  const Window w = full_window();
+  EXPECT_TRUE(w.is_open());
+  EXPECT_FALSE(w.cuts(kValueMax));
+  EXPECT_TRUE(w.cuts(kValueInf));
+}
+
+TEST(Window, FlippedSwapsAndNegatesBounds) {
+  const Window w{-3, 17};
+  const Window f = w.flipped();
+  EXPECT_EQ(f.alpha, -17);
+  EXPECT_EQ(f.beta, 3);
+  // Flipping twice restores the window.
+  EXPECT_EQ(f.flipped().alpha, w.alpha);
+  EXPECT_EQ(f.flipped().beta, w.beta);
+}
+
+TEST(Window, RaisedOnlyRaises) {
+  const Window w{5, 20};
+  EXPECT_EQ(w.raised(3).alpha, 5);
+  EXPECT_EQ(w.raised(10).alpha, 10);
+  EXPECT_EQ(w.raised(10).beta, 20);
+}
+
+TEST(Window, CutsAtOrAboveBeta) {
+  const Window w{0, 10};
+  EXPECT_FALSE(w.cuts(9));
+  EXPECT_TRUE(w.cuts(10));
+  EXPECT_TRUE(w.cuts(11));
+}
+
+TEST(Value, ToStringRendersInfinitiesSymbolically) {
+  EXPECT_EQ(value_to_string(kValueInf), "+inf");
+  EXPECT_EQ(value_to_string(-kValueInf), "-inf");
+  EXPECT_EQ(value_to_string(42), "42");
+  EXPECT_EQ(value_to_string(-42), "-42");
+}
+
+}  // namespace
+}  // namespace ers
