@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_othello_efficiency.
+# This may be replaced when dependencies are built.

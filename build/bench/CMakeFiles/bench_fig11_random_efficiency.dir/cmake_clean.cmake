@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_random_efficiency.dir/bench_fig11_random_efficiency.cpp.o"
+  "CMakeFiles/bench_fig11_random_efficiency.dir/bench_fig11_random_efficiency.cpp.o.d"
+  "bench_fig11_random_efficiency"
+  "bench_fig11_random_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_random_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_othello_nodes.dir/bench_fig12_othello_nodes.cpp.o"
+  "CMakeFiles/bench_fig12_othello_nodes.dir/bench_fig12_othello_nodes.cpp.o.d"
+  "bench_fig12_othello_nodes"
+  "bench_fig12_othello_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_othello_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

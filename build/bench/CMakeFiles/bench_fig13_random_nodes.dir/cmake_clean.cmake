@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_random_nodes.dir/bench_fig13_random_nodes.cpp.o"
+  "CMakeFiles/bench_fig13_random_nodes.dir/bench_fig13_random_nodes.cpp.o.d"
+  "bench_fig13_random_nodes"
+  "bench_fig13_random_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_random_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

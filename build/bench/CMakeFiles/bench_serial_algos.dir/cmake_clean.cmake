@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_algos.dir/bench_serial_algos.cpp.o"
+  "CMakeFiles/bench_serial_algos.dir/bench_serial_algos.cpp.o.d"
+  "bench_serial_algos"
+  "bench_serial_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

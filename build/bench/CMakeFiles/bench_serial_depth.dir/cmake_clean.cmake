@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_depth.dir/bench_serial_depth.cpp.o"
+  "CMakeFiles/bench_serial_depth.dir/bench_serial_depth.cpp.o.d"
+  "bench_serial_depth"
+  "bench_serial_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

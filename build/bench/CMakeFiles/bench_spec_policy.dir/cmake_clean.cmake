@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_policy.dir/bench_spec_policy.cpp.o"
+  "CMakeFiles/bench_spec_policy.dir/bench_spec_policy.cpp.o.d"
+  "bench_spec_policy"
+  "bench_spec_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

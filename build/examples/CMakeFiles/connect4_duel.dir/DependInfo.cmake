@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/connect4_duel.cpp" "examples/CMakeFiles/connect4_duel.dir/connect4_duel.cpp.o" "gcc" "examples/CMakeFiles/connect4_duel.dir/connect4_duel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ers_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/ers_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/othello/CMakeFiles/ers_othello.dir/DependInfo.cmake"
+  "/root/repo/build/src/gametree/CMakeFiles/ers_gametree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

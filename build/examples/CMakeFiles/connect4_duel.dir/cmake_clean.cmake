@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connect4_duel.dir/connect4_duel.cpp.o"
+  "CMakeFiles/connect4_duel.dir/connect4_duel.cpp.o.d"
+  "connect4_duel"
+  "connect4_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connect4_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

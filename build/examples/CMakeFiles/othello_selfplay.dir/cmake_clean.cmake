@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/othello_selfplay.dir/othello_selfplay.cpp.o"
+  "CMakeFiles/othello_selfplay.dir/othello_selfplay.cpp.o.d"
+  "othello_selfplay"
+  "othello_selfplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/othello_selfplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

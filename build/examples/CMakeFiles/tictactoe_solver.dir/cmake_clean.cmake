@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tictactoe_solver.dir/tictactoe_solver.cpp.o"
+  "CMakeFiles/tictactoe_solver.dir/tictactoe_solver.cpp.o.d"
+  "tictactoe_solver"
+  "tictactoe_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tictactoe_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ers_gametree.dir/explicit_tree.cpp.o"
+  "CMakeFiles/ers_gametree.dir/explicit_tree.cpp.o.d"
+  "libers_gametree.a"
+  "libers_gametree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ers_gametree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ers_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ers_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ers_harness.dir/tree_registry.cpp.o"
+  "CMakeFiles/ers_harness.dir/tree_registry.cpp.o.d"
+  "libers_harness.a"
+  "libers_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ers_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

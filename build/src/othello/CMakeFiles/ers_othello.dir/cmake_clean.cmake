@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ers_othello.dir/board.cpp.o"
+  "CMakeFiles/ers_othello.dir/board.cpp.o.d"
+  "CMakeFiles/ers_othello.dir/eval.cpp.o"
+  "CMakeFiles/ers_othello.dir/eval.cpp.o.d"
+  "CMakeFiles/ers_othello.dir/positions.cpp.o"
+  "CMakeFiles/ers_othello.dir/positions.cpp.o.d"
+  "libers_othello.a"
+  "libers_othello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ers_othello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

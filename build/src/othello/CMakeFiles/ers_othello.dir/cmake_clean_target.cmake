@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libers_othello.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ers_search.dir/minimal_tree.cpp.o"
+  "CMakeFiles/ers_search.dir/minimal_tree.cpp.o.d"
+  "libers_search.a"
+  "libers_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ers_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

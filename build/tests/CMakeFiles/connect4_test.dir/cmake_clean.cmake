@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connect4_test.dir/connect4/connect4_test.cpp.o"
+  "CMakeFiles/connect4_test.dir/connect4/connect4_test.cpp.o.d"
+  "connect4_test"
+  "connect4_test.pdb"
+  "connect4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connect4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

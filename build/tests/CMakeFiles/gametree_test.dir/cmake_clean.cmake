@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametree_test.dir/gametree/explicit_tree_test.cpp.o"
+  "CMakeFiles/gametree_test.dir/gametree/explicit_tree_test.cpp.o.d"
+  "CMakeFiles/gametree_test.dir/gametree/materialize_test.cpp.o"
+  "CMakeFiles/gametree_test.dir/gametree/materialize_test.cpp.o.d"
+  "gametree_test"
+  "gametree_test.pdb"
+  "gametree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

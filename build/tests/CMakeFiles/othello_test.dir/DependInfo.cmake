@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/othello/bitboard_test.cpp" "tests/CMakeFiles/othello_test.dir/othello/bitboard_test.cpp.o" "gcc" "tests/CMakeFiles/othello_test.dir/othello/bitboard_test.cpp.o.d"
+  "/root/repo/tests/othello/board_test.cpp" "tests/CMakeFiles/othello_test.dir/othello/board_test.cpp.o" "gcc" "tests/CMakeFiles/othello_test.dir/othello/board_test.cpp.o.d"
+  "/root/repo/tests/othello/eval_test.cpp" "tests/CMakeFiles/othello_test.dir/othello/eval_test.cpp.o" "gcc" "tests/CMakeFiles/othello_test.dir/othello/eval_test.cpp.o.d"
+  "/root/repo/tests/othello/positions_test.cpp" "tests/CMakeFiles/othello_test.dir/othello/positions_test.cpp.o" "gcc" "tests/CMakeFiles/othello_test.dir/othello/positions_test.cpp.o.d"
+  "/root/repo/tests/othello/rules_test.cpp" "tests/CMakeFiles/othello_test.dir/othello/rules_test.cpp.o" "gcc" "tests/CMakeFiles/othello_test.dir/othello/rules_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/othello/CMakeFiles/ers_othello.dir/DependInfo.cmake"
+  "/root/repo/build/src/gametree/CMakeFiles/ers_gametree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/othello_test.dir/othello/bitboard_test.cpp.o"
+  "CMakeFiles/othello_test.dir/othello/bitboard_test.cpp.o.d"
+  "CMakeFiles/othello_test.dir/othello/board_test.cpp.o"
+  "CMakeFiles/othello_test.dir/othello/board_test.cpp.o.d"
+  "CMakeFiles/othello_test.dir/othello/eval_test.cpp.o"
+  "CMakeFiles/othello_test.dir/othello/eval_test.cpp.o.d"
+  "CMakeFiles/othello_test.dir/othello/positions_test.cpp.o"
+  "CMakeFiles/othello_test.dir/othello/positions_test.cpp.o.d"
+  "CMakeFiles/othello_test.dir/othello/rules_test.cpp.o"
+  "CMakeFiles/othello_test.dir/othello/rules_test.cpp.o.d"
+  "othello_test"
+  "othello_test.pdb"
+  "othello_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/othello_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomtree_test.dir/randomtree/random_tree_test.cpp.o"
+  "CMakeFiles/randomtree_test.dir/randomtree/random_tree_test.cpp.o.d"
+  "CMakeFiles/randomtree_test.dir/randomtree/strongly_ordered_test.cpp.o"
+  "CMakeFiles/randomtree_test.dir/randomtree/strongly_ordered_test.cpp.o.d"
+  "randomtree_test"
+  "randomtree_test.pdb"
+  "randomtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search/alpha_beta_test.cpp" "tests/CMakeFiles/search_test.dir/search/alpha_beta_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/alpha_beta_test.cpp.o.d"
+  "/root/repo/tests/search/aspiration_test.cpp" "tests/CMakeFiles/search_test.dir/search/aspiration_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/aspiration_test.cpp.o.d"
+  "/root/repo/tests/search/best_move_test.cpp" "tests/CMakeFiles/search_test.dir/search/best_move_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/best_move_test.cpp.o.d"
+  "/root/repo/tests/search/equivalence_test.cpp" "tests/CMakeFiles/search_test.dir/search/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/equivalence_test.cpp.o.d"
+  "/root/repo/tests/search/er_serial_test.cpp" "tests/CMakeFiles/search_test.dir/search/er_serial_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/er_serial_test.cpp.o.d"
+  "/root/repo/tests/search/iterative_test.cpp" "tests/CMakeFiles/search_test.dir/search/iterative_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/iterative_test.cpp.o.d"
+  "/root/repo/tests/search/minimal_tree_test.cpp" "tests/CMakeFiles/search_test.dir/search/minimal_tree_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/minimal_tree_test.cpp.o.d"
+  "/root/repo/tests/search/negascout_test.cpp" "tests/CMakeFiles/search_test.dir/search/negascout_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/negascout_test.cpp.o.d"
+  "/root/repo/tests/search/negmax_test.cpp" "tests/CMakeFiles/search_test.dir/search/negmax_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/negmax_test.cpp.o.d"
+  "/root/repo/tests/search/paper_figures_test.cpp" "tests/CMakeFiles/search_test.dir/search/paper_figures_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/paper_figures_test.cpp.o.d"
+  "/root/repo/tests/search/ttable_test.cpp" "tests/CMakeFiles/search_test.dir/search/ttable_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/ttable_test.cpp.o.d"
+  "/root/repo/tests/search/window_property_test.cpp" "tests/CMakeFiles/search_test.dir/search/window_property_test.cpp.o" "gcc" "tests/CMakeFiles/search_test.dir/search/window_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/ers_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/gametree/CMakeFiles/ers_gametree.dir/DependInfo.cmake"
+  "/root/repo/build/src/othello/CMakeFiles/ers_othello.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

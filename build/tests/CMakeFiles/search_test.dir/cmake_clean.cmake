@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_test.dir/search/alpha_beta_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/alpha_beta_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/aspiration_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/aspiration_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/best_move_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/best_move_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/equivalence_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/equivalence_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/er_serial_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/er_serial_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/iterative_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/iterative_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/minimal_tree_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/minimal_tree_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/negascout_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/negascout_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/negmax_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/negmax_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/paper_figures_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/paper_figures_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/ttable_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/ttable_test.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/window_property_test.cpp.o"
+  "CMakeFiles/search_test.dir/search/window_property_test.cpp.o.d"
+  "search_test"
+  "search_test.pdb"
+  "search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

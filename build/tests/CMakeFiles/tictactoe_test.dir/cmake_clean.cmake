@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tictactoe_test.dir/tictactoe/tictactoe_test.cpp.o"
+  "CMakeFiles/tictactoe_test.dir/tictactoe/tictactoe_test.cpp.o.d"
+  "tictactoe_test"
+  "tictactoe_test.pdb"
+  "tictactoe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tictactoe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
