@@ -21,6 +21,7 @@ namespace ers::bench {
 
 struct FigureOptions {
   int scale = 0;
+  int reps = 5;  ///< repetitions for thread-runtime (nondeterministic) benches
   std::vector<std::string> tree_names;
 };
 
@@ -29,6 +30,7 @@ inline FigureOptions parse_options(int argc, char** argv,
   const CliArgs args(argc, argv);
   FigureOptions opt;
   opt.scale = static_cast<int>(args.get_int("scale", 0));
+  opt.reps = static_cast<int>(args.get_int("reps", 5));
   std::string trees = args.get("trees", "");
   if (trees.empty()) {
     opt.tree_names = std::move(default_trees);
@@ -63,6 +65,59 @@ inline TreeSweep run_sweep(const std::string& name, int scale,
 inline void print_header(const char* what) {
   std::printf("\n=== %s ===\n", what);
   std::printf("(simulated P-processor executor; see DESIGN.md / EXPERIMENTS.md)\n\n");
+}
+
+// --- machine-readable summaries ------------------------------------------
+//
+// Every bench can emit a BENCH_<name>.json next to its table: one JSON
+// object per line, so runs diff cleanly and scripts consume them without a
+// JSON library on either side.  The builders below cover exactly what the
+// benches need (flat objects of strings/ints/doubles).
+
+class JsonObject {
+ public:
+  JsonObject& field(const char* key, const char* v) {
+    return raw(key, "\"" + std::string(v) + "\"");
+  }
+  JsonObject& field(const char* key, const std::string& v) {
+    return field(key, v.c_str());
+  }
+  JsonObject& field(const char* key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& field(const char* key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& field(const char* key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  /// Append `json` verbatim as the value of `key`.
+  JsonObject& raw(const char* key, const std::string& json) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + std::string(key) + "\":" + json;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Write `lines` (one JSON object each) to BENCH_<name>.json in the current
+/// directory and echo the path so the run log records where they went.
+inline void write_bench_json(const std::string& name,
+                             const std::vector<std::string>& lines) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  for (const auto& line : lines) std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), lines.size());
 }
 
 }  // namespace ers::bench

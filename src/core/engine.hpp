@@ -128,11 +128,21 @@ class Engine {
   /// Pure phase; safe to run concurrently with acquire/commit on other
   /// items.  Reads only fields frozen while the item is in flight.
   [[nodiscard]] ComputeResult compute(const WorkItem& item) const {
+    return compute(item, cfg_.shared_table);
+  }
+
+  /// As above, with an explicit transposition table overriding the
+  /// configured one (the thread runtime's per-worker-table mode hands each
+  /// worker its private table).  The table is only read/written here, never
+  /// by acquire/commit, so concurrent compute calls share it freely.
+  [[nodiscard]] ComputeResult compute(const WorkItem& item,
+                                      ConcurrentTranspositionTable* tt) const {
     // Use the pointer captured under the lock: indexing nodes_ here would
     // race with commits growing the deque on other threads.
     const Node& n = *static_cast<const Node*>(item.node_ref);
     ComputeResult out;
     ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
+    searcher.with_shared_table(tt);
     switch (item.kind) {
       case WorkKind::kPromote:
         break;  // nothing heavy
@@ -165,12 +175,37 @@ class Engine {
       }
       case WorkKind::kExpand: {
         if (n.expanded) break;  // positions already known (promoted e-child)
+        if constexpr (HashedGame<G>) {
+          // An exact entry covering the full remaining depth resolves the
+          // node without expanding its subtree — this is how one worker's
+          // finished subtree short-circuits another's parallel-tree node.
+          if (tt != nullptr) {
+            ++out.stats.tt_probes;
+            TtHit h;
+            if (tt->probe(n.pos.tt_key(), h) &&
+                h.depth >= cfg_.search_depth - n.ply &&
+                h.bound == BoundKind::kExact) {
+              ++out.stats.tt_hits;
+              out.positions_computed = true;
+              out.is_leaf = true;
+              out.value = h.value;
+              break;
+            }
+          }
+        }
         out.positions_computed = true;
         game_.generate_children(n.pos, out.child_positions);
         if (out.child_positions.empty()) {
           out.is_leaf = true;
           out.value = game_.evaluate(n.pos);
           out.stats.leaves_evaluated += 1;
+          if constexpr (HashedGame<G>) {
+            if (tt != nullptr) {
+              tt->store(n.pos.tt_key(), out.value, cfg_.search_depth - n.ply,
+                        BoundKind::kExact);
+              ++out.stats.tt_stores;
+            }
+          }
           break;
         }
         out.stats.interior_expanded += 1;

@@ -13,6 +13,7 @@
 #include "core/types.hpp"
 #include "gametree/game.hpp"
 #include "runtime/thread_executor.hpp"
+#include "search/concurrent_ttable.hpp"
 #include "sim/executor.hpp"
 
 namespace ers {
@@ -39,6 +40,7 @@ struct SimulatedSearchResult {
 template <Game G>
 [[nodiscard]] ParallelSearchResult<typename G::Position> parallel_er_threads(
     const G& game, const core::EngineConfig& cfg, int threads) {
+  if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
   core::Engine<G> engine(game, cfg);
   runtime::ThreadExecutor<core::Engine<G>> exec(threads);
   exec.run(engine);
@@ -53,6 +55,7 @@ template <Game G>
 [[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
     const G& game, const core::EngineConfig& cfg, int processors,
     sim::CostModel cost = {}, int queue_shards = 1) {
+  if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
   core::Engine<G> engine(game, cfg);
   sim::SimExecutor<core::Engine<G>> exec(processors, cost, queue_shards);
   const sim::SimMetrics m = exec.run(engine);

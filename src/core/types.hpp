@@ -7,6 +7,10 @@
 #include "search/ordering.hpp"
 #include "util/value.hpp"
 
+namespace ers {
+class ConcurrentTranspositionTable;  // search/concurrent_ttable.hpp
+}
+
 namespace ers::core {
 
 /// Sentinel for "no node" in the engines' child/parent links.
@@ -58,6 +62,11 @@ struct EngineConfig {
   OrderingPolicy ordering;
   SpeculationConfig speculation;
   SpecRankPolicy spec_rank = SpecRankPolicy::kFewestEChildren;
+  /// Lock-free transposition table shared by every worker's compute phase
+  /// (probe on expansion, probe/store throughout serial subtree units).
+  /// Not owned; must outlive the engine.  Ignored unless the game is a
+  /// HashedGame.
+  ConcurrentTranspositionTable* shared_table = nullptr;
 };
 
 /// Aggregate counters kept by the engine; nodes_generated feeds Figures

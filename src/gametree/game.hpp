@@ -31,6 +31,16 @@ concept Game = requires(const G& g, const typename G::Position& p,
   { g.evaluate(p) } -> std::convertible_to<Value>;
 };
 
+/// Games whose positions carry a cheap 64-bit transposition key (maintained
+/// incrementally, so reading it is free on the search hot path).  Positions
+/// that compare equal must have equal keys; distinct positions collide with
+/// the usual 2^-64 transposition-table risk.  Searches probe/store shared
+/// transposition tables only for games satisfying this concept.
+template <typename G>
+concept HashedGame = Game<G> && requires(const typename G::Position& p) {
+  { p.tt_key() } -> std::convertible_to<std::uint64_t>;
+};
+
 /// Work counters shared by every search algorithm.  "Nodes generated" in the
 /// paper's Figures 12/13 corresponds to nodes_generated() here.
 struct SearchStats {
@@ -38,6 +48,13 @@ struct SearchStats {
   std::uint64_t leaves_evaluated = 0;   ///< static evaluations at the search horizon
   std::uint64_t child_sorts = 0;        ///< child-list sorts performed (move ordering)
   std::uint64_t sort_evals = 0;         ///< static evaluations done *only* for ordering
+  // Transposition-table traffic.  Kept here (per search / per work unit, so
+  // thread-local by construction) rather than on the shared table: workers
+  // merge them on commit, keeping the concurrent table free of shared
+  // counters on the hot path.
+  std::uint64_t tt_probes = 0;  ///< table lookups issued
+  std::uint64_t tt_hits = 0;    ///< lookups that validated with sufficient depth
+  std::uint64_t tt_stores = 0;  ///< entries written
 
   [[nodiscard]] std::uint64_t nodes_generated() const noexcept {
     return interior_expanded + leaves_evaluated;
@@ -47,11 +64,21 @@ struct SearchStats {
     return leaves_evaluated + sort_evals;
   }
 
+  /// Fraction of probes answered from the table; 0 when no table was used.
+  [[nodiscard]] double tt_hit_rate() const noexcept {
+    return tt_probes > 0
+               ? static_cast<double>(tt_hits) / static_cast<double>(tt_probes)
+               : 0.0;
+  }
+
   SearchStats& operator+=(const SearchStats& o) noexcept {
     interior_expanded += o.interior_expanded;
     leaves_evaluated += o.leaves_evaluated;
     child_sorts += o.child_sorts;
     sort_evals += o.sort_evals;
+    tt_probes += o.tt_probes;
+    tt_hits += o.tt_hits;
+    tt_stores += o.tt_stores;
     return *this;
   }
 };

@@ -16,12 +16,20 @@ class OthelloGame {
   struct Position {
     Board board;
 
+    /// Zobrist key for transposition tables; incrementally maintained by the
+    /// Othello rules, so this is a plain field read (HashedGame).
+    [[nodiscard]] std::uint64_t tt_key() const noexcept { return board.hash; }
+
     friend bool operator==(const Position&, const Position&) = default;
   };
 
   OthelloGame() : root_{initial_board()}, weights_(default_weights()) {}
   explicit OthelloGame(Board root, EvalWeights weights = default_weights())
-      : root_{root}, weights_(weights) {}
+      : root_{root}, weights_(weights) {
+    // Defend against hand-assembled root boards whose cached hash is stale;
+    // every descendant hash is derived incrementally from this one.
+    root_.board.rehash();
+  }
 
   [[nodiscard]] Position root() const noexcept { return root_; }
 

@@ -1,41 +1,23 @@
 #pragma once
-// Zobrist hashing for Othello positions: 64 random keys per color plus a
-// side-to-move key, all derived deterministically from splitmix64 at
-// compile time.  Used by the transposition-table search (search/ttable.hpp).
+// Zobrist hashing for Othello positions.  The key material lives in
+// zobrist_keys.hpp and the *incremental* hash lives on Board itself
+// (Board::hash, maintained by apply_move/apply_pass), so search code keys
+// transposition tables with `board.hash` at zero per-node cost.  This header
+// keeps the full-recompute entry point, used to seed hashes on the cold path
+// and by tests to cross-check the incremental maintenance.
 
-#include <array>
 #include <cstdint>
 
 #include "othello/board.hpp"
-#include "util/rng.hpp"
+#include "othello/zobrist_keys.hpp"
 
 namespace ers::othello {
 
-namespace detail {
-
-consteval std::array<std::uint64_t, 64> make_keys(std::uint64_t salt) {
-  std::array<std::uint64_t, 64> keys{};
-  for (int i = 0; i < 64; ++i)
-    keys[i] = splitmix64(salt * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
-  return keys;
-}
-
-}  // namespace detail
-
-inline constexpr std::array<std::uint64_t, 64> kZobristBlack = detail::make_keys(1);
-inline constexpr std::array<std::uint64_t, 64> kZobristWhite = detail::make_keys(2);
-inline constexpr std::uint64_t kZobristWhiteToMove = splitmix64(0xabcdef0123456789ULL);
-
-/// Full (non-incremental) Zobrist hash of a board.  Move application flips
-/// O(flipped discs) keys, so an incremental variant is possible; the search
-/// below hashes whole boards, which is already cheap next to evaluation.
+/// Full (non-incremental) Zobrist hash of a board — O(discs).  Must equal
+/// `b.hash` for any board derived from initial_board()/board_from_ascii()
+/// via apply_move/apply_pass (asserted in tests/search/ttable_test.cpp).
 [[nodiscard]] constexpr std::uint64_t zobrist_hash(const Board& b) noexcept {
-  std::uint64_t h = b.to_move == Player::White ? kZobristWhiteToMove : 0;
-  Bitboard black = b.black;
-  while (black != 0) h ^= kZobristBlack[pop_lsb(black)];
-  Bitboard white = b.white;
-  while (white != 0) h ^= kZobristWhite[pop_lsb(white)];
-  return h;
+  return zobrist_of(b.black, b.white, b.to_move);
 }
 
 }  // namespace ers::othello

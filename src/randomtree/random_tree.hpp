@@ -29,6 +29,10 @@ class UniformRandomTree {
     std::uint64_t hash = 0;  ///< path hash; determines subtree contents
     std::int32_t depth = 0;  ///< plies from the root
 
+    /// The path hash doubles as the transposition key (HashedGame): every
+    /// position in an implicit tree is uniquely identified by its path.
+    [[nodiscard]] constexpr std::uint64_t tt_key() const noexcept { return hash; }
+
     friend bool operator==(const Position&, const Position&) = default;
   };
 

@@ -8,16 +8,25 @@
 // generation and serial subtree searches — runs outside the lock, which is
 // where the real parallelism lives.
 //
+// Transposition tables: the engine's EngineConfig::shared_table (one
+// lock-free table, every worker probes/stores it) is the production setup.
+// use_per_thread_tables() is the bench control: each worker gets a private
+// table of the same size, isolating the benefit of *sharing* knowledge from
+// the benefit of merely *having* a table.  The run report carries the
+// aggregate probe/hit counters either way.
+//
 // Works with any engine exposing the core::Engine protocol.
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "search/concurrent_ttable.hpp"
 #include "util/check.hpp"
 
 namespace ers::runtime {
@@ -25,6 +34,13 @@ namespace ers::runtime {
 struct ThreadRunReport {
   std::uint64_t units = 0;
   int threads = 0;
+  std::uint64_t tt_probes = 0;  ///< table probes across all workers
+  std::uint64_t tt_hits = 0;    ///< validated, depth-covering hits
+  [[nodiscard]] double tt_hit_rate() const noexcept {
+    return tt_probes == 0
+               ? 0.0
+               : static_cast<double>(tt_hits) / static_cast<double>(tt_probes);
+  }
 };
 
 template <typename EngineT>
@@ -32,6 +48,14 @@ class ThreadExecutor {
  public:
   explicit ThreadExecutor(int threads) : threads_(threads) {
     ERS_CHECK(threads >= 1);
+  }
+
+  /// Bench control: give each worker a private ConcurrentTranspositionTable
+  /// of 2^size_log2 slots, overriding the engine's shared table for the
+  /// compute phase.  Tables live for one run() and are then discarded.
+  ThreadExecutor& use_per_thread_tables(int size_log2) noexcept {
+    per_thread_table_log2_ = size_log2;
+    return *this;
   }
 
   /// Run the engine to completion on `threads_` workers; blocks until done.
@@ -42,7 +66,15 @@ class ThreadExecutor {
     std::uint64_t units = 0;
     bool failed = false;
 
-    auto worker = [&] {
+    std::vector<std::unique_ptr<ConcurrentTranspositionTable>> tables;
+    if (per_thread_table_log2_ >= 0) {
+      tables.reserve(static_cast<std::size_t>(threads_));
+      for (int i = 0; i < threads_; ++i)
+        tables.push_back(std::make_unique<ConcurrentTranspositionTable>(
+            per_thread_table_log2_));
+    }
+
+    auto worker = [&](int index) {
       std::unique_lock<std::mutex> lock(mu);
       for (;;) {
         if (engine.done() || failed) return;
@@ -68,7 +100,7 @@ class ThreadExecutor {
         }
         ++in_flight;
         lock.unlock();
-        auto result = engine.compute(*item);  // heavy part, unlocked
+        auto result = compute_item(engine, *item, index, tables);  // unlocked
         lock.lock();
         --in_flight;
         engine.commit(*item, std::move(result));
@@ -79,15 +111,36 @@ class ThreadExecutor {
 
     std::vector<std::thread> pool;
     pool.reserve(threads_);
-    for (int i = 0; i < threads_; ++i) pool.emplace_back(worker);
+    for (int i = 0; i < threads_; ++i) pool.emplace_back(worker, i);
     for (auto& t : pool) t.join();
     ERS_CHECK(!failed && "problem-heap engine stalled");
     ERS_CHECK(engine.done());
-    return ThreadRunReport{units, threads_};
+    ThreadRunReport report{units, threads_};
+    if constexpr (requires { engine.stats().search.tt_probes; }) {
+      report.tt_probes = engine.stats().search.tt_probes;
+      report.tt_hits = engine.stats().search.tt_hits;
+    }
+    return report;
   }
 
  private:
+  /// Heavy phase dispatch: engines that accept an explicit table get the
+  /// worker's private one when per-thread tables are enabled.
+  template <typename Item, typename Tables>
+  static auto compute_item(EngineT& engine, const Item& item, int index,
+                           Tables& tables) {
+    if constexpr (requires {
+                    engine.compute(
+                        item, static_cast<ConcurrentTranspositionTable*>(nullptr));
+                  }) {
+      if (!tables.empty())
+        return engine.compute(item, tables[static_cast<std::size_t>(index)].get());
+    }
+    return engine.compute(item);
+  }
+
   int threads_;
+  int per_thread_table_log2_ = -1;  ///< < 0: use the engine's configuration
 };
 
 }  // namespace ers::runtime

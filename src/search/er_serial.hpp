@@ -28,6 +28,15 @@
 // sorted; e-node children never are — ER orders them by the (better)
 // search-derived tentative values, which is why serial ER can beat
 // alpha-beta in wall time even while visiting more nodes (the O1 anomaly).
+//
+// Shared transposition table (HashedGame only): with_shared_table() attaches
+// a lock-free ConcurrentTranspositionTable that the search probes and stores
+// as it goes — ER full evaluations (er) probe on entry and store their
+// classified fail-hard result on exit; Eval_first accepts only *conclusive*
+// hits (exact, or a bound that already resolves the window) since its normal
+// result is tentative and must not be stored; Refute_rest stores its final
+// value (it completes the node).  This is how parallel ER workers share
+// search knowledge: every serial subtree unit reads and feeds the one table.
 
 #include <algorithm>
 #include <optional>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "gametree/game.hpp"
+#include "search/concurrent_ttable.hpp"
 #include "search/ordering.hpp"
 #include "util/check.hpp"
 #include "util/value.hpp"
@@ -47,6 +57,14 @@ class ErSerialSearcher {
   ErSerialSearcher(const G& game, int depth, OrderingPolicy ordering = {})
       : game_(game), depth_(depth), ordering_(ordering) {}
   ErSerialSearcher(const G&&, int, OrderingPolicy = {}) = delete;
+
+  /// Probe/store `table` during the search (shared-memory runtime: one table
+  /// serves every worker's serial units).  Ignored unless G is a HashedGame.
+  /// Pass nullptr to detach.
+  ErSerialSearcher& with_shared_table(ConcurrentTranspositionTable* table) noexcept {
+    tt_ = table;
+    return *this;
+  }
 
   [[nodiscard]] SearchResult run() { return run_from(game_.root(), 0); }
 
@@ -156,9 +174,65 @@ class ErSerialSearcher {
     return false;
   }
 
-  /// Figure 8, function ER.
+  // --- shared-table plumbing (no-ops without a table / non-hashed game) ---
+
+  /// Probe the shared table for `p`; true only when the entry validates and
+  /// covers the remaining depth.
+  bool tt_probe(const Rec& p, int remaining, TtHit& out) {
+    if constexpr (HashedGame<G>) {
+      if (tt_ == nullptr) return false;
+      const std::uint64_t key = p.pos.tt_key();
+      tt_->prefetch(key);
+      ++stats_.tt_probes;
+      if (tt_->probe(key, out) && out.depth >= remaining) {
+        ++stats_.tt_hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Store a completed fail-hard result for `p`, classified against the
+  /// window it was searched with.
+  void tt_store(const Rec& p, Value v, int remaining, Value alpha, Value beta) {
+    if constexpr (HashedGame<G>) {
+      if (tt_ == nullptr) return;
+      tt_->store(p.pos.tt_key(), v, remaining, classify_bound(v, alpha, beta));
+      ++stats_.tt_stores;
+    }
+  }
+
+  /// Figure 8, function ER — a *full* fail-hard evaluation of p within
+  /// (alpha, beta) — wrapped with shared-table probe and store.
   Value er(Rec& p, Value alpha, Value beta, int ply) {
-    if (expand(p, ply, /*is_e_node=*/true)) return game_.evaluate(p.pos);
+    const int remaining = depth_ - ply;
+    TtHit h;
+    if (tt_probe(p, remaining, h)) {
+      switch (h.bound) {
+        case BoundKind::kExact:
+          return h.value;
+        case BoundKind::kLower:
+          if (h.value >= beta) return h.value;
+          if (h.value > alpha) alpha = h.value;
+          break;
+        case BoundKind::kUpper:
+          if (h.value <= alpha) return h.value;
+          if (h.value < beta) beta = h.value;
+          break;
+      }
+    }
+    if (expand(p, ply, /*is_e_node=*/true)) {
+      const Value v = game_.evaluate(p.pos);
+      tt_store(p, v, remaining, -kValueInf, kValueInf);  // terminal: exact
+      return v;
+    }
+    const Value v = er_children(p, alpha, beta, ply);
+    tt_store(p, v, remaining, alpha, beta);
+    return v;
+  }
+
+  /// ER's two phases over an expanded interior node.
+  Value er_children(Rec& p, Value alpha, Value beta, int ply) {
     p.value = alpha;
     // Phase 1: evaluate every child's first child (the elder grandchildren).
     for (Rec& c : p.kids) {
@@ -188,11 +262,27 @@ class ErSerialSearcher {
   }
 
   /// Figure 8, function Eval_first: give `p` a tentative value by fully
-  /// evaluating (with ER) its first child.
+  /// evaluating (with ER) its first child.  A table hit resolves the node
+  /// only when *conclusive* — exact, or a bound that already decides the
+  /// window — because Eval_first's normal product is a tentative value and
+  /// an inconclusive bound cannot substitute for one.
   Value eval_first(Rec& p, Value alpha, Value beta, int ply) {
+    TtHit h;
+    if (tt_probe(p, depth_ - ply, h)) {
+      const bool conclusive =
+          h.bound == BoundKind::kExact ||
+          (h.bound == BoundKind::kLower && h.value >= beta) ||
+          (h.bound == BoundKind::kUpper && h.value <= alpha);
+      if (conclusive) {
+        p.value = h.value;
+        p.done = true;
+        return p.value;
+      }
+    }
     if (expand(p, ply, /*is_e_node=*/false)) {
       p.done = true;
       p.value = game_.evaluate(p.pos);
+      tt_store(p, p.value, depth_ - ply, -kValueInf, kValueInf);
       return p.value;
     }
     p.value = alpha;
@@ -202,9 +292,28 @@ class ErSerialSearcher {
     return p.value;
   }
 
+  /// Figure 8, function Refute_rest, wrapped with a shared-table store:
+  /// Refute_rest *completes* a node, so its fail-hard result is a storable
+  /// bound against the window it finished under.  (No probe here beyond the
+  /// conclusive check: the node was already probed by er/eval_first, but a
+  /// concurrent worker may have finished it in the meantime.)
+  Value refute_rest(Rec& p, Value alpha, Value beta, int ply) {
+    const int remaining = depth_ - ply;
+    TtHit h;
+    if (tt_probe(p, remaining, h)) {
+      if (h.bound == BoundKind::kExact ||
+          (h.bound == BoundKind::kLower && h.value >= beta) ||
+          (h.bound == BoundKind::kUpper && h.value <= alpha))
+        return h.value;
+    }
+    const Value v = refute_rest_children(p, alpha, beta, ply);
+    tt_store(p, v, remaining, alpha, beta);
+    return v;
+  }
+
   /// Figure 8, function Refute_rest: examine p's remaining children until p
   /// is refuted (value >= beta) or exhausted.
-  Value refute_rest(Rec& p, Value alpha, Value beta, int ply) {
+  Value refute_rest_children(Rec& p, Value alpha, Value beta, int ply) {
     ERS_DCHECK(p.expanded && !p.kids.empty());
     // Keep the tentative value from Eval_first (see header comment).
     p.value = std::max(p.value, alpha);
@@ -225,6 +334,7 @@ class ErSerialSearcher {
   const G& game_;
   int depth_;
   OrderingPolicy ordering_;
+  ConcurrentTranspositionTable* tt_ = nullptr;
   SearchStats stats_;
   std::optional<typename G::Position> best_root_;
   int root_ply_ = 0;

@@ -8,8 +8,18 @@
 // only trusted when their stored depth covers the remaining search depth
 // and their bound resolves against the current window.
 //
+// Replacement is generation-aged: new_search()/clear() bump a generation
+// counter, and depth preference only protects entries of the *current*
+// generation — a deep entry left over from a previous run() can never
+// permanently block fresh shallower stores.  Probes ignore generations
+// (a position's value at a given remaining depth is search-independent),
+// so warm tables still accelerate repeated searches.
+//
 // The searcher is generic over any Game plus a Hasher mapping positions to
-// 64-bit keys (othello::zobrist_hash, or UniformRandomTree's path hash).
+// 64-bit keys (othello::zobrist_hash, or UniformRandomTree's path hash) and
+// over the table type: the single-threaded TranspositionTable below, or the
+// lock-free ConcurrentTranspositionTable (search/concurrent_ttable.hpp)
+// when several searchers share one table across threads.
 
 #include <cstdint>
 #include <vector>
@@ -23,6 +33,22 @@ namespace ers {
 
 enum class BoundKind : std::uint8_t { kExact, kLower, kUpper };
 
+/// A validated probe result, in the shape shared by every table type.
+struct TtHit {
+  Value value = 0;
+  int depth = -1;  ///< remaining depth the value is valid for
+  BoundKind bound = BoundKind::kExact;
+};
+
+/// Fail-hard bound classification of a search result `v` obtained within
+/// the window (alpha, beta) — what a table entry for it should claim.
+[[nodiscard]] constexpr BoundKind classify_bound(Value v, Value alpha,
+                                                 Value beta) noexcept {
+  return v >= beta    ? BoundKind::kLower
+         : v <= alpha ? BoundKind::kUpper
+                      : BoundKind::kExact;
+}
+
 class TranspositionTable {
  public:
   struct Entry {
@@ -31,6 +57,7 @@ class TranspositionTable {
     std::int16_t depth = -1;  ///< remaining depth the value is valid for
     BoundKind bound = BoundKind::kExact;
     bool used = false;
+    std::uint8_t gen = 0;  ///< generation the entry was stored in
   };
 
   /// `size_log2` buckets of 2^size_log2 entries (direct mapped).
@@ -45,16 +72,40 @@ class TranspositionTable {
     return e.used && e.key == key ? &e : nullptr;
   }
 
-  /// Depth-preferred store: never evict a deeper entry for the same slot
-  /// unless the keys match (fresher result for the same position).
+  /// Uniform probe shape shared with ConcurrentTranspositionTable.
+  [[nodiscard]] bool probe(std::uint64_t key, TtHit& out) const {
+    const Entry* e = probe(key);
+    if (e == nullptr) return false;
+    out.value = e->value;
+    out.depth = e->depth;
+    out.bound = e->bound;
+    return true;
+  }
+
+  /// Depth-preferred store: never evict a deeper *current-generation* entry
+  /// for the same slot unless the keys match (fresher result for the same
+  /// position).  Entries from earlier generations are always replaceable.
   void store(std::uint64_t key, Value value, int depth, BoundKind bound) {
     Entry& e = entries_[key & mask_];
-    if (e.used && e.key != key && e.depth > depth) return;
-    e = Entry{key, value, static_cast<std::int16_t>(depth), bound, true};
+    if (e.used && e.key != key && e.gen == gen_ && e.depth > depth) return;
+    e = Entry{key, value, static_cast<std::int16_t>(depth), bound, true, gen_};
   }
+
+  /// Start a new search epoch: older entries stay probeable but lose their
+  /// depth-preference protection against fresh stores.
+  void new_search() noexcept { ++gen_; }
 
   void clear() {
     for (auto& e : entries_) e.used = false;
+    ++gen_;
+  }
+
+  void prefetch(std::uint64_t key) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&entries_[key & mask_]);
+#else
+    (void)key;
+#endif
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
@@ -70,17 +121,23 @@ class TranspositionTable {
   std::vector<Entry> entries_;
   std::uint64_t probes_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint8_t gen_ = 0;
 };
 
 /// Fail-hard alpha-beta with a transposition table.  Hasher is a callable
 /// mapping a position to a 64-bit key; positions that compare equal must
 /// hash equal (hash collisions of distinct positions are accepted as the
 /// usual TT risk and bounded by the 64-bit key check).
-template <Game G, typename Hasher>
+///
+/// TableT is TranspositionTable (single-threaded) or
+/// ConcurrentTranspositionTable (shared across threads; each searcher keeps
+/// its own SearchStats, so concurrent runs over one table need no shared
+/// counters).
+template <Game G, typename Hasher, typename TableT = TranspositionTable>
 class TtAlphaBetaSearcher {
  public:
-  TtAlphaBetaSearcher(const G& game, int depth, Hasher hasher,
-                      TranspositionTable* table, OrderingPolicy ordering = {})
+  TtAlphaBetaSearcher(const G& game, int depth, Hasher hasher, TableT* table,
+                      OrderingPolicy ordering = {})
       : game_(game), depth_(depth), hasher_(std::move(hasher)), table_(table),
         ordering_(ordering) {
     ERS_CHECK(table_ != nullptr);
@@ -88,6 +145,7 @@ class TtAlphaBetaSearcher {
 
   [[nodiscard]] SearchResult run(Window w = full_window()) {
     stats_ = {};
+    table_->new_search();
     const Value v = visit(game_.root(), w.alpha, w.beta, 0);
     return SearchResult{v, stats_};
   }
@@ -96,22 +154,26 @@ class TtAlphaBetaSearcher {
   Value visit(const typename G::Position& p, Value alpha, Value beta, int ply) {
     const int remaining = depth_ - ply;
     const std::uint64_t key = hasher_(p);
-    if (const auto* e = table_->probe(key); e != nullptr && e->depth >= remaining) {
-      table_->count_probe(true);
-      switch (e->bound) {
+    table_->prefetch(key);
+    ++stats_.tt_probes;
+    TtHit h;
+    const bool usable = table_->probe(key, h) && h.depth >= remaining;
+    if constexpr (requires(TableT& t) { t.count_probe(true); })
+      table_->count_probe(usable);
+    if (usable) {
+      ++stats_.tt_hits;
+      switch (h.bound) {
         case BoundKind::kExact:
-          return e->value;
+          return h.value;
         case BoundKind::kLower:
-          if (e->value >= beta) return e->value;
-          if (e->value > alpha) alpha = e->value;
+          if (h.value >= beta) return h.value;
+          if (h.value > alpha) alpha = h.value;
           break;
         case BoundKind::kUpper:
-          if (e->value <= alpha) return e->value;
-          if (e->value < beta) beta = e->value;
+          if (h.value <= alpha) return h.value;
+          if (h.value < beta) beta = h.value;
           break;
       }
-    } else {
-      table_->count_probe(false);
     }
 
     std::vector<typename G::Position> kids;
@@ -120,6 +182,7 @@ class TtAlphaBetaSearcher {
       ++stats_.leaves_evaluated;
       const Value v = game_.evaluate(p);
       table_->store(key, v, remaining, BoundKind::kExact);
+      ++stats_.tt_stores;
       return v;
     }
     ++stats_.interior_expanded;
@@ -133,28 +196,25 @@ class TtAlphaBetaSearcher {
       if (t > m) m = t;
       if (m >= beta) break;
     }
-    const BoundKind bound = m >= beta  ? BoundKind::kLower
-                            : m <= alpha_orig ? BoundKind::kUpper
-                                              : BoundKind::kExact;
-    table_->store(key, m, remaining, bound);
+    table_->store(key, m, remaining, classify_bound(m, alpha_orig, beta));
+    ++stats_.tt_stores;
     return m;
   }
 
   const G& game_;
   int depth_;
   Hasher hasher_;
-  TranspositionTable* table_;
+  TableT* table_;
   OrderingPolicy ordering_;
   SearchStats stats_;
 };
 
-template <Game G, typename Hasher>
+template <Game G, typename Hasher, typename TableT>
 [[nodiscard]] SearchResult tt_alpha_beta_search(const G& game, int depth,
-                                                Hasher hasher,
-                                                TranspositionTable* table,
+                                                Hasher hasher, TableT* table,
                                                 OrderingPolicy ordering = {}) {
-  return TtAlphaBetaSearcher<G, Hasher>(game, depth, std::move(hasher), table,
-                                        ordering)
+  return TtAlphaBetaSearcher<G, Hasher, TableT>(game, depth, std::move(hasher),
+                                                table, ordering)
       .run();
 }
 

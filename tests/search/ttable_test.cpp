@@ -8,6 +8,7 @@
 #include "randomtree/random_tree.hpp"
 #include "search/alpha_beta.hpp"
 #include "search/negmax.hpp"
+#include "util/rng.hpp"
 
 namespace ers {
 namespace {
@@ -61,6 +62,47 @@ TEST(TranspositionTable, ClearEmptiesTable) {
   t.store(1, 1, 1, BoundKind::kExact);
   t.clear();
   EXPECT_EQ(t.probe(1), nullptr);
+}
+
+TEST(TranspositionTable, NewSearchAgesStaleEntries) {
+  TranspositionTable t(4);
+  const std::uint64_t a = 5;
+  const std::uint64_t b = 5 + 16;  // same slot, different key
+  t.store(a, 1, 9, BoundKind::kExact);
+  // Within one generation the deep entry is protected...
+  t.store(b, 2, 1, BoundKind::kExact);
+  EXPECT_NE(t.probe(a), nullptr);
+  // ...but after new_search() a shallow fresh store may evict it, so a deep
+  // relic can never permanently squat on its slot.
+  t.new_search();
+  EXPECT_NE(t.probe(a), nullptr);  // still probeable until evicted
+  t.store(b, 2, 1, BoundKind::kExact);
+  EXPECT_EQ(t.probe(a), nullptr);
+  const auto* e = t.probe(b);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 2);
+}
+
+TEST(Zobrist, IncrementalHashMatchesFullRecompute) {
+  // Walk seeded playouts; Board::hash is maintained move by move and must
+  // always equal the from-scratch hash of the resulting position.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    othello::Board b = othello::initial_board();
+    std::uint64_t rng = seed;
+    for (int step = 0; step < 40 && !othello::is_game_over(b); ++step) {
+      auto moves = othello::legal_moves(b);
+      if (moves == 0) {
+        b = othello::apply_pass(b);
+      } else {
+        std::vector<int> squares;
+        while (moves != 0) squares.push_back(othello::pop_lsb(moves));
+        rng = splitmix64(rng);
+        b = othello::apply_move(b, squares[rng % squares.size()]);
+      }
+      ASSERT_EQ(b.hash, othello::zobrist_hash(b)) << "seed=" << seed
+                                                  << " step=" << step;
+    }
+  }
 }
 
 TEST(Zobrist, SideToMoveMatters) {
