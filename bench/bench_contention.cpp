@@ -111,7 +111,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  bench::write_bench_json("contention", shard_json);
+  // Deterministic simulated sweep: one rep is exact.
+  bench::write_bench_json("contention", 1, shard_json);
 
   // --- shared transposition table on the Othello midgame suite ------------
   bench::print_header("Shared transposition table (thread runtime, O1-O3)");
@@ -161,6 +162,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nodes_shared_4t),
               nodes_shared_4t < nodes_none_4t ? "shared table searches less"
                                               : "NO REDUCTION");
-  bench::write_bench_json("ttable", tt_json);
+  bench::write_bench_json("ttable", opt.reps, tt_json);
   return 0;
 }

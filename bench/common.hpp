@@ -72,12 +72,41 @@ inline void print_header(const char* what) {
 // Every bench can emit a BENCH_<name>.json next to its table: one JSON
 // object per line, so runs diff cleanly and scripts consume them without a
 // JSON library on either side.  The builders below cover exactly what the
-// benches need (flat objects of strings/ints/doubles).
+// benches need (flat objects of strings/ints/doubles).  Schema guarantees:
+// string values are escaped, and write_bench_json stamps every line with a
+// `bench` name and the `reps` it was averaged over, so a row's provenance
+// is never ambiguous (EXPERIMENTS.md lists which bench produces which file).
+
+/// Escape a string for use as a JSON value: quotes, backslashes, and
+/// control characters (the tree names and modes the benches emit are tame,
+/// but the emitter must not rely on that).
+inline std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 class JsonObject {
  public:
   JsonObject& field(const char* key, const char* v) {
-    return raw(key, "\"" + std::string(v) + "\"");
+    return raw(key, "\"" + json_escape(v) + "\"");
   }
   JsonObject& field(const char* key, const std::string& v) {
     return field(key, v.c_str());
@@ -107,7 +136,10 @@ class JsonObject {
 
 /// Write `lines` (one JSON object each) to BENCH_<name>.json in the current
 /// directory and echo the path so the run log records where they went.
-inline void write_bench_json(const std::string& name,
+/// Every line is stamped with `"bench": name` and `"reps": reps` (the
+/// repetitions each row was averaged over; 1 for deterministic benches), so
+/// a file's rows identify their producer without reading this source.
+inline void write_bench_json(const std::string& name, int reps,
                              const std::vector<std::string>& lines) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -115,7 +147,14 @@ inline void write_bench_json(const std::string& name,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  for (const auto& line : lines) std::fprintf(f, "%s\n", line.c_str());
+  const std::string stamp =
+      "{\"bench\":\"" + json_escape(name.c_str()) +
+      "\",\"reps\":" + std::to_string(reps);
+  for (const auto& line : lines) {
+    // Each line is a flat object "{...}"; splice the stamp after the brace.
+    std::fprintf(f, "%s%s%s\n", stamp.c_str(), line.size() > 2 ? "," : "",
+                 line.c_str() + 1);
+  }
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path.c_str(), lines.size());
 }

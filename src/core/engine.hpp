@@ -18,9 +18,26 @@
 //                                   the paper's combine procedure, apply the
 //                                   Table 2 actions, refill the queues.
 //
-// acquire/commit must be externally serialized (the simulator is single
-// threaded; the thread runtime holds a mutex); compute calls may run
-// concurrently with anything.
+// The protocol also has batch forms — the contention remedy of the paper's
+// §6 observation that heap serialization erodes efficiency as processors
+// are added:
+//
+//     acquire_batch(k, out)         pop up to k ready units in one pass (one
+//                                   heap access for the whole batch)
+//     commit_batch(span)            apply several results back to back under
+//                                   a single serialized heap access
+//
+// A batch commit is exactly a sequence of single commits applied atomically
+// in batch order; the combine procedure only requires commits to be
+// serialized, never that they interleave at any particular granularity, so
+// batching changes the schedule but not the result (the root value is
+// schedule-independent).  The single-item calls are thin wrappers over the
+// same implementation, so executors that never batch (the baselines, the
+// k=1 simulator) are untouched semantically.
+//
+// acquire/commit (batch or not) must be externally serialized (the
+// simulator is single threaded; the thread runtime holds a mutex); compute
+// calls may run concurrently with anything.
 //
 // Work classification follows the paper exactly:
 //   * nodes at ply >= serial_depth are leaves of the *parallel* tree and are
@@ -39,6 +56,7 @@
 #include <deque>
 #include <optional>
 #include <queue>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -78,9 +96,51 @@ class Engine {
     push_primary(0);
   }
 
+  /// One unit of a batched commit: the acquired item and its compute result.
+  struct CommitEntry {
+    WorkItem item;
+    ComputeResult result;
+  };
+
   // --- executor protocol -------------------------------------------------
 
-  [[nodiscard]] std::optional<WorkItem> acquire() {
+  [[nodiscard]] std::optional<WorkItem> acquire() { return acquire_one(); }
+
+  /// Batch form of acquire(): pop up to `k` ready units in one pass,
+  /// appending them to `out`.  Returns the number acquired.  Executors pay
+  /// one serialized heap access for the whole call, which is the point.
+  std::size_t acquire_batch(std::size_t k, std::vector<WorkItem>& out) {
+    std::size_t got = 0;
+    while (got < k) {
+      auto item = acquire_one();
+      if (!item) break;
+      out.push_back(*item);
+      ++got;
+    }
+    return got;
+  }
+
+  void commit(const WorkItem& item, ComputeResult&& r) {
+    commit_one(item, std::move(r));
+  }
+
+  /// Batch form of commit(): apply several results back to back — exactly a
+  /// sequence of single commits executed atomically in batch order, so the
+  /// queues are refilled once per batch instead of once per unit.  Entries
+  /// are consumed (results moved from).
+  void commit_batch(std::span<CommitEntry> batch) {
+    for (CommitEntry& e : batch) commit_one(e.item, std::move(e.result));
+  }
+
+  /// Entries currently queued (primary + speculative).  An upper bound —
+  /// lazily-invalidated stale entries are counted — which is all the thread
+  /// runtime needs to size its wakeups to the work actually available.
+  [[nodiscard]] std::size_t queued_count() const noexcept {
+    return primary_.size() + spec_.size();
+  }
+
+ private:
+  [[nodiscard]] std::optional<WorkItem> acquire_one() {
     while (!primary_.empty()) {
       const PrimaryEntry e = primary_.top();
       primary_.pop();
@@ -125,6 +185,7 @@ class Engine {
     return std::nullopt;
   }
 
+ public:
   /// Pure phase; safe to run concurrently with acquire/commit on other
   /// items.  Reads only fields frozen while the item is in flight.
   [[nodiscard]] ComputeResult compute(const WorkItem& item) const {
@@ -218,7 +279,8 @@ class Engine {
     return out;
   }
 
-  void commit(const WorkItem& item, ComputeResult&& r) {
+ private:
+  void commit_one(const WorkItem& item, ComputeResult&& r) {
     Node& n = nodes_[item.node];
     n.in_flight = false;
     stats_.search += r.stats;
@@ -243,6 +305,7 @@ class Engine {
     }
   }
 
+ public:
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] Value root_value() const noexcept { return nodes_[0].value; }
 

@@ -36,13 +36,16 @@ struct SimulatedSearchResult {
 };
 
 /// Search `game` to cfg.search_depth with parallel ER on `threads` OS
-/// threads.  The returned value equals serial negmax.
+/// threads.  `batch` is the scheduler batch size: units each worker pulls
+/// and commits per serialized heap access (1 = the unbatched scheduler).
+/// The returned value equals serial negmax at every batch size.
 template <Game G>
 [[nodiscard]] ParallelSearchResult<typename G::Position> parallel_er_threads(
-    const G& game, const core::EngineConfig& cfg, int threads) {
+    const G& game, const core::EngineConfig& cfg, int threads, int batch = 1) {
   if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
   core::Engine<G> engine(game, cfg);
   runtime::ThreadExecutor<core::Engine<G>> exec(threads);
+  exec.with_batch_size(batch);
   exec.run(engine);
   return ParallelSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), engine.best_root_position()};
@@ -50,14 +53,16 @@ template <Game G>
 
 /// Search `game` with parallel ER on `processors` simulated processors;
 /// deterministic for fixed inputs.  metrics.makespan is the simulated
-/// parallel time used by the efficiency figures.
+/// parallel time used by the efficiency figures.  `batch` mirrors the
+/// thread runtime's scheduler batch size in the cost model: heap accesses
+/// are charged per batch, not per unit.
 template <Game G>
 [[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
     const G& game, const core::EngineConfig& cfg, int processors,
-    sim::CostModel cost = {}, int queue_shards = 1) {
+    sim::CostModel cost = {}, int queue_shards = 1, int batch = 1) {
   if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
   core::Engine<G> engine(game, cfg);
-  sim::SimExecutor<core::Engine<G>> exec(processors, cost, queue_shards);
+  sim::SimExecutor<core::Engine<G>> exec(processors, cost, queue_shards, batch);
   const sim::SimMetrics m = exec.run(engine);
   return SimulatedSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), m, engine.best_root_position()};

@@ -8,6 +8,19 @@
 // generation and serial subtree searches — runs outside the lock, which is
 // where the real parallelism lives.
 //
+// Batched scheduling (paper §6's contention remedy): each worker keeps a
+// small local run buffer filled by one acquire_batch call and a local
+// completion buffer flushed through one commit_batch call, so the serialized
+// section is entered once per batch instead of twice per unit.  Wakeups are
+// targeted: a worker that commits or acquires work wakes only as many
+// sleepers as there are units actually left on the queues (no
+// notify_all thundering herd), and a starving worker spins briefly before
+// sleeping so it can catch work released a few microseconds later without a
+// futex round trip.  Every worker keeps a SchedulerStats block — lock
+// traffic, wait/hold nanoseconds, batch-size histogram, wakeups — aggregated
+// into the ThreadRunReport so contention is measurable, not guessed
+// (bench_scheduler consumes exactly these counters).
+//
 // Transposition tables: the engine's EngineConfig::shared_table (one
 // lock-free table, every worker probes/stores it) is the production setup.
 // use_per_thread_tables() is the bench control: each worker gets a private
@@ -15,14 +28,22 @@
 // the benefit of merely *having* a table.  The run report carries the
 // aggregate probe/hit counters either way.
 //
-// Works with any engine exposing the core::Engine protocol.
+// Works with any engine exposing the core::Engine protocol; engines without
+// the batch forms (acquire_batch/commit_batch) are driven one unit at a
+// time through the single-item calls.
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -31,15 +52,67 @@
 
 namespace ers::runtime {
 
+/// Per-worker scheduler observability, merged across workers into the run
+/// report.  Times come from steady_clock; on a loaded machine lock_wait_ns
+/// includes preemption of the lock holder, which is precisely the
+/// interference a real shared heap suffers.
+struct SchedulerStats {
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_wait_ns = 0;  ///< blocked entering the serial section
+  std::uint64_t lock_hold_ns = 0;  ///< inside the serial section
+  std::uint64_t units = 0;         ///< work units computed and committed
+  std::uint64_t batches = 0;       ///< non-empty acquire_batch calls
+  std::uint64_t wakeups_issued = 0;  ///< targeted notify_one calls
+  std::uint64_t sleeps = 0;          ///< times a worker parked on the cv
+  /// Histogram of acquired batch sizes: bucket i counts batches of size
+  /// i+1, the last bucket collecting everything >= kBatchBuckets.
+  static constexpr std::size_t kBatchBuckets = 8;
+  std::array<std::uint64_t, kBatchBuckets> batch_size_hist{};
+
+  void record_batch(std::size_t size) {
+    ++batches;
+    const std::size_t b = size >= kBatchBuckets ? kBatchBuckets - 1 : size - 1;
+    ++batch_size_hist[b];
+  }
+
+  void merge(const SchedulerStats& o) {
+    lock_acquisitions += o.lock_acquisitions;
+    lock_wait_ns += o.lock_wait_ns;
+    lock_hold_ns += o.lock_hold_ns;
+    units += o.units;
+    batches += o.batches;
+    wakeups_issued += o.wakeups_issued;
+    sleeps += o.sleeps;
+    for (std::size_t i = 0; i < batch_size_hist.size(); ++i)
+      batch_size_hist[i] += o.batch_size_hist[i];
+  }
+
+  [[nodiscard]] double mean_batch_size() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(units) /
+                              static_cast<double>(batches);
+  }
+};
+
 struct ThreadRunReport {
   std::uint64_t units = 0;
   int threads = 0;
   std::uint64_t tt_probes = 0;  ///< table probes across all workers
   std::uint64_t tt_hits = 0;    ///< validated, depth-covering hits
+  std::uint64_t elapsed_ns = 0;  ///< wall time of the run() call
+  SchedulerStats sched;          ///< aggregated across workers
+
   [[nodiscard]] double tt_hit_rate() const noexcept {
     return tt_probes == 0
                ? 0.0
                : static_cast<double>(tt_hits) / static_cast<double>(tt_probes);
+  }
+  /// Fraction of total worker-time spent blocked on the heap lock — the
+  /// contention number the batching exists to shrink.
+  [[nodiscard]] double lock_wait_share() const noexcept {
+    const double total = static_cast<double>(elapsed_ns) *
+                         static_cast<double>(threads);
+    return total > 0 ? static_cast<double>(sched.lock_wait_ns) / total : 0.0;
   }
 };
 
@@ -48,6 +121,14 @@ class ThreadExecutor {
  public:
   explicit ThreadExecutor(int threads) : threads_(threads) {
     ERS_CHECK(threads >= 1);
+  }
+
+  /// Units a worker pulls per serialized heap access (its local run-buffer
+  /// size).  1 reproduces the unbatched scheduler exactly.
+  ThreadExecutor& with_batch_size(int k) noexcept {
+    ERS_CHECK(k >= 1);
+    batch_size_ = k;
+    return *this;
   }
 
   /// Bench control: give each worker a private ConcurrentTranspositionTable
@@ -60,11 +141,16 @@ class ThreadExecutor {
 
   /// Run the engine to completion on `threads_` workers; blocks until done.
   ThreadRunReport run(EngineT& engine) {
+    using Clock = std::chrono::steady_clock;
+    const auto run_start = Clock::now();
+
     std::mutex mu;
     std::condition_variable cv;
-    int in_flight = 0;
-    std::uint64_t units = 0;
+    int in_flight = 0;   // units acquired but not yet committed
+    int sleepers = 0;    // workers parked on the cv
     bool failed = false;
+
+    std::vector<SchedulerStats> stats(static_cast<std::size_t>(threads_));
 
     std::vector<std::unique_ptr<ConcurrentTranspositionTable>> tables;
     if (per_thread_table_log2_ >= 0) {
@@ -74,48 +160,120 @@ class ThreadExecutor {
             per_thread_table_log2_));
     }
 
+    const std::size_t k = static_cast<std::size_t>(batch_size_);
+
     auto worker = [&](int index) {
-      std::unique_lock<std::mutex> lock(mu);
+      SchedulerStats& st = stats[static_cast<std::size_t>(index)];
+      std::vector<ItemT> run_buf;
+      std::vector<EntryT> done_buf;
+      run_buf.reserve(k);
+      done_buf.reserve(k);
+      int spins = 0;
+
+      std::unique_lock<std::mutex> lock(mu, std::defer_lock);
       for (;;) {
-        if (engine.done() || failed) return;
-        auto item = engine.acquire();
-        if (!item) {
+        // --- serial section: flush completions, acquire the next batch ---
+        const auto wait_from = Clock::now();
+        lock.lock();
+        const auto hold_from = Clock::now();
+        ++st.lock_acquisitions;
+        st.lock_wait_ns += ns(wait_from, hold_from);
+
+        if (!done_buf.empty()) {
+          commit_all(engine, done_buf);
+          st.units += done_buf.size();
+          in_flight -= static_cast<int>(done_buf.size());
+          done_buf.clear();
+        }
+
+        bool stop = engine.done() || failed;
+        std::size_t got = 0;
+        if (!stop) {
+          got = acquire_into(engine, k, run_buf);
           // acquire() itself can finish the search (pop-time cutoffs can
-          // combine all the way to the root); re-check before declaring a
-          // stall.
-          if (engine.done()) {
-            cv.notify_all();
-            return;
-          }
+          // combine all the way to the root); re-check before stalling.
+          if (got == 0 && engine.done()) stop = true;
+        }
+        if (stop) {
+          st.lock_hold_ns += ns(hold_from, Clock::now());
+          lock.unlock();
+          cv.notify_all();  // everyone must observe done/failed and exit
+          return;
+        }
+        if (got == 0) {
           if (in_flight == 0) {
             // No queued work, nothing in flight, root not combined: the
-            // scheduling state machine leaked work.  Fail loudly rather
-            // than deadlock.
+            // scheduling state machine leaked work.  Dump the engine's
+            // queue/in-flight snapshot so the stall is diagnosable from CI
+            // logs, then fail loudly rather than deadlock.
+            std::fprintf(stderr,
+                         "ThreadExecutor stall: no queued work, 0 units in "
+                         "flight, engine not done (worker %d, %d threads, "
+                         "batch %d).  Unfinished nodes:\n",
+                         index, threads_, batch_size_);
+            if constexpr (requires { engine.debug_dump_unfinished(stderr); })
+              engine.debug_dump_unfinished(stderr);
             failed = true;
+            st.lock_hold_ns += ns(hold_from, Clock::now());
+            lock.unlock();
             cv.notify_all();
             return;
           }
+          st.lock_hold_ns += ns(hold_from, Clock::now());
+          if (spins < kMaxSpinRounds) {
+            // Bounded backoff: drop the lock and spin briefly — work is
+            // usually released within a commit or two, and a futex sleep
+            // plus wakeup costs far more than a few pause loops.
+            ++spins;
+            lock.unlock();
+            spin_pause();
+            continue;
+          }
+          spins = 0;
+          ++st.sleeps;
+          ++sleepers;
           cv.wait(lock);
+          --sleepers;
+          lock.unlock();
           continue;
         }
-        ++in_flight;
+        spins = 0;
+        in_flight += static_cast<int>(got);
+        st.record_batch(got);
+        // Targeted wakeups: wake at most one sleeper per unit still queued
+        // (we already took ours).  The queue count is maintained under this
+        // lock, so a worker that re-checks after us either sees the work or
+        // was woken for it — no lost wakeups, no thundering herd.
+        std::size_t wake = 0;
+        if (sleepers > 0) {
+          const std::size_t queued = queued_estimate(engine);
+          wake = std::min(queued, static_cast<std::size_t>(sleepers));
+        }
+        st.lock_hold_ns += ns(hold_from, Clock::now());
         lock.unlock();
-        auto result = compute_item(engine, *item, index, tables);  // unlocked
-        lock.lock();
-        --in_flight;
-        engine.commit(*item, std::move(result));
-        ++units;
-        cv.notify_all();
+        st.wakeups_issued += wake;
+        for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+
+        // --- parallel section: compute the whole batch outside the lock ---
+        for (ItemT& item : run_buf)
+          done_buf.push_back(
+              EntryT{item, compute_item(engine, item, index, tables)});
+        run_buf.clear();
       }
     };
 
     std::vector<std::thread> pool;
-    pool.reserve(threads_);
+    pool.reserve(static_cast<std::size_t>(threads_));
     for (int i = 0; i < threads_; ++i) pool.emplace_back(worker, i);
     for (auto& t : pool) t.join();
     ERS_CHECK(!failed && "problem-heap engine stalled");
     ERS_CHECK(engine.done());
-    ThreadRunReport report{units, threads_};
+
+    ThreadRunReport report;
+    report.threads = threads_;
+    report.elapsed_ns = ns(run_start, Clock::now());
+    for (const SchedulerStats& st : stats) report.sched.merge(st);
+    report.units = report.sched.units;
     if constexpr (requires { engine.stats().search.tt_probes; }) {
       report.tt_probes = engine.stats().search.tt_probes;
       report.tt_hits = engine.stats().search.tt_hits;
@@ -124,6 +282,78 @@ class ThreadExecutor {
   }
 
  private:
+  using ItemT = std::decay_t<decltype(*std::declval<EngineT&>().acquire())>;
+  using ResultT = decltype(std::declval<EngineT&>().compute(
+      std::declval<const ItemT&>()));
+  /// Completion-buffer entry; matches EngineT::CommitEntry where the engine
+  /// has one so the buffer can be handed to commit_batch as-is.
+  struct FallbackEntry {
+    ItemT item;
+    ResultT result;
+  };
+  template <typename E, typename = void>
+  struct EntryFor {
+    using type = FallbackEntry;
+  };
+  template <typename E>
+  struct EntryFor<E, std::void_t<typename E::CommitEntry>> {
+    using type = typename E::CommitEntry;
+  };
+  using EntryT = typename EntryFor<EngineT>::type;
+
+  static constexpr int kMaxSpinRounds = 2;
+
+  [[nodiscard]] static std::uint64_t ns(
+      std::chrono::steady_clock::time_point a,
+      std::chrono::steady_clock::time_point b) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  }
+
+  static void spin_pause() noexcept {
+    for (int i = 0; i < 64; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+  }
+
+  template <typename E>
+  static std::size_t acquire_into(E& engine, std::size_t k,
+                                  std::vector<ItemT>& out) {
+    if constexpr (requires { engine.acquire_batch(k, out); }) {
+      return engine.acquire_batch(k, out);
+    } else {
+      std::size_t got = 0;
+      while (got < k) {
+        auto item = engine.acquire();
+        if (!item) break;
+        out.push_back(*item);
+        ++got;
+      }
+      return got;
+    }
+  }
+
+  template <typename E>
+  static void commit_all(E& engine, std::vector<EntryT>& buf) {
+    if constexpr (requires { engine.commit_batch(std::span<EntryT>(buf)); }) {
+      engine.commit_batch(std::span<EntryT>(buf));
+    } else {
+      for (EntryT& e : buf) engine.commit(e.item, std::move(e.result));
+    }
+  }
+
+  template <typename E>
+  static std::size_t queued_estimate(const E& engine) {
+    if constexpr (requires { engine.queued_count(); })
+      return engine.queued_count();
+    else
+      return 1;  // no count available: wake one sleeper at a time
+  }
+
   /// Heavy phase dispatch: engines that accept an explicit table get the
   /// worker's private one when per-thread tables are enabled.
   template <typename Item, typename Tables>
@@ -140,6 +370,7 @@ class ThreadExecutor {
   }
 
   int threads_;
+  int batch_size_ = 1;
   int per_thread_table_log2_ = -1;  ///< < 0: use the engine's configuration
 };
 

@@ -20,11 +20,15 @@ struct CostModel {
   std::uint64_t per_leaf = 8;       ///< one static evaluation at the horizon
   std::uint64_t per_sort_eval = 8;  ///< one static evaluation done for ordering
   std::uint64_t per_unit_base = 1;  ///< fixed bookkeeping per work unit
-  /// Cost of one access to the shared problem heap.  Heap accesses are
-  /// serialized across processors (they contend for the same lock), so this
-  /// is the interference knob: raising it reproduces the paper's growing
-  /// contention loss at higher processor counts.
-  std::uint64_t per_queue_op = 1;
+  /// Cost of one serialized access to the shared problem heap — the
+  /// interference knob: raising these reproduces the paper's growing
+  /// contention loss at higher processor counts.  Charged once per
+  /// *batch* (SimExecutor's batch size), not once per unit, mirroring the
+  /// thread runtime's batched scheduler where one lock acquisition pulls or
+  /// commits a whole run buffer.  At batch = 1 each unit pays one acquire
+  /// and one commit, the paper's setup.
+  std::uint64_t per_heap_acquire = 1;
+  std::uint64_t per_heap_commit = 1;
   /// Transposition-table traffic.  Probes and stores are lock-free (one
   /// cache line each), so unlike queue ops they are charged to the issuing
   /// processor only — cheap, but not free, which keeps a table-heavy search

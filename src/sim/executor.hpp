@@ -5,17 +5,23 @@
 //
 // The executor works with any engine exposing the protocol of
 // core::Engine — acquire()/compute()/commit()/done() — so the same harness
-// simulates parallel ER and the MWF baseline.
+// simulates parallel ER and the MWF baseline.  Engines exposing the batch
+// forms (acquire_batch/commit_batch) can additionally be driven with a
+// scheduler batch size > 1, mirroring the thread runtime's batched
+// scheduler in the cost model.
 //
 // Model:
 //  * P identical virtual processors.  A processor is either idle (starving)
-//    or busy with one work unit.
-//  * acquire+compute+commit form one unit.  The heavy compute part costs
-//    CostModel::of(unit stats) time units; the acquire and commit each
-//    perform one access to the shared problem heap, which is serialized
+//    or busy with one batch of up to `batch` work units.
+//  * acquire+compute+commit form one batch.  The heavy compute part costs
+//    the sum of CostModel::of(unit stats) over the batch; the acquire and
+//    the commit each perform one access to the shared problem heap
+//    (CostModel::per_heap_acquire / per_heap_commit), which is serialized
 //    across processors (a single lock), modeling the paper's interference
-//    loss.  Engine state changes are applied atomically in event order, so
-//    the schedule is deterministic and the search result is exact; the lock
+//    loss.  Batching therefore pays the serialized heap price once per
+//    batch instead of once per unit — exactly the thread runtime's remedy.
+//    Engine state changes are applied atomically in event order, so the
+//    schedule is deterministic and the search result is exact; the lock
 //    models *time*, not state races.
 //  * The run ends the moment the engine reports done (root combined); work
 //    still in flight at that point is abandoned speculative work, exactly as
@@ -25,6 +31,8 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -39,6 +47,7 @@ struct SimMetrics {
   std::uint64_t idle_time = 0;       ///< total processor-time starving
   std::uint64_t lock_wait_time = 0;  ///< total time blocked on the heap lock
   std::uint64_t units = 0;           ///< work units completed
+  std::uint64_t heap_accesses = 0;   ///< serialized heap ops (acquire+commit)
   int processors = 0;
 
   /// Fraction of processor-time that did useful work.
@@ -57,25 +66,32 @@ class SimExecutor {
   /// over S independently-locked shards instead of one global lock.  The
   /// schedule (which unit runs when, state-wise) is unchanged — only the
   /// serialization *delay* shrinks.  S = 1 is the paper's implementation.
-  SimExecutor(int processors, CostModel cost = {}, int queue_shards = 1)
-      : processors_(processors), cost_(cost), shards_(queue_shards) {
+  /// `batch` is the scheduler batch size: units pulled (and committed) per
+  /// serialized heap access; 1 is the paper's unbatched scheduler.
+  SimExecutor(int processors, CostModel cost = {}, int queue_shards = 1,
+              int batch = 1)
+      : processors_(processors), cost_(cost), shards_(queue_shards),
+        batch_(batch) {
     ERS_CHECK(processors >= 1);
     ERS_CHECK(queue_shards >= 1);
+    ERS_CHECK(batch >= 1);
   }
 
   /// Run the engine to completion; returns the simulated metrics.
   SimMetrics run(EngineT& engine) {
-    using WorkItemT = decltype(*engine.acquire());
+    using ItemT = std::decay_t<decltype(*engine.acquire())>;
     using ComputeT = decltype(engine.compute(*engine.acquire()));
 
+    struct Entry {
+      ItemT item;
+      ComputeT result;
+    };
     struct Completion {
       std::uint64_t t;
       std::uint64_t seq;
       std::uint64_t started;
       int worker;
-      std::decay_t<WorkItemT> item;
-      ComputeT result;
-      std::uint64_t cost;
+      std::vector<Entry> batch;
     };
     struct Later {
       bool operator()(const Completion& a, const Completion& b) const noexcept {
@@ -97,32 +113,42 @@ class SimExecutor {
     SimMetrics m;
     m.processors = processors_;
     std::uint64_t now = 0;
-    std::vector<std::uint64_t> lock_free(shards_, 0);
+    std::vector<std::uint64_t> lock_free(static_cast<std::size_t>(shards_), 0);
     // A heap access goes to the earliest-available shard (an idealized
-    // balanced distribution of the queues).
-    auto lock_acquire = [&](std::uint64_t at) {
+    // balanced distribution of the queues).  `op_cost` is the serialized
+    // time the access occupies its shard — one per batch.
+    auto lock_acquire = [&](std::uint64_t at, std::uint64_t op_cost) {
       auto it = std::min_element(lock_free.begin(), lock_free.end());
       const std::uint64_t start = std::max(at, *it);
-      *it = start + cost_.per_queue_op;
+      *it = start + op_cost;
+      ++m.heap_accesses;
       return start;
     };
     std::uint64_t seq = 0;
 
     auto dispatch = [&] {
       while (!idle.empty()) {
-        auto item = engine.acquire();
-        if (!item) break;
+        std::vector<ItemT> items;
+        acquire_into(engine, static_cast<std::size_t>(batch_), items);
+        if (items.empty()) break;
         const IdleWorker w = idle.top();
         idle.pop();
         m.idle_time += now - w.since;
-        // Serialized heap access for the acquire.
-        const std::uint64_t start = lock_acquire(now);
+        // One serialized heap access for the whole acquired batch.
+        const std::uint64_t start = lock_acquire(now, cost_.per_heap_acquire);
         m.lock_wait_time += start - now;
-        auto result = engine.compute(*item);
-        const std::uint64_t c = unit_cost(*item, result);
-        const std::uint64_t done_at = start + cost_.per_queue_op + c;
+        std::vector<Entry> batch;
+        batch.reserve(items.size());
+        std::uint64_t compute_cost = 0;
+        for (ItemT& item : items) {
+          auto result = engine.compute(item);
+          compute_cost += cost_.of(result.stats);
+          batch.push_back(Entry{std::move(item), std::move(result)});
+        }
+        const std::uint64_t done_at =
+            start + cost_.per_heap_acquire + compute_cost;
         inflight.push(
-            Completion{done_at, seq++, start, w.id, *item, std::move(result), c});
+            Completion{done_at, seq++, start, w.id, std::move(batch)});
       }
     };
 
@@ -132,15 +158,15 @@ class SimExecutor {
       Completion ev = std::move(const_cast<Completion&>(inflight.top()));
       inflight.pop();
       now = ev.t;
-      // Serialized heap access for the commit.
-      const std::uint64_t start = lock_acquire(now);
+      // One serialized heap access commits the whole batch.
+      const std::uint64_t start = lock_acquire(now, cost_.per_heap_commit);
       m.lock_wait_time += start - now;
-      const std::uint64_t freed_at = start + cost_.per_queue_op;
+      const std::uint64_t freed_at = start + cost_.per_heap_commit;
       // Busy time is credited at commit so that work still in flight when
       // the root combines can be clamped to the makespan below.
-      m.busy_time += (ev.t - ev.started) + cost_.per_queue_op;
-      engine.commit(ev.item, std::move(ev.result));
-      ++m.units;
+      m.busy_time += (ev.t - ev.started) + cost_.per_heap_commit;
+      commit_all(engine, ev.batch);
+      m.units += ev.batch.size();
       m.makespan = std::max(m.makespan, freed_at);
       idle.push(IdleWorker{freed_at, ev.worker});
       now = freed_at;
@@ -165,14 +191,31 @@ class SimExecutor {
   }
 
  private:
-  template <typename Item, typename Result>
-  [[nodiscard]] std::uint64_t unit_cost(const Item&, const Result& r) const {
-    return cost_.of(r.stats);
+  /// Pull up to k items, preferring the engine's batch form.  Engines
+  /// exposing only the single-item protocol (the scripted DES fake, the
+  /// baselines) are popped one at a time — identical semantics.
+  template <typename E, typename ItemT>
+  static void acquire_into(E& engine, std::size_t k, std::vector<ItemT>& out) {
+    if constexpr (requires { engine.acquire_batch(k, out); }) {
+      engine.acquire_batch(k, out);
+    } else {
+      while (out.size() < k) {
+        auto item = engine.acquire();
+        if (!item) break;
+        out.push_back(std::move(*item));
+      }
+    }
+  }
+
+  template <typename E, typename EntryT>
+  static void commit_all(E& engine, std::vector<EntryT>& batch) {
+    for (EntryT& e : batch) engine.commit(e.item, std::move(e.result));
   }
 
   int processors_;
   CostModel cost_;
   int shards_;
+  int batch_;
 };
 
 }  // namespace ers::sim

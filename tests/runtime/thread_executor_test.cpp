@@ -92,5 +92,84 @@ TEST(ThreadExecutor, UnitsAccounted) {
   EXPECT_EQ(report.threads, 2);
 }
 
+// --- batched scheduling ---------------------------------------------------
+
+TEST(ThreadExecutor, DeterminismSweepRandomTrees) {
+  // The contract of the batched scheduler: same root value across every
+  // thread count × batch size, under real OS nondeterminism.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const UniformRandomTree g(4, 5, seed + 50, -100, 100);
+    const Value oracle = negmax_search(g, 5).value;
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const int batch : {1, 4}) {
+        const auto r = parallel_er_threads(g, cfg(5, 3), threads, batch);
+        EXPECT_EQ(r.value, oracle)
+            << "seed=" << seed << " threads=" << threads << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(ThreadExecutor, DeterminismSweepOthelloMidgame) {
+  const othello::OthelloGame g(othello::paper_position(2));
+  const Value oracle = negmax_search(g, 4).value;
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int batch : {1, 4}) {
+      const auto r = parallel_er_threads(g, cfg(4, 2), threads, batch);
+      EXPECT_EQ(r.value, oracle)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST(ThreadExecutor, BatchedRunAccountsEveryUnit) {
+  const UniformRandomTree g(4, 4, 13, -50, 50);
+  core::Engine<UniformRandomTree> engine(g, cfg(4, 2));
+  runtime::ThreadExecutor<core::Engine<UniformRandomTree>> exec(2);
+  exec.with_batch_size(4);
+  const auto report = exec.run(engine);
+  EXPECT_TRUE(engine.done());
+  EXPECT_EQ(report.units, engine.stats().units_processed);
+  EXPECT_EQ(report.sched.units, report.units);
+}
+
+TEST(ThreadExecutor, SchedulerStatsAreCoherent) {
+  const UniformRandomTree g(4, 5, 17, -100, 100);
+  core::Engine<UniformRandomTree> engine(g, cfg(5, 3));
+  runtime::ThreadExecutor<core::Engine<UniformRandomTree>> exec(4);
+  exec.with_batch_size(4);
+  const auto report = exec.run(engine);
+  const auto& s = report.sched;
+  EXPECT_GT(s.lock_acquisitions, 0u);
+  EXPECT_GT(s.batches, 0u);
+  EXPECT_GE(s.units, s.batches) << "batches hold at least one unit";
+  EXPECT_LE(s.units, s.batches * 4) << "batches hold at most k units";
+  EXPECT_GE(s.mean_batch_size(), 1.0);
+  EXPECT_LE(s.mean_batch_size(), 4.0);
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t b : s.batch_size_hist) hist_total += b;
+  EXPECT_EQ(hist_total, s.batches) << "every batch lands in one bucket";
+  EXPECT_GT(report.elapsed_ns, 0u);
+  EXPECT_GE(report.lock_wait_share(), 0.0);
+  EXPECT_LE(report.lock_wait_share(), 1.0);
+}
+
+TEST(ThreadExecutor, LargeBatchOnTinyTreeStillCompletes) {
+  // Batch size far beyond the work available: workers must not hoard-starve
+  // or deadlock.
+  const UniformRandomTree g(2, 3, 3, -10, 10);
+  const auto r = parallel_er_threads(g, cfg(3, 1), 8, 64);
+  EXPECT_EQ(r.value, negmax_search(g, 3).value);
+}
+
+TEST(ThreadExecutor, RepeatedBatchedRunsAreStableInValue) {
+  const UniformRandomTree g(5, 5, 7, -100, 100);
+  const Value oracle = negmax_search(g, 5).value;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = parallel_er_threads(g, cfg(5, 3), 4, 8);
+    EXPECT_EQ(r.value, oracle) << "run " << i;
+  }
+}
+
 }  // namespace
 }  // namespace ers

@@ -70,7 +70,8 @@ CostModel unit_cost_model() {
   m.per_leaf = 1;
   m.per_sort_eval = 0;
   m.per_unit_base = 0;
-  m.per_queue_op = 0;  // timing tests add it back explicitly
+  m.per_heap_acquire = 0;  // timing tests add heap costs back explicitly
+  m.per_heap_commit = 0;
   return m;
 }
 
@@ -109,7 +110,8 @@ TEST(DesScripted, QueueOpCostSerializesOnTheLock) {
   // Exact makespan is fiddly; assert the lock made things strictly slower
   // and lock_wait_time is visible.
   auto cost = unit_cost_model();
-  cost.per_queue_op = 1;
+  cost.per_heap_acquire = 1;
+  cost.per_heap_commit = 1;
   ScriptedEngine a({{1, 2, 3}, {}, {}, {}}, {2, 10, 10, 10}, 3);
   SimExecutor<ScriptedEngine> exec(3, cost);
   const auto with_lock = exec.run(a);
@@ -123,7 +125,8 @@ TEST(DesScripted, QueueOpCostSerializesOnTheLock) {
 
 TEST(DesScripted, ShardsRemoveLockSerialization) {
   auto cost = unit_cost_model();
-  cost.per_queue_op = 5;  // brutal lock
+  cost.per_heap_acquire = 5;  // brutal lock
+  cost.per_heap_commit = 5;
   // Wide fan-out of cheap units: lock-bound with one shard.
   std::vector<std::vector<int>> rel(9);
   for (int i = 1; i <= 8; ++i) rel[0].push_back(i);
