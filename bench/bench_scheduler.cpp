@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
   using namespace ers;
   auto opt = bench::parse_options(argc, argv, {"O1", "O2", "O3", "R1", "R3"});
   bench::print_header("Batched problem-heap scheduling (thread runtime)");
-  std::printf("reps per configuration: %d\n\n", opt.reps);
+  std::printf("reps per configuration: %d\n", opt.reps);
+  std::printf("problem-heap shards: %d%s\n\n", opt.shards,
+              opt.shards > 1 ? " (work-stealing scheduler)" : "");
 
   TextTable table({"tree", "threads", "batch", "units/s", "lock share",
                    "locks/unit", "mean batch", "nodes", "value"});
@@ -96,7 +98,8 @@ int main(int argc, char** argv) {
   double wait_share_t8_k1 = 0.0, wait_share_t8_k8 = 0.0;
   int t8_points = 0;
   for (const auto& name : opt.tree_names) {
-    const auto base = harness::tree_by_name(name, opt.scale);
+    auto base = harness::tree_by_name(name, opt.scale);
+    base.engine.heap_shards = opt.shards;
     const Value oracle = std::visit(
         [&](const auto& game) {
           return alpha_beta_search(game, base.engine.search_depth,
@@ -128,6 +131,7 @@ int main(int argc, char** argv) {
                            .field("tree", base.name)
                            .field("threads", threads)
                            .field("batch", batch)
+                           .field("shards", opt.shards)
                            .field("units", r.units)
                            .field("units_per_sec", r.units_per_sec)
                            .field("lock_wait_share", r.lock_wait_share)

@@ -7,6 +7,9 @@
 // All binaries accept:
 //   --scale N   reduce every search/serial depth by N (quick smoke runs)
 //   --trees A,B restrict to a subset of tree names
+//   --shards S  problem-heap shards (1 = the paper's single heap); the
+//               simulated benches route heap-access delays per shard, the
+//               thread benches run the work-stealing scheduler
 
 #include <cstdio>
 #include <string>
@@ -22,6 +25,7 @@ namespace ers::bench {
 struct FigureOptions {
   int scale = 0;
   int reps = 5;  ///< repetitions for thread-runtime (nondeterministic) benches
+  int shards = 1;  ///< problem-heap shards (1 = single heap, the seed setup)
   std::vector<std::string> tree_names;
 };
 
@@ -31,6 +35,7 @@ inline FigureOptions parse_options(int argc, char** argv,
   FigureOptions opt;
   opt.scale = static_cast<int>(args.get_int("scale", 0));
   opt.reps = static_cast<int>(args.get_int("reps", 5));
+  opt.shards = static_cast<int>(args.get_int("shards", 1));
   std::string trees = args.get("trees", "");
   if (trees.empty()) {
     opt.tree_names = std::move(default_trees);
@@ -53,12 +58,13 @@ struct TreeSweep {
 };
 
 inline TreeSweep run_sweep(const std::string& name, int scale,
-                           const core::SpeculationConfig* speculation = nullptr) {
+                           const core::SpeculationConfig* speculation = nullptr,
+                           int shards = 1) {
   TreeSweep s{harness::tree_by_name(name, scale), {}, {}};
   s.serial = harness::run_serial_baselines(s.tree);
   for (const int p : harness::figure_processor_counts())
-    s.points.push_back(
-        harness::run_parallel_point(s.tree, p, s.serial, {}, speculation));
+    s.points.push_back(harness::run_parallel_point(s.tree, p, s.serial, {},
+                                                   speculation, shards));
   return s;
 }
 

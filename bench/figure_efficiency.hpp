@@ -12,10 +12,11 @@ namespace ers::bench {
 inline void print_efficiency_figure(const char* title,
                                     const FigureOptions& opt) {
   print_header(title);
+  if (opt.shards != 1) std::printf("problem-heap shards: %d\n", opt.shards);
   TextTable table({"tree", "procs", "speedup", "efficiency",
                    "serial alpha-beta eff.", "utilization", "idle share"});
   for (const auto& name : opt.tree_names) {
-    const TreeSweep s = run_sweep(name, opt.scale);
+    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards);
     for (const auto& p : s.points) {
       const double idle_share =
           static_cast<double>(p.metrics.idle_time) /
@@ -35,10 +36,11 @@ inline void print_efficiency_figure(const char* title,
 /// alpha-beta and serial ER node counts as the reference bars.
 inline void print_nodes_figure(const char* title, const FigureOptions& opt) {
   print_header(title);
+  if (opt.shards != 1) std::printf("problem-heap shards: %d\n", opt.shards);
   TextTable table({"tree", "procs", "nodes generated", "vs serial ER",
                    "serial ER nodes", "alpha-beta nodes"});
   for (const auto& name : opt.tree_names) {
-    const TreeSweep s = run_sweep(name, opt.scale);
+    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards);
     const auto er_nodes = s.serial.er.nodes_generated();
     for (const auto& p : s.points) {
       table.add_row({s.tree.name, std::to_string(p.processors),

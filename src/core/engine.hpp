@@ -7,6 +7,14 @@
 // e-children first, then shallower).  It performs no threading and keeps no
 // clock; executors drive it through a three-phase protocol:
 //
+// The two queues are partitioned into EngineConfig::heap_shards shards
+// (paper §8's proposal of distributing the problem heap).  A node's entries
+// live on the shard owning its parent, so one commit's pushes land on one
+// shard.  Global pops (acquire/acquire_batch) scan the shard tops and are
+// bit-identical to the single-heap order at every shard count; shard-local
+// pops (acquire_shard/acquire_batch_shard) let an executor drain one shard
+// in its local priority order and balance the rest by stealing.
+//
 //     acquire()  -> WorkItem        pick the next unit (Table 1 dispatch /
 //                                   speculative promotion / serial subtree)
 //     compute()  -> ComputeResult   the heavy, *pure* part of the unit —
@@ -91,7 +99,9 @@ class Engine {
   Engine(const G&&, EngineConfig) = delete;  // the game must outlive the engine
   Engine(const G& game, EngineConfig cfg) : game_(game), cfg_(cfg) {
     ERS_CHECK(cfg_.search_depth >= 0);
+    ERS_CHECK(cfg_.heap_shards >= 1);
     cfg_.serial_depth = std::clamp(cfg_.serial_depth, 0, cfg_.search_depth);
+    shards_.resize(static_cast<std::size_t>(cfg_.heap_shards));
     nodes_.push_back(Node(game_.root(), kNoNode, 0, NodeType::kENode, 0));
     push_primary(0);
   }
@@ -104,20 +114,29 @@ class Engine {
 
   // --- executor protocol -------------------------------------------------
 
-  [[nodiscard]] std::optional<WorkItem> acquire() { return acquire_one(); }
+  [[nodiscard]] std::optional<WorkItem> acquire() {
+    return acquire_one(kAnyShard);
+  }
+
+  /// Shard-local acquire: pop the best ready unit of shard `s` only (its
+  /// own priority order; never touches other shards' queues).  The thread
+  /// runtime's steal loop drains a worker's home shard through this before
+  /// probing victims.
+  [[nodiscard]] std::optional<WorkItem> acquire_shard(std::size_t s) {
+    return acquire_one(s % shards_.size());
+  }
 
   /// Batch form of acquire(): pop up to `k` ready units in one pass,
   /// appending them to `out`.  Returns the number acquired.  Executors pay
   /// one serialized heap access for the whole call, which is the point.
   std::size_t acquire_batch(std::size_t k, std::vector<WorkItem>& out) {
-    std::size_t got = 0;
-    while (got < k) {
-      auto item = acquire_one();
-      if (!item) break;
-      out.push_back(*item);
-      ++got;
-    }
-    return got;
+    return acquire_batch_from(kAnyShard, k, out);
+  }
+
+  /// Batch form of acquire_shard(): up to `k` units from shard `s` alone.
+  std::size_t acquire_batch_shard(std::size_t s, std::size_t k,
+                                  std::vector<WorkItem>& out) {
+    return acquire_batch_from(s % shards_.size(), k, out);
   }
 
   void commit(const WorkItem& item, ComputeResult&& r) {
@@ -132,18 +151,127 @@ class Engine {
     for (CommitEntry& e : batch) commit_one(e.item, std::move(e.result));
   }
 
-  /// Entries currently queued (primary + speculative).  An upper bound —
-  /// lazily-invalidated stale entries are counted — which is all the thread
-  /// runtime needs to size its wakeups to the work actually available.
+  /// Entries currently queued (primary + speculative) across all shards.
+  /// An upper bound — lazily-invalidated stale entries are counted — which
+  /// is all the thread runtime needs to size its wakeups to the work
+  /// actually available.
   [[nodiscard]] std::size_t queued_count() const noexcept {
-    return primary_.size() + spec_.size();
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.primary.size() + s.spec.size();
+    return n;
+  }
+
+  /// Queued entries (upper bound, stale included) in shard `s` alone.
+  [[nodiscard]] std::size_t queued_count_shard(std::size_t s) const noexcept {
+    const Shard& sh = shards_[s % shards_.size()];
+    return sh.primary.size() + sh.spec.size();
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// The shard a node's queue entries live in: the shard owning its parent,
+  /// so the children created by one commit all land on one shard and a
+  /// worker draining it keeps the depth-first focus of the LIFO tiebreak.
+  [[nodiscard]] std::size_t home_shard(std::uint32_t id) const noexcept {
+    const std::uint32_t p = nodes_[id].parent;
+    return p == kNoNode ? 0 : p % shards_.size();
   }
 
  private:
-  [[nodiscard]] std::optional<WorkItem> acquire_one() {
-    while (!primary_.empty()) {
-      const PrimaryEntry e = primary_.top();
-      primary_.pop();
+  struct PrimaryEntry {
+    std::int32_t ply;
+    std::uint64_t seq;
+    std::uint32_t node;
+    /// Deepest first; LIFO among equals, so a processor keeps descending
+    /// into the subtree it just expanded (depth-first focus).  At P=1 this
+    /// makes the schedule coincide with serial ER's recursion order.
+    bool operator<(const PrimaryEntry& o) const noexcept {
+      if (ply != o.ply) return ply < o.ply;
+      return seq < o.seq;
+    }
+  };
+
+  struct SpecEntry {
+    /// Policy-dependent ranking keys, smaller = scheduled sooner (see
+    /// SpecRankPolicy and spec_keys_for).
+    std::int64_t key1;
+    std::int64_t key2;
+    std::uint64_t seq;
+    std::uint32_t node;
+    std::uint64_t spec_seq;
+    bool operator<(const SpecEntry& o) const noexcept {
+      if (key1 != o.key1) return key1 > o.key1;
+      if (key2 != o.key2) return key2 > o.key2;
+      return seq > o.seq;
+    }
+  };
+
+  /// One slice of the problem heap: the primary and speculative queues for
+  /// the nodes homed here.  Entry comparators are global (ply/keys + global
+  /// seq), so within a shard the paper's priority order is preserved and
+  /// across shards the tops reconstruct the global order exactly.
+  struct Shard {
+    std::priority_queue<PrimaryEntry> primary;
+    std::priority_queue<SpecEntry> spec;
+  };
+
+  /// Sentinel for "pop the globally best entry over every shard".
+  static constexpr std::size_t kAnyShard = std::numeric_limits<std::size_t>::max();
+
+  std::size_t acquire_batch_from(std::size_t shard, std::size_t k,
+                                 std::vector<WorkItem>& out) {
+    std::size_t got = 0;
+    while (got < k) {
+      auto item = acquire_one(shard);
+      if (!item) break;
+      out.push_back(*item);
+      ++got;
+    }
+    return got;
+  }
+
+  /// Pop the best live primary entry — of one shard, or globally.  The
+  /// global pop scans the shard tops: each shard is a max-heap under the
+  /// same comparator (global seq tiebreak included), so the maximum over
+  /// tops *is* the single-heap maximum and the global pop sequence is
+  /// bit-identical at every shard count.
+  [[nodiscard]] std::optional<PrimaryEntry> pop_primary(std::size_t shard) {
+    Shard* best = nullptr;
+    if (shard == kAnyShard) {
+      for (Shard& s : shards_) {
+        if (s.primary.empty()) continue;
+        if (best == nullptr || best->primary.top() < s.primary.top()) best = &s;
+      }
+    } else if (!shards_[shard].primary.empty()) {
+      best = &shards_[shard];
+    }
+    if (best == nullptr) return std::nullopt;
+    const PrimaryEntry e = best->primary.top();
+    best->primary.pop();
+    return e;
+  }
+
+  [[nodiscard]] std::optional<SpecEntry> pop_spec(std::size_t shard) {
+    Shard* best = nullptr;
+    if (shard == kAnyShard) {
+      for (Shard& s : shards_) {
+        if (s.spec.empty()) continue;
+        if (best == nullptr || best->spec.top() < s.spec.top()) best = &s;
+      }
+    } else if (!shards_[shard].spec.empty()) {
+      best = &shards_[shard];
+    }
+    if (best == nullptr) return std::nullopt;
+    const SpecEntry e = best->spec.top();
+    best->spec.pop();
+    return e;
+  }
+
+  [[nodiscard]] std::optional<WorkItem> acquire_one(std::size_t shard) {
+    while (auto popped = pop_primary(shard)) {
+      const PrimaryEntry e = *popped;
       Node& n = nodes_[e.node];
       if (!n.in_primary) continue;  // stale entry
       n.in_primary = false;
@@ -168,19 +296,20 @@ class Engine {
           continue;
         }
         n.in_flight = true;
-        return WorkItem{e.node, serial_kind(n), w, n.value, &n};
+        return WorkItem{e.node, serial_kind(n), w, n.value, n.type, &n};
       }
       n.in_flight = true;
-      return WorkItem{e.node, WorkKind::kExpand, full_window(), -kValueInf, &n};
+      return WorkItem{e.node, WorkKind::kExpand, full_window(), -kValueInf,
+                      n.type, &n};
     }
-    while (!spec_.empty()) {
-      const SpecEntry e = spec_.top();
-      spec_.pop();
+    while (auto popped = pop_spec(shard)) {
+      const SpecEntry e = *popped;
       Node& n = nodes_[e.node];
       if (!n.on_spec || e.spec_seq != n.spec_seq) continue;  // stale
       n.on_spec = false;
       if (n.finished || is_dead(e.node) || !spec_eligible(e.node)) continue;
-      return WorkItem{e.node, WorkKind::kPromote, full_window(), -kValueInf, &n};
+      return WorkItem{e.node, WorkKind::kPromote, full_window(), -kValueInf,
+                      n.type, &n};
     }
     return std::nullopt;
   }
@@ -270,8 +399,10 @@ class Engine {
           break;
         }
         out.stats.interior_expanded += 1;
-        // Paper §7: children of e-nodes are never statically sorted.
-        if (n.type != NodeType::kENode && cfg_.ordering.should_sort(n.ply))
+        // Paper §7: children of e-nodes are never statically sorted.  Use
+        // the role frozen at acquire: the live field may be re-typed under
+        // the engine lock while this unit runs (WorkItem::ntype).
+        if (item.ntype != NodeType::kENode && cfg_.ordering.should_sort(n.ply))
           sort_children_by_static_value(game_, out.child_positions, out.stats);
         break;
       }
@@ -322,27 +453,41 @@ class Engine {
   /// True if no work is queued.  An executor observing has_work()==false,
   /// done()==false and no in-flight items has found a scheduling bug.
   [[nodiscard]] bool has_queued_work() const noexcept {
-    return !primary_.empty() || !spec_.empty();
+    for (const Shard& s : shards_)
+      if (!s.primary.empty() || !s.spec.empty()) return true;
+    return false;
   }
 
   [[nodiscard]] std::size_t tree_size() const noexcept { return nodes_.size(); }
 
-  /// Diagnostic dump of all unfinished, non-dead nodes (used by the
-  /// executors' stall reports; see tests/core/engine_test.cpp).
+  /// Diagnostic dump of all unfinished, non-dead nodes, grouped under a
+  /// per-shard occupancy summary (used by the executors' stall reports; see
+  /// tests/core/engine_test.cpp).  The unfinished-node table is partitioned
+  /// by home shard so a stall in one shard's scheduling is visible as that
+  /// shard's occupancy, not a flat global list.
   void debug_dump_unfinished(std::FILE* out) const {
+    std::vector<std::size_t> unfinished(shards_.size(), 0);
+    for (std::uint32_t id = 0; id < nodes_.size(); ++id)
+      if (!nodes_[id].finished && !is_dead(id)) ++unfinished[home_shard(id)];
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      std::fprintf(out,
+                   "shard %zu: primary %zu spec %zu unfinished %zu\n", s,
+                   shards_[s].primary.size(), shards_[s].spec.size(),
+                   unfinished[s]);
     for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
       const Node& n = nodes_[id];
       if (n.finished || is_dead(id)) continue;
       std::fprintf(
           out,
-          "node %u parent %d ply %d type %d value %d gen %d fin %d elder %d "
-          "d %d e_ch %d partial %d expanded %d inprim %d inflight %d "
+          "node %u shard %zu parent %d ply %d type %d value %d gen %d fin %d "
+          "elder %d d %d e_ch %d partial %d expanded %d inprim %d inflight %d "
           "first_e %d e_eval %d seqref %d\n",
-          id, static_cast<int>(n.parent), n.ply, static_cast<int>(n.type),
-          n.value, n.generated, n.finished_children, n.elder_done,
-          child_count(n), n.e_children, n.partial ? 1 : 0, n.expanded ? 1 : 0,
-          n.in_primary ? 1 : 0, n.in_flight ? 1 : 0, n.first_e_selected ? 1 : 0,
-          n.e_child_evaluated ? 1 : 0, static_cast<int>(n.seq_refuting));
+          id, home_shard(id), static_cast<int>(n.parent), n.ply,
+          static_cast<int>(n.type), n.value, n.generated, n.finished_children,
+          n.elder_done, child_count(n), n.e_children, n.partial ? 1 : 0,
+          n.expanded ? 1 : 0, n.in_primary ? 1 : 0, n.in_flight ? 1 : 0,
+          n.first_e_selected ? 1 : 0, n.e_child_evaluated ? 1 : 0,
+          static_cast<int>(n.seq_refuting));
     }
   }
 
@@ -385,34 +530,6 @@ class Engine {
     std::uint64_t spec_seq = 0;
   };
 
-  struct PrimaryEntry {
-    std::int32_t ply;
-    std::uint64_t seq;
-    std::uint32_t node;
-    /// Deepest first; LIFO among equals, so a processor keeps descending
-    /// into the subtree it just expanded (depth-first focus).  At P=1 this
-    /// makes the schedule coincide with serial ER's recursion order.
-    bool operator<(const PrimaryEntry& o) const noexcept {
-      if (ply != o.ply) return ply < o.ply;
-      return seq < o.seq;
-    }
-  };
-
-  struct SpecEntry {
-    /// Policy-dependent ranking keys, smaller = scheduled sooner (see
-    /// SpecRankPolicy and spec_keys_for).
-    std::int64_t key1;
-    std::int64_t key2;
-    std::uint64_t seq;
-    std::uint32_t node;
-    std::uint64_t spec_seq;
-    bool operator<(const SpecEntry& o) const noexcept {
-      if (key1 != o.key1) return key1 > o.key1;
-      if (key2 != o.key2) return key2 > o.key2;
-      return seq > o.seq;
-    }
-  };
-
   /// Ranking keys for the speculative queue under the configured policy.
   [[nodiscard]] std::pair<std::int64_t, std::int64_t> spec_keys_for(
       std::uint32_t id) const {
@@ -436,7 +553,7 @@ class Engine {
     Node& n = nodes_[id];
     if (n.in_primary || n.in_flight || n.finished) return;
     n.in_primary = true;
-    primary_.push(PrimaryEntry{n.ply, seq_++, id});
+    shards_[home_shard(id)].primary.push(PrimaryEntry{n.ply, seq_++, id});
   }
 
   void push_spec(std::uint32_t id) {
@@ -445,7 +562,7 @@ class Engine {
     n.on_spec = true;
     ++n.spec_seq;
     const auto [k1, k2] = spec_keys_for(id);
-    spec_.push(SpecEntry{k1, k2, seq_++, id, n.spec_seq});
+    shards_[home_shard(id)].spec.push(SpecEntry{k1, k2, seq_++, id, n.spec_seq});
   }
 
   // --- predicates ---------------------------------------------------------
@@ -796,8 +913,7 @@ class Engine {
   EngineConfig cfg_;
   std::deque<Node> nodes_;  // stable references: children are created while
                             // parent references are live
-  std::priority_queue<PrimaryEntry> primary_;
-  std::priority_queue<SpecEntry> spec_;
+  std::vector<Shard> shards_;
   std::uint64_t seq_ = 0;
   bool done_ = false;
   EngineStats stats_;

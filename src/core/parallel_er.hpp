@@ -6,6 +6,7 @@
 //   * parallel_er_sim: run on the deterministic P-processor simulator and
 //     report timing metrics (the experiment path; see DESIGN.md §1).
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -38,12 +39,18 @@ struct SimulatedSearchResult {
 /// Search `game` to cfg.search_depth with parallel ER on `threads` OS
 /// threads.  `batch` is the scheduler batch size: units each worker pulls
 /// and commits per serialized heap access (1 = the unbatched scheduler).
-/// The returned value equals serial negmax at every batch size.
+/// `shards` partitions the problem heap (cfg.heap_shards wins if larger):
+/// with more than one shard the executor runs its work-stealing scheduler —
+/// per-worker run queues fed from home shards, randomized stealing between
+/// them.  The returned value equals serial negmax at every (batch, shards).
 template <Game G>
 [[nodiscard]] ParallelSearchResult<typename G::Position> parallel_er_threads(
-    const G& game, const core::EngineConfig& cfg, int threads, int batch = 1) {
-  if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
-  core::Engine<G> engine(game, cfg);
+    const G& game, const core::EngineConfig& cfg, int threads, int batch = 1,
+    int shards = 1) {
+  core::EngineConfig c = cfg;
+  c.heap_shards = std::max(c.heap_shards, shards);
+  if (c.shared_table != nullptr) c.shared_table->new_search();
+  core::Engine<G> engine(game, c);
   runtime::ThreadExecutor<core::Engine<G>> exec(threads);
   exec.with_batch_size(batch);
   exec.run(engine);
@@ -60,9 +67,15 @@ template <Game G>
 [[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
     const G& game, const core::EngineConfig& cfg, int processors,
     sim::CostModel cost = {}, int queue_shards = 1, int batch = 1) {
-  if (cfg.shared_table != nullptr) cfg.shared_table->new_search();
-  core::Engine<G> engine(game, cfg);
-  sim::SimExecutor<core::Engine<G>> exec(processors, cost, queue_shards, batch);
+  // The engine's heap partition and the simulator's shard locks must
+  // coincide for the routed contention model to mean anything; the engine's
+  // global pop order is shard-count-invariant, so this never changes the
+  // schedule or the node counts — only the serialization delays.
+  core::EngineConfig c = cfg;
+  c.heap_shards = std::max(c.heap_shards, queue_shards);
+  if (c.shared_table != nullptr) c.shared_table->new_search();
+  core::Engine<G> engine(game, c);
+  sim::SimExecutor<core::Engine<G>> exec(processors, cost, c.heap_shards, batch);
   const sim::SimMetrics m = exec.run(engine);
   return SimulatedSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), m, engine.best_root_position()};

@@ -58,6 +58,15 @@ struct EngineConfig {
   /// Ply at which serial ER takes over: nodes at this ply are resolved as a
   /// single (heavy) work unit.  Must be in [0, search_depth].
   int serial_depth = 5;
+  /// Number of independently orderable problem-heap shards (paper §8's
+  /// "distribute the work to reduce processor interaction").  Work routes to
+  /// the shard owning a node's parent, so siblings colocate and a worker
+  /// draining one shard keeps depth-first focus.  1 = the paper's single
+  /// heap; the global acquire order is identical at every shard count (the
+  /// global maximum is the maximum over shard tops under the same
+  /// comparator), so sharding never changes the schedule — only which
+  /// executor lock/queue serves each pop.
+  int heap_shards = 1;
   /// Move ordering applied to non-e-node children (paper §7).
   OrderingPolicy ordering;
   SpeculationConfig speculation;
@@ -104,6 +113,11 @@ struct WorkItem {
   /// Tentative value from the node's earlier Eval_first unit
   /// (kSerialRefuteRest only).
   Value tentative = -kValueInf;
+  /// Node role frozen at acquire time.  The live Node::type can be
+  /// re-written under the engine lock while this item is in flight
+  /// (dispatch_refutations re-types queued/running children), so compute()
+  /// must consult this copy, never the node's field.
+  NodeType ntype = NodeType::kUndecided;
   /// Stable pointer to the engine node, captured under the engine lock at
   /// acquire time.  compute() runs *outside* the lock in the thread
   /// runtime, and indexing the node container there would race with

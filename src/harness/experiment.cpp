@@ -32,7 +32,8 @@ SerialBaseline run_serial_baselines(const ExperimentTree& tree,
 ParallelPoint run_parallel_point(const ExperimentTree& tree, int processors,
                                  const SerialBaseline& serial,
                                  const sim::CostModel& cost,
-                                 const core::SpeculationConfig* speculation) {
+                                 const core::SpeculationConfig* speculation,
+                                 int shards) {
   core::EngineConfig cfg = tree.engine;
   if (speculation != nullptr) cfg.speculation = *speculation;
 
@@ -40,7 +41,7 @@ ParallelPoint run_parallel_point(const ExperimentTree& tree, int processors,
   p.processors = processors;
   std::visit(
       [&](const auto& game) {
-        const auto r = parallel_er_sim(game, cfg, processors, cost);
+        const auto r = parallel_er_sim(game, cfg, processors, cost, shards);
         p.value = r.value;
         p.engine = r.engine;
         p.metrics = r.metrics;

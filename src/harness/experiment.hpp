@@ -47,11 +47,13 @@ struct ParallelPoint {
                                                   const sim::CostModel& cost = {});
 
 /// One simulated parallel-ER run.  `speculation` overrides the engine
-/// config's speculation settings (for the ablation bench).
+/// config's speculation settings (for the ablation bench); `shards`
+/// partitions the problem heap (1 = the paper's single heap) — the root
+/// value is shard-invariant, only the serialization delays move.
 [[nodiscard]] ParallelPoint run_parallel_point(
     const ExperimentTree& tree, int processors, const SerialBaseline& serial,
     const sim::CostModel& cost = {},
-    const core::SpeculationConfig* speculation = nullptr);
+    const core::SpeculationConfig* speculation = nullptr, int shards = 1);
 
 /// Serial-ER node count on this tree — the P-agnostic reference of Figures
 /// 12/13 ("serial" bars).

@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -64,6 +65,20 @@ struct SchedulerStats {
   std::uint64_t batches = 0;       ///< non-empty acquire_batch calls
   std::uint64_t wakeups_issued = 0;  ///< targeted notify_one calls
   std::uint64_t sleeps = 0;          ///< times a worker parked on the cv
+  // Work-stealing counters (sharded scheduler only; zero on the single-heap
+  // path).  A steal attempt is one victim probe; a hit moved one unit from
+  // a peer's local run queue; misses are attempts - hits.
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_hits = 0;
+  /// Contended commit flushes deferred by try_lock failure (the worker kept
+  /// computing instead of queueing on the heap lock).
+  std::uint64_t flush_deferrals = 0;
+  /// Refills that fell through an empty home shard to the global scan.
+  std::uint64_t global_refills = 0;
+
+  [[nodiscard]] std::uint64_t steal_misses() const noexcept {
+    return steal_attempts - steal_hits;
+  }
   /// Histogram of acquired batch sizes: bucket i counts batches of size
   /// i+1, the last bucket collecting everything >= kBatchBuckets.
   static constexpr std::size_t kBatchBuckets = 8;
@@ -83,6 +98,10 @@ struct SchedulerStats {
     batches += o.batches;
     wakeups_issued += o.wakeups_issued;
     sleeps += o.sleeps;
+    steal_attempts += o.steal_attempts;
+    steal_hits += o.steal_hits;
+    flush_deferrals += o.flush_deferrals;
+    global_refills += o.global_refills;
     for (std::size_t i = 0; i < batch_size_hist.size(); ++i)
       batch_size_hist[i] += o.batch_size_hist[i];
   }
@@ -97,6 +116,7 @@ struct SchedulerStats {
 struct ThreadRunReport {
   std::uint64_t units = 0;
   int threads = 0;
+  int shards = 1;  ///< problem-heap shards the run was scheduled over
   std::uint64_t tt_probes = 0;  ///< table probes across all workers
   std::uint64_t tt_hits = 0;    ///< validated, depth-covering hits
   std::uint64_t elapsed_ns = 0;  ///< wall time of the run() call
@@ -140,17 +160,39 @@ class ThreadExecutor {
   }
 
   /// Run the engine to completion on `threads_` workers; blocks until done.
+  /// Engines exposing a sharded heap (shard_count() > 1) are driven by the
+  /// work-stealing scheduler; everything else takes the single-heap path.
   ThreadRunReport run(EngineT& engine) {
     using Clock = std::chrono::steady_clock;
     const auto run_start = Clock::now();
 
+    const std::size_t S = shard_count_of(engine);
+
     std::mutex mu;
     std::condition_variable cv;
-    int in_flight = 0;   // units acquired but not yet committed
+    int in_flight = 0;   // units acquired but not yet committed (this count
+                         // includes items parked in local run queues and
+                         // completion buffers)
     int sleepers = 0;    // workers parked on the cv
     bool failed = false;
 
     std::vector<SchedulerStats> stats(static_cast<std::size_t>(threads_));
+
+    // Per-worker local run queues (sharded scheduler only).  The owner pops
+    // the front — its acquired priority order — while thieves take the
+    // back (the entries the owner would reach last) under try_lock.  Lock
+    // order is engine mutex -> queue mutex, and steals take a queue mutex
+    // only, so the hierarchy is acyclic.
+    struct LocalQueue {
+      std::mutex mu;
+      std::deque<ItemT> items;
+    };
+    std::vector<std::unique_ptr<LocalQueue>> local;
+    if (S > 1) {
+      local.reserve(static_cast<std::size_t>(threads_));
+      for (int i = 0; i < threads_; ++i)
+        local.push_back(std::make_unique<LocalQueue>());
+    }
 
     std::vector<std::unique_ptr<ConcurrentTranspositionTable>> tables;
     if (per_thread_table_log2_ >= 0) {
@@ -262,15 +304,238 @@ class ThreadExecutor {
       }
     };
 
+    // Sharded scheduler: local shard first, then bounded random victim
+    // probes, then park.  Each worker refills its local run queue from its
+    // home shard (falling back to a global scan so no shard is orphaned
+    // when threads < shards), computes one unit at a time, and steals from
+    // a random peer's queue when its own runs dry — so a starving worker
+    // converts heap-lock waits into useful work.  Commits flush through the
+    // engine lock once per batch; a *contended* flush below the hard cap is
+    // deferred (try_lock miss) rather than waited on, which is where the
+    // measured lock-wait share falls relative to the batched single-heap
+    // scheduler.  The engine itself is still driven under the one mutex —
+    // sharding partitions the heap's *order* and the workers' queues, not
+    // the tree's serialization (see DESIGN.md §10).
+    auto stealing_worker = [&](int index) {
+      SchedulerStats& st = stats[static_cast<std::size_t>(index)];
+      LocalQueue& mine = *local[static_cast<std::size_t>(index)];
+      const std::size_t home = static_cast<std::size_t>(index) % S;
+      const std::size_t flush_cap = std::max<std::size_t>(4 * k, 8);
+      std::vector<EntryT> done_buf;
+      std::vector<ItemT> refill_buf;
+      done_buf.reserve(flush_cap);
+      refill_buf.reserve(k);
+      std::uint64_t rng =
+          (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)) | 1;
+      int spins = 0;
+      int dry = 0;  // consecutive contended serialized-visit attempts
+
+      // Adaptive mutex acquire: try, then yield-retry — on a loaded or
+      // few-core host the holder is usually *preempted*, not slow, and a
+      // yield donates the timeslice so the next try succeeds — then block
+      // for real.  Only the final blocking wait counts as lock wait: the
+      // yield rounds are voluntary reschedules, not futex blocks.
+      auto lock_adaptive = [&](std::unique_lock<std::mutex>& lock) {
+        if (lock.try_lock()) return;
+        for (int i = 0; i < kYieldRounds; ++i) {
+          std::this_thread::yield();
+          if (lock.try_lock()) return;
+        }
+        const auto wait_from = Clock::now();
+        lock.lock();
+        st.lock_wait_ns += ns(wait_from, Clock::now());
+      };
+
+      // Flush the completion buffer into the engine; `mu` must be held.
+      auto flush_locked = [&] {
+        if (done_buf.empty()) return;
+        commit_all(engine, done_buf);
+        st.units += done_buf.size();
+        in_flight -= static_cast<int>(done_buf.size());
+        done_buf.clear();
+      };
+
+      // Refill the local run queue: home shard first, global scan second.
+      // `mu` must be held; returns the number acquired.
+      auto refill_locked = [&]() -> std::size_t {
+        refill_buf.clear();
+        std::size_t got = acquire_shard_into(engine, home, k, refill_buf);
+        if (got == 0) {
+          got = acquire_into(engine, k, refill_buf);
+          if (got > 0) ++st.global_refills;
+        }
+        if (got > 0) {
+          in_flight += static_cast<int>(got);
+          st.record_batch(got);
+          std::lock_guard<std::mutex> g(mine.mu);
+          for (ItemT& it : refill_buf) mine.items.push_back(std::move(it));
+        }
+        return got;
+      };
+
+      for (;;) {
+        // --- parallel section: own queue first, then steal ---------------
+        std::optional<ItemT> item;
+        {
+          std::lock_guard<std::mutex> g(mine.mu);
+          if (!mine.items.empty()) {
+            item = std::move(mine.items.front());
+            mine.items.pop_front();
+          }
+        }
+        if (!item && threads_ > 1) {
+          for (int probe = 0; probe < kStealProbes && !item; ++probe) {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            const int victim =
+                static_cast<int>(rng % static_cast<std::uint64_t>(threads_));
+            if (victim == index) continue;
+            ++st.steal_attempts;
+            LocalQueue& q = *local[static_cast<std::size_t>(victim)];
+            std::unique_lock<std::mutex> g(q.mu, std::try_to_lock);
+            if (!g.owns_lock() || q.items.empty()) continue;
+            item = std::move(q.items.back());
+            q.items.pop_back();
+            ++st.steal_hits;
+          }
+        }
+        if (item) {
+          dry = 0;
+          done_buf.push_back(
+              EntryT{*item, compute_item(engine, *item, index, tables)});
+          if (done_buf.size() < k) continue;
+          // Flush once per batch; a contended flush below the hard cap is
+          // deferred — the worker goes back to computing and retries after
+          // the next unit instead of convoying on the lock.
+          const bool force = done_buf.size() >= flush_cap;
+          std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+          if (force) {
+            lock_adaptive(lock);
+          } else if (!lock.try_lock()) {
+            ++st.flush_deferrals;
+            continue;
+          }
+          const auto hold_from = Clock::now();
+          ++st.lock_acquisitions;
+          flush_locked();
+          const bool stop_now = engine.done() || failed;
+          // Top up the run queue while we hold the lock anyway: the next
+          // dry spell then needs no second serialized visit.
+          std::size_t got = 0;
+          if (!stop_now) {
+            bool empty;
+            {
+              std::lock_guard<std::mutex> g(mine.mu);
+              empty = mine.items.empty();
+            }
+            if (empty) got = refill_locked();
+          }
+          std::size_t wake = 0;
+          if (!stop_now && sleepers > 0)
+            wake = std::min(queued_estimate(engine) + (got > 0 ? got - 1 : 0),
+                            static_cast<std::size_t>(sleepers));
+          st.lock_hold_ns += ns(hold_from, Clock::now());
+          lock.unlock();
+          if (stop_now) {
+            cv.notify_all();
+            return;
+          }
+          st.wakeups_issued += wake;
+          for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+          continue;
+        }
+
+        // --- serial section: flush and refill -----------------------------
+        // Contended entry is retried via the steal loop first (kDryRounds
+        // times, yielding between rounds): instead of queueing on the heap
+        // lock, the worker goes back to looking for a peer's work — the
+        // wait converts to compute when any queue is non-empty.  Only a
+        // persistently dry worker falls through to the adaptive (and
+        // finally blocking) acquire, and then usually parks on the cv.
+        std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+        if (!lock.owns_lock()) {
+          if (++dry <= kDryRounds) {
+            std::this_thread::yield();
+            continue;
+          }
+          lock_adaptive(lock);
+        }
+        dry = 0;
+        const auto hold_from = Clock::now();
+        ++st.lock_acquisitions;
+        flush_locked();
+        bool stop_now = engine.done() || failed;
+        std::size_t got = 0;
+        if (!stop_now) {
+          got = refill_locked();
+          if (got == 0 && engine.done()) stop_now = true;
+        }
+        if (stop_now) {
+          st.lock_hold_ns += ns(hold_from, Clock::now());
+          lock.unlock();
+          cv.notify_all();  // everyone must observe done/failed and exit
+          return;
+        }
+        if (got == 0) {
+          if (in_flight == 0) {
+            std::fprintf(stderr,
+                         "ThreadExecutor stall: no queued work, 0 units in "
+                         "flight, engine not done (worker %d, %d threads, "
+                         "batch %d, %zu shards).  Unfinished nodes:\n",
+                         index, threads_, batch_size_, S);
+            if constexpr (requires { engine.debug_dump_unfinished(stderr); })
+              engine.debug_dump_unfinished(stderr);
+            failed = true;
+            st.lock_hold_ns += ns(hold_from, Clock::now());
+            lock.unlock();
+            cv.notify_all();
+            return;
+          }
+          st.lock_hold_ns += ns(hold_from, Clock::now());
+          if (spins < kMaxSpinRounds) {
+            ++spins;
+            lock.unlock();
+            spin_pause();
+            continue;
+          }
+          spins = 0;
+          ++st.sleeps;
+          ++sleepers;
+          cv.wait(lock);
+          --sleepers;
+          lock.unlock();
+          continue;
+        }
+        spins = 0;
+        // Wake one sleeper per unit still acquirable plus the surplus just
+        // parked in our own queue (sleepers can steal those).
+        std::size_t wake = 0;
+        if (sleepers > 0)
+          wake = std::min(queued_estimate(engine) + (got - 1),
+                          static_cast<std::size_t>(sleepers));
+        st.lock_hold_ns += ns(hold_from, Clock::now());
+        lock.unlock();
+        st.wakeups_issued += wake;
+        for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+      }
+    };
+
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads_));
-    for (int i = 0; i < threads_; ++i) pool.emplace_back(worker, i);
+    for (int i = 0; i < threads_; ++i) {
+      if (S > 1)
+        pool.emplace_back(stealing_worker, i);
+      else
+        pool.emplace_back(worker, i);
+    }
     for (auto& t : pool) t.join();
     ERS_CHECK(!failed && "problem-heap engine stalled");
     ERS_CHECK(engine.done());
 
     ThreadRunReport report;
     report.threads = threads_;
+    report.shards = static_cast<int>(S);
     report.elapsed_ns = ns(run_start, Clock::now());
     for (const SchedulerStats& st : stats) report.sched.merge(st);
     report.units = report.sched.units;
@@ -302,6 +567,14 @@ class ThreadExecutor {
   using EntryT = typename EntryFor<EngineT>::type;
 
   static constexpr int kMaxSpinRounds = 2;
+  /// Victim probes per steal round; bounded so a starving worker falls
+  /// through to the (blocking) refill path quickly when all queues are dry.
+  static constexpr int kStealProbes = 4;
+  /// Contended serialized-visit attempts a dry worker converts into extra
+  /// steal rounds before it blocks on the heap lock for real.
+  static constexpr int kDryRounds = 16;
+  /// Yield-retry rounds of the adaptive mutex acquire before blocking.
+  static constexpr int kYieldRounds = 64;
 
   [[nodiscard]] static std::uint64_t ns(
       std::chrono::steady_clock::time_point a,
@@ -344,6 +617,28 @@ class ThreadExecutor {
     } else {
       for (EntryT& e : buf) engine.commit(e.item, std::move(e.result));
     }
+  }
+
+  /// Shards the engine's heap is partitioned into (1 for engines without
+  /// the sharded protocol) — selects the scheduler in run().
+  template <typename E>
+  [[nodiscard]] static std::size_t shard_count_of(const E& engine) {
+    if constexpr (requires { engine.shard_count(); })
+      return engine.shard_count();
+    else
+      return 1;
+  }
+
+  /// Pull up to k items from one shard; engines without the sharded batch
+  /// form fall back to the global acquire (same semantics, no locality).
+  template <typename E>
+  static std::size_t acquire_shard_into(E& engine, std::size_t shard,
+                                        std::size_t k,
+                                        std::vector<ItemT>& out) {
+    if constexpr (requires { engine.acquire_batch_shard(shard, k, out); })
+      return engine.acquire_batch_shard(shard, k, out);
+    else
+      return acquire_into(engine, k, out);
   }
 
   template <typename E>

@@ -26,7 +26,11 @@ struct CostModel {
   /// *batch* (SimExecutor's batch size), not once per unit, mirroring the
   /// thread runtime's batched scheduler where one lock acquisition pulls or
   /// commits a whole run buffer.  At batch = 1 each unit pays one acquire
-  /// and one commit, the paper's setup.
+  /// and one commit, the paper's setup.  With a sharded heap (SimExecutor's
+  /// queue_shards > 1) each access occupies only the shard that the
+  /// engine's parent-owner routing assigns the popped/committed node, so
+  /// accesses to different shards overlap in time — the delay shrinks, the
+  /// price per access does not.
   std::uint64_t per_heap_acquire = 1;
   std::uint64_t per_heap_commit = 1;
   /// Transposition-table traffic.  Probes and stores are lock-free (one

@@ -28,7 +28,9 @@
 //    on the real machine.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <span>
@@ -48,6 +50,10 @@ struct SimMetrics {
   std::uint64_t lock_wait_time = 0;  ///< total time blocked on the heap lock
   std::uint64_t units = 0;           ///< work units completed
   std::uint64_t heap_accesses = 0;   ///< serialized heap ops (acquire+commit)
+  /// Serialized accesses per shard (sums to heap_accesses): the simulated
+  /// shard-contention profile, comparable with the thread runtime's
+  /// per-shard lock counters.
+  std::vector<std::uint64_t> shard_accesses;
   int processors = 0;
 
   /// Fraction of processor-time that did useful work.
@@ -66,6 +72,12 @@ class SimExecutor {
   /// over S independently-locked shards instead of one global lock.  The
   /// schedule (which unit runs when, state-wise) is unchanged — only the
   /// serialization *delay* shrinks.  S = 1 is the paper's implementation.
+  /// For engines exposing the sharded-heap protocol (core::Engine's
+  /// home_shard), an access is routed to the shard the engine's policy
+  /// actually assigns the popped/committed node — the same parent-owner
+  /// routing the thread runtime uses — so sim and threads report comparable
+  /// shard-contention numbers.  Engines without shards keep the idealized
+  /// earliest-available-shard model.
   /// `batch` is the scheduler batch size: units pulled (and committed) per
   /// serialized heap access; 1 is the paper's unbatched scheduler.
   SimExecutor(int processors, CostModel cost = {}, int queue_shards = 1,
@@ -112,16 +124,21 @@ class SimExecutor {
 
     SimMetrics m;
     m.processors = processors_;
+    m.shard_accesses.assign(static_cast<std::size_t>(shards_), 0);
     std::uint64_t now = 0;
     std::vector<std::uint64_t> lock_free(static_cast<std::size_t>(shards_), 0);
-    // A heap access goes to the earliest-available shard (an idealized
-    // balanced distribution of the queues).  `op_cost` is the serialized
-    // time the access occupies its shard — one per batch.
-    auto lock_acquire = [&](std::uint64_t at, std::uint64_t op_cost) {
-      auto it = std::min_element(lock_free.begin(), lock_free.end());
+    // A heap access occupies one shard for `op_cost` serialized time units.
+    // `shard` == kUnrouted (engines without a sharded heap) falls back to
+    // the earliest-available shard — the idealized balanced distribution.
+    auto lock_acquire = [&](std::uint64_t at, std::uint64_t op_cost,
+                            std::size_t shard) {
+      auto it = shard == kUnrouted
+                    ? std::min_element(lock_free.begin(), lock_free.end())
+                    : lock_free.begin() + static_cast<std::ptrdiff_t>(shard);
       const std::uint64_t start = std::max(at, *it);
       *it = start + op_cost;
       ++m.heap_accesses;
+      ++m.shard_accesses[static_cast<std::size_t>(it - lock_free.begin())];
       return start;
     };
     std::uint64_t seq = 0;
@@ -134,8 +151,10 @@ class SimExecutor {
         const IdleWorker w = idle.top();
         idle.pop();
         m.idle_time += now - w.since;
-        // One serialized heap access for the whole acquired batch.
-        const std::uint64_t start = lock_acquire(now, cost_.per_heap_acquire);
+        // One serialized heap access for the whole acquired batch, routed
+        // to the shard serving the pop (the best item's home shard).
+        const std::uint64_t start = lock_acquire(now, cost_.per_heap_acquire,
+                                                 route_shard(engine, items.front()));
         m.lock_wait_time += start - now;
         std::vector<Entry> batch;
         batch.reserve(items.size());
@@ -158,8 +177,11 @@ class SimExecutor {
       Completion ev = std::move(const_cast<Completion&>(inflight.top()));
       inflight.pop();
       now = ev.t;
-      // One serialized heap access commits the whole batch.
-      const std::uint64_t start = lock_acquire(now, cost_.per_heap_commit);
+      // One serialized heap access commits the whole batch, routed to the
+      // shard owning the first committed node's parent.
+      const std::uint64_t start =
+          lock_acquire(now, cost_.per_heap_commit,
+                       route_shard(engine, ev.batch.front().item));
       m.lock_wait_time += start - now;
       const std::uint64_t freed_at = start + cost_.per_heap_commit;
       // Busy time is credited at commit so that work still in flight when
@@ -191,6 +213,25 @@ class SimExecutor {
   }
 
  private:
+  /// "No routing information": use the earliest-available shard instead.
+  static constexpr std::size_t kUnrouted = std::numeric_limits<std::size_t>::max();
+
+  /// The shard an access touches under the engine's real routing policy —
+  /// home_shard folded onto this executor's shard count (they coincide when
+  /// driven through parallel_er_sim, which passes queue_shards into the
+  /// engine config).
+  template <typename E, typename ItemT>
+  [[nodiscard]] std::size_t route_shard(const E& engine,
+                                        const ItemT& item) const {
+    if constexpr (requires { engine.home_shard(item.node); }) {
+      return engine.home_shard(item.node) % static_cast<std::size_t>(shards_);
+    } else {
+      (void)engine;
+      (void)item;
+      return kUnrouted;
+    }
+  }
+
   /// Pull up to k items, preferring the engine's batch form.  Engines
   /// exposing only the single-item protocol (the scripted DES fake, the
   /// baselines) are popped one at a time — identical semantics.

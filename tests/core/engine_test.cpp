@@ -295,5 +295,117 @@ TEST(EngineBatch, QueuedCountReflectsQueues) {
   EXPECT_EQ(engine.queued_count(), 0u) << "a huge batch drains the queues";
 }
 
+// --- sharded heap ---------------------------------------------------------
+
+core::EngineConfig sharded_config(int depth, int serial_depth, int shards) {
+  core::EngineConfig cfg = config_for(depth, serial_depth);
+  cfg.heap_shards = shards;
+  return cfg;
+}
+
+TEST(EngineShards, GlobalPopOrderIsShardInvariant) {
+  // The load-bearing claim of the sharded heap: the global acquire walks
+  // the identical schedule at every shard count, because the maximum over
+  // shard tops under one total-order comparator is the single-heap maximum.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const UniformRandomTree g(4, 4, seed + 40, -80, 80);
+    using EngineT = core::Engine<UniformRandomTree>;
+    EngineT base(g, sharded_config(4, 2, 1));
+    std::vector<std::uint32_t> base_order;
+    while (!base.done()) {
+      auto item = base.acquire();
+      if (!item) break;
+      base_order.push_back(item->node);
+      base.commit(*item, base.compute(*item));
+    }
+    for (const int shards : {2, 4, 8}) {
+      EngineT e(g, sharded_config(4, 2, shards));
+      std::vector<std::uint32_t> order;
+      while (!e.done()) {
+        auto item = e.acquire();
+        if (!item) break;
+        order.push_back(item->node);
+        e.commit(*item, e.compute(*item));
+      }
+      EXPECT_EQ(order, base_order) << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(e.root_value(), base.root_value());
+      EXPECT_EQ(e.stats().search.nodes_generated(),
+                base.stats().search.nodes_generated());
+    }
+  }
+}
+
+TEST(EngineShards, HomeShardRoutesByParent) {
+  const UniformRandomTree g(4, 4, 7, -50, 50);
+  core::Engine<UniformRandomTree> engine(g, sharded_config(4, 2, 4));
+  EXPECT_EQ(engine.shard_count(), 4u);
+  // Node 0 is the root; it has no parent, so it homes on shard 0.
+  EXPECT_EQ(engine.home_shard(0), 0u) << "the root homes on 0";
+}
+
+TEST(EngineShards, ShardLocalAcquireDrainsOnlyThatShard) {
+  // Pop every unit shard by shard: each item must be homed where it was
+  // popped, and the union must cover exactly what a global drain yields.
+  const UniformRandomTree g(4, 4, 19, -50, 50);
+  using EngineT = core::Engine<UniformRandomTree>;
+  const std::size_t S = 4;
+  EngineT engine(g, sharded_config(4, 2, static_cast<int>(S)));
+  // Expand a few levels first so several shards hold work.
+  for (int rounds = 0; rounds < 8 && !engine.done(); ++rounds) {
+    auto item = engine.acquire();
+    if (!item) break;
+    engine.commit(*item, engine.compute(*item));
+  }
+  std::size_t drained = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    std::vector<core::WorkItem> items;
+    const std::size_t got = engine.acquire_batch_shard(s, 64, items);
+    EXPECT_EQ(got, items.size());
+    for (const core::WorkItem& item : items)
+      EXPECT_EQ(engine.home_shard(item.node), s)
+          << "shard-local pop returned a foreign node";
+    drained += got;
+  }
+  EXPECT_EQ(engine.queued_count(), 0u)
+      << "draining every shard empties the heap";
+  (void)drained;
+}
+
+TEST(EngineShards, ShardedBatchDriverMatchesNegmax) {
+  // Round-robin shard-local batches (the stealing scheduler's refill
+  // pattern, serialized): the value must still equal negmax.
+  for (const int shards : {2, 4}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const UniformRandomTree g(3, 5, seed, -60, 60);
+      using EngineT = core::Engine<UniformRandomTree>;
+      EngineT engine(g, sharded_config(5, 3, shards));
+      std::vector<core::WorkItem> items;
+      std::vector<EngineT::CommitEntry> batch;
+      std::size_t next = 0;
+      while (!engine.done()) {
+        items.clear();
+        batch.clear();
+        std::size_t got = 0;
+        for (std::size_t probe = 0; probe < static_cast<std::size_t>(shards);
+             ++probe) {
+          got = engine.acquire_batch_shard(
+              (next + probe) % static_cast<std::size_t>(shards), 4, items);
+          if (got > 0) {
+            next = (next + probe + 1) % static_cast<std::size_t>(shards);
+            break;
+          }
+        }
+        if (got == 0) break;
+        for (const core::WorkItem& item : items)
+          batch.push_back({item, engine.compute(item)});
+        engine.commit_batch(batch);
+      }
+      ASSERT_TRUE(engine.done()) << "shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(engine.root_value(), negmax_search(g, 5).value)
+          << "shards=" << shards << " seed=" << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ers

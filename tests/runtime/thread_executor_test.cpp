@@ -171,5 +171,100 @@ TEST(ThreadExecutor, RepeatedBatchedRunsAreStableInValue) {
   }
 }
 
+// --- sharded scheduling / work stealing -----------------------------------
+
+TEST(ThreadExecutor, DeterminismSweepShards) {
+  // The sharded work-stealing scheduler must return the alpha-beta root
+  // value at every shards × threads × batch point, under real OS
+  // nondeterminism — the schedule moves, the value must not.
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    const UniformRandomTree g(4, 5, seed + 90, -100, 100);
+    const Value oracle = negmax_search(g, 5).value;
+    for (const int shards : {1, 2, 4, 8}) {
+      for (const int threads : {1, 2, 4, 8}) {
+        for (const int batch : {1, 4}) {
+          const auto r = parallel_er_threads(g, cfg(5, 3), threads, batch,
+                                             shards);
+          EXPECT_EQ(r.value, oracle)
+              << "seed=" << seed << " shards=" << shards
+              << " threads=" << threads << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadExecutor, ShardSweepOthelloMidgame) {
+  const othello::OthelloGame g(othello::paper_position(2));
+  const Value oracle = negmax_search(g, 4).value;
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const int batch : {1, 4}) {
+        const auto r =
+            parallel_er_threads(g, cfg(4, 2), threads, batch, shards);
+        EXPECT_EQ(r.value, oracle) << "shards=" << shards
+                                   << " threads=" << threads
+                                   << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(ThreadExecutor, StealCountersCoherent) {
+  const UniformRandomTree g(4, 5, 23, -100, 100);
+  core::EngineConfig c = cfg(5, 3);
+  c.heap_shards = 4;
+  core::Engine<UniformRandomTree> engine(g, c);
+  runtime::ThreadExecutor<core::Engine<UniformRandomTree>> exec(4);
+  exec.with_batch_size(2);
+  const auto report = exec.run(engine);
+  EXPECT_TRUE(engine.done());
+  EXPECT_EQ(report.shards, 4);
+  EXPECT_EQ(report.units, engine.stats().units_processed);
+  const auto& s = report.sched;
+  EXPECT_GE(s.steal_attempts, s.steal_hits);
+  EXPECT_EQ(s.steal_misses(), s.steal_attempts - s.steal_hits);
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t b : s.batch_size_hist) hist_total += b;
+  EXPECT_EQ(hist_total, s.batches);
+}
+
+TEST(ThreadExecutor, LegacyPathKeepsStealCountersZero) {
+  // shards == 1 must take the PR 2 single-heap scheduler verbatim: no
+  // steals, no deferrals, no global-refill fallbacks recorded.
+  const UniformRandomTree g(4, 5, 29, -100, 100);
+  core::Engine<UniformRandomTree> engine(g, cfg(5, 3));
+  runtime::ThreadExecutor<core::Engine<UniformRandomTree>> exec(4);
+  exec.with_batch_size(4);
+  const auto report = exec.run(engine);
+  EXPECT_EQ(report.shards, 1);
+  EXPECT_EQ(report.sched.steal_attempts, 0u);
+  EXPECT_EQ(report.sched.steal_hits, 0u);
+  EXPECT_EQ(report.sched.flush_deferrals, 0u);
+  EXPECT_EQ(report.sched.global_refills, 0u);
+}
+
+TEST(ThreadExecutor, MoreShardsThanThreadsCompletes) {
+  // Workers must drain shards nobody calls home (global-refill fallback).
+  const UniformRandomTree g(4, 5, 31, -100, 100);
+  const auto r = parallel_er_threads(g, cfg(5, 3), 2, 2, 8);
+  EXPECT_EQ(r.value, negmax_search(g, 5).value);
+}
+
+TEST(ThreadExecutor, MoreThreadsThanShardsCompletes) {
+  // Several workers share one home shard; stealing spreads the surplus.
+  const UniformRandomTree g(4, 5, 37, -100, 100);
+  const auto r = parallel_er_threads(g, cfg(5, 3), 8, 2, 2);
+  EXPECT_EQ(r.value, negmax_search(g, 5).value);
+}
+
+TEST(ThreadExecutor, ShardedTinyTreeManyThreads) {
+  // More threads than work units on the stealing path: park/wake must not
+  // deadlock when most workers never see a unit.
+  const UniformRandomTree g(2, 2, 3, -10, 10);
+  const auto r = parallel_er_threads(g, cfg(2, 1), 8, 1, 4);
+  EXPECT_EQ(r.value, negmax_search(g, 2).value);
+}
+
 }  // namespace
 }  // namespace ers
