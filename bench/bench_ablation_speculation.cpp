@@ -12,6 +12,10 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv, {"R3", "O1"});
   bench::print_header("Ablation: speculation mechanisms of ER ( 5)");
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "ablation_speculation");
   TextTable table({"tree", "procs", "PR", "ME", "EC", "speedup", "efficiency",
                    "nodes", "idle share", "spec promotions"});
   for (const auto& name : opt.tree_names) {
@@ -23,8 +27,11 @@ int main(int argc, char** argv) {
         spec.parallel_refutation = (mask & 1) != 0;
         spec.multiple_e_children = (mask & 2) != 0;
         spec.early_e_child_choice = (mask & 4) != 0;
+        if (trace != nullptr) trace->clear();  // keep the last point only
         const auto pt =
-            harness::run_parallel_point(tree, p, serial, {}, &spec);
+            harness::run_parallel_point(tree, p, serial, {}, &spec, 1, trace);
+        reg.set("tree", tree.name);
+        bench::register_parallel_point(reg, pt);
         const double idle_share =
             static_cast<double>(pt.metrics.idle_time) /
             (static_cast<double>(pt.metrics.makespan) * p);
@@ -39,5 +46,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  bench::write_observability(opt, trace, reg, "ablation_speculation");
   return 0;
 }

@@ -30,11 +30,14 @@ int log2_int(int p) {
 
 template <Game G>
 Row run_all(const G& game, const harness::ExperimentTree& tree,
-            const harness::SerialBaseline& serial, int p) {
+            const harness::SerialBaseline& serial, int p,
+            obs::TraceSession* trace) {
   const sim::CostModel cost;
   Row row;
 
-  const auto er = harness::run_parallel_point(tree, p, serial);
+  if (trace != nullptr) trace->clear();  // keep the last ER point only
+  const auto er =
+      harness::run_parallel_point(tree, p, serial, {}, nullptr, 1, trace);
   row.er = er.speedup;
 
   // Windows partition the evaluator's actual output range (Othello's
@@ -81,14 +84,27 @@ int main(int argc, char** argv) {
       "Comparison (paper 8, future work): speedup of ER vs prior parallel "
       "algorithms");
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "comparison");
   TextTable table({"tree", "procs", "ER", "aspiration", "MWF", "tree-split",
                    "pv-split"});
   auto sweep = [&](const harness::ExperimentTree& tree) {
     const auto serial = harness::run_serial_baselines(tree);
     for (const int p : {1, 2, 4, 8, 16}) {
       const Row row = std::visit(
-          [&](const auto& game) { return run_all(game, tree, serial, p); },
+          [&](const auto& game) {
+            return run_all(game, tree, serial, p, trace);
+          },
           tree.game);
+      reg.set("tree", tree.name);
+      reg.set("processors", p);
+      reg.set("speedup.er", row.er);
+      reg.set("speedup.aspiration", row.aspiration);
+      reg.set("speedup.mwf", row.mwf);
+      reg.set("speedup.tree_split", row.tree_split);
+      reg.set("speedup.pv_split", row.pv_split);
       table.add_row({tree.name, std::to_string(p), TextTable::num(row.er, 2),
                      TextTable::num(row.aspiration, 2),
                      TextTable::num(row.mwf, 2),
@@ -112,5 +128,6 @@ int main(int argc, char** argv) {
     sweep(akl);
   }
   table.print();
+  bench::write_observability(opt, trace, reg, "comparison");
   return 0;
 }

@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv, {"R3"});
   bench::print_header("Distributed problem heap ( 8 future work)");
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "contention");
   TextTable table({"tree", "serial depth", "procs", "shards", "speedup",
                    "efficiency", "lock share", "idle share"});
   std::vector<std::string> shard_json;
@@ -85,11 +89,17 @@ int main(int argc, char** argv) {
       cfg.serial_depth = sd;
       for (const int shards : {1, 2, 4, 16}) {
         const int p = 16;
+        if (trace != nullptr) trace->clear();  // keep the last point only
         const auto metrics = std::visit(
             [&](const auto& game) {
-              return parallel_er_sim(game, cfg, p, {}, shards).metrics;
+              return parallel_er_sim(game, cfg, p, {}, shards, 1, trace)
+                  .metrics;
             },
             base.game);
+        reg.set("tree", base.name);
+        reg.set("serial_depth", sd);
+        reg.set("shards", shards);
+        obs::register_sim_metrics(reg, metrics);
         const double speedup = static_cast<double>(serial.best_cost()) /
                                static_cast<double>(metrics.makespan);
         const double total = static_cast<double>(metrics.makespan) * p;
@@ -163,5 +173,6 @@ int main(int argc, char** argv) {
               nodes_shared_4t < nodes_none_4t ? "shared table searches less"
                                               : "NO REDUCTION");
   bench::write_bench_json("ttable", opt.reps, tt_json);
+  bench::write_observability(opt, trace, reg, "contention");
   return 0;
 }

@@ -43,15 +43,25 @@ struct SchedRun {
 
 template <typename G>
 SchedRun run_config(const G& game, const ers::core::EngineConfig& cfg,
-                    int threads, int batch, int reps, ers::Value oracle) {
+                    int threads, int batch, int reps, ers::Value oracle,
+                    ers::obs::TraceSession* trace,
+                    ers::obs::MetricsRegistry* reg) {
   using namespace ers;
   SchedRun sum;
   std::uint64_t lock_acqs = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    core::Engine<G> engine(game, cfg);
+    // Only the last rep is traced (a fresh session each time), so the
+    // exported file holds one clean schedule of this configuration — the
+    // sweep's last configuration wins the file.
+    const bool traced = trace != nullptr && rep == reps - 1;
+    if (traced) trace->clear();
+    auto run_cfg = cfg;
+    run_cfg.trace = traced ? trace : nullptr;
+    core::Engine<G> engine(game, run_cfg);
     runtime::ThreadExecutor<core::Engine<G>> exec(threads);
-    exec.with_batch_size(batch);
+    exec.with_batch_size(batch).with_trace(traced ? trace : nullptr);
     const auto report = exec.run(engine);
+    if (traced && reg != nullptr) obs::register_thread_report(*reg, report);
     ERS_CHECK(engine.root_value() == oracle &&
               "batched scheduler changed the search result");
     sum.value = engine.root_value();
@@ -92,6 +102,10 @@ int main(int argc, char** argv) {
   std::printf("problem-heap shards: %d%s\n\n", opt.shards,
               opt.shards > 1 ? " (work-stealing scheduler)" : "");
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "scheduler");
   TextTable table({"tree", "threads", "batch", "units/s", "lock share",
                    "locks/unit", "mean batch", "nodes", "value"});
   std::vector<std::string> json;
@@ -112,9 +126,11 @@ int main(int argc, char** argv) {
         const SchedRun r = std::visit(
             [&](const auto& game) {
               return run_config(game, base.engine, threads, batch, opt.reps,
-                                oracle);
+                                oracle, trace, &reg);
             },
             base.game);
+        reg.set("tree", base.name);
+        reg.set("run.batch", batch);
         if (threads == 8 && batch == 1) {
           wait_share_t8_k1 += r.lock_wait_share;
           ++t8_points;
@@ -157,5 +173,6 @@ int main(int argc, char** argv) {
             : "NO REDUCTION");
   }
   bench::write_bench_json("scheduler", opt.reps, json);
+  bench::write_observability(opt, trace, reg, "scheduler");
   return 0;
 }

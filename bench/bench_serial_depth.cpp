@@ -14,6 +14,10 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv, {"R3", "O1"});
   bench::print_header("Serial-depth sweep: contention vs starvation ( 7)");
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "serial_depth");
   TextTable table({"tree", "serial depth", "procs", "units", "speedup",
                    "efficiency", "idle share", "lock share", "nodes"});
   for (const auto& name : opt.tree_names) {
@@ -23,7 +27,12 @@ int main(int argc, char** argv) {
       auto tree = base;
       tree.engine.serial_depth = sd;
       const int p = 16;
-      const auto pt = harness::run_parallel_point(tree, p, serial);
+      if (trace != nullptr) trace->clear();  // keep the last point only
+      const auto pt =
+          harness::run_parallel_point(tree, p, serial, {}, nullptr, 1, trace);
+      reg.set("tree", tree.name);
+      reg.set("serial_depth", sd);
+      bench::register_parallel_point(reg, pt);
       const double total = static_cast<double>(pt.metrics.makespan) * p;
       table.add_row({tree.name, std::to_string(sd), std::to_string(p),
                      std::to_string(pt.metrics.units),
@@ -35,5 +44,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  bench::write_observability(opt, trace, reg, "serial_depth");
   return 0;
 }

@@ -46,14 +46,23 @@ struct ShardRun {
 
 template <typename G>
 ShardRun run_config(const G& game, const ers::core::EngineConfig& cfg,
-                    int threads, int batch, int reps, ers::Value oracle) {
+                    int threads, int batch, int reps, ers::Value oracle,
+                    ers::obs::TraceSession* trace,
+                    ers::obs::MetricsRegistry* reg) {
   using namespace ers;
   ShardRun sum;
   for (int rep = 0; rep < reps; ++rep) {
-    core::Engine<G> engine(game, cfg);
+    // Trace only the last rep into a fresh session; the sweep's last
+    // configuration is what the exported file ends up holding.
+    const bool traced = trace != nullptr && rep == reps - 1;
+    if (traced) trace->clear();
+    auto run_cfg = cfg;
+    run_cfg.trace = traced ? trace : nullptr;
+    core::Engine<G> engine(game, run_cfg);
     runtime::ThreadExecutor<core::Engine<G>> exec(threads);
-    exec.with_batch_size(batch);
+    exec.with_batch_size(batch).with_trace(traced ? trace : nullptr);
     const auto report = exec.run(engine);
+    if (traced && reg != nullptr) obs::register_thread_report(*reg, report);
     ERS_CHECK(engine.root_value() == oracle &&
               "sharded scheduler changed the search result");
     sum.value = engine.root_value();
@@ -89,6 +98,10 @@ int main(int argc, char** argv) {
   bench::print_header("Sharded problem heap + work stealing (thread runtime)");
   std::printf("reps per configuration: %d\n\n", opt.reps);
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "shards");
   TextTable table({"tree", "shards", "threads", "batch", "units/s",
                    "lock share", "steals", "defer", "refill", "nodes",
                    "value"});
@@ -112,9 +125,11 @@ int main(int argc, char** argv) {
           const ShardRun r = std::visit(
               [&](const auto& game) {
                 return run_config(game, base.engine, threads, batch, opt.reps,
-                                  oracle);
+                                  oracle, trace, &reg);
               },
               base.game);
+          reg.set("tree", base.name);
+          reg.set("run.batch", batch);
           if (threads == 8) {
             auto& acc = t8[{shards, batch}];
             acc.first += r.lock_wait_share;
@@ -155,5 +170,6 @@ int main(int argc, char** argv) {
                 acc.second > 0 ? acc.first / acc.second : 0.0);
   }
   bench::write_bench_json("shards", opt.reps, json);
+  bench::write_observability(opt, trace, reg, "shards");
   return 0;
 }

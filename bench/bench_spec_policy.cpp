@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
       {core::SpecRankPolicy::kFifo, "fifo (control)"},
   };
 
+  obs::TraceSession session;
+  obs::TraceSession* trace = bench::trace_session_for(opt, session);
+  obs::MetricsRegistry reg;
+  reg.set("bench", "spec_policy");
   TextTable table({"tree", "procs", "policy", "speedup", "efficiency", "nodes",
                    "spec promotions", "idle share"});
   for (const auto& name : opt.tree_names) {
@@ -33,12 +37,17 @@ int main(int argc, char** argv) {
       for (const auto& pc : kPolicies) {
         auto cfg = tree.engine;
         cfg.spec_rank = pc.policy;
+        if (trace != nullptr) trace->clear();  // keep the last point only
         const auto [metrics, engine_stats] = std::visit(
             [&](const auto& game) {
-              auto r = parallel_er_sim(game, cfg, p);
+              auto r = parallel_er_sim(game, cfg, p, {}, 1, 1, trace);
               return std::pair{r.metrics, r.engine};
             },
             tree.game);
+        reg.set("tree", tree.name);
+        reg.set("policy", pc.name);
+        obs::register_sim_metrics(reg, metrics);
+        obs::register_engine_stats(reg, engine_stats);
         const double speedup = static_cast<double>(serial.best_cost()) /
                                static_cast<double>(metrics.makespan);
         const double idle = static_cast<double>(metrics.idle_time) /
@@ -53,5 +62,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  bench::write_observability(opt, trace, reg, "spec_policy");
   return 0;
 }

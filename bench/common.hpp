@@ -10,6 +10,9 @@
 //   --shards S  problem-heap shards (1 = the paper's single heap); the
 //               simulated benches route heap-access delays per shard, the
 //               thread benches run the work-stealing scheduler
+//   --trace F   record the bench's runs into a Perfetto trace at F
+//               (open in ui.perfetto.dev, or feed to tools/trace_report)
+//   --metrics F write the consolidated metrics snapshot (JSON) to F
 
 #include <cstdio>
 #include <string>
@@ -17,6 +20,11 @@
 
 #include "harness/experiment.hpp"
 #include "harness/tree_registry.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_adapters.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_writer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -27,6 +35,8 @@ struct FigureOptions {
   int reps = 5;  ///< repetitions for thread-runtime (nondeterministic) benches
   int shards = 1;  ///< problem-heap shards (1 = single heap, the seed setup)
   std::vector<std::string> tree_names;
+  std::string trace_path;    ///< empty = untraced (--trace)
+  std::string metrics_path;  ///< empty = no snapshot (--metrics)
 };
 
 inline FigureOptions parse_options(int argc, char** argv,
@@ -36,6 +46,8 @@ inline FigureOptions parse_options(int argc, char** argv,
   opt.scale = static_cast<int>(args.get_int("scale", 0));
   opt.reps = static_cast<int>(args.get_int("reps", 5));
   opt.shards = static_cast<int>(args.get_int("shards", 1));
+  opt.trace_path = args.get("trace", "");
+  opt.metrics_path = args.get("metrics", "");
   std::string trees = args.get("trees", "");
   if (trees.empty()) {
     opt.tree_names = std::move(default_trees);
@@ -50,6 +62,43 @@ inline FigureOptions parse_options(int argc, char** argv,
   return opt;
 }
 
+/// The trace session a bench should record into: null unless --trace was
+/// given (and tracing is compiled in), so benches stay zero-cost when
+/// untraced.  The returned pointer aliases `storage`.
+[[nodiscard]] inline obs::TraceSession* trace_session_for(
+    const FigureOptions& opt, obs::TraceSession& storage) {
+  if (opt.trace_path.empty() || !obs::kTracingEnabled) return nullptr;
+  return &storage;
+}
+
+/// Flush --trace / --metrics artifacts after the bench's runs.  No-ops on
+/// empty paths, so every bench can call this unconditionally.
+inline void write_observability(const FigureOptions& opt,
+                                const obs::TraceSession* trace,
+                                const obs::MetricsRegistry& metrics,
+                                const std::string& process_name) {
+  if (!opt.trace_path.empty()) {
+    if (trace != nullptr)
+      obs::write_perfetto(opt.trace_path, *trace, process_name);
+    else
+      std::fprintf(stderr,
+                   "--trace ignored: tracing compiled out (ERS_TRACING=OFF) "
+                   "or this bench runs no executor\n");
+  }
+  if (!opt.metrics_path.empty()) metrics.write_json(opt.metrics_path);
+}
+
+/// Flatten one simulated parallel point into a registry (overwrites on
+/// repeat calls, so benches can register every point and keep the last).
+inline void register_parallel_point(obs::MetricsRegistry& reg,
+                                    const harness::ParallelPoint& p) {
+  reg.set("processors", p.processors);
+  reg.set("speedup", p.speedup);
+  reg.set("efficiency", p.efficiency);
+  obs::register_sim_metrics(reg, p.metrics);
+  obs::register_engine_stats(reg, p.engine);
+}
+
 /// Run the serial baselines and the full processor sweep for one tree.
 struct TreeSweep {
   harness::ExperimentTree tree;
@@ -57,14 +106,34 @@ struct TreeSweep {
   std::vector<harness::ParallelPoint> points;
 };
 
+/// Standard observability epilogue for the simulated sweep benches:
+/// snapshot the last sweep's final parallel point into a registry and
+/// flush the --trace / --metrics artifacts.
+inline void write_sweep_observability(const FigureOptions& opt,
+                                      const obs::TraceSession* trace,
+                                      const TreeSweep& sweep,
+                                      const std::string& process_name) {
+  if (opt.trace_path.empty() && opt.metrics_path.empty()) return;
+  obs::MetricsRegistry reg;
+  reg.set("bench", process_name);
+  reg.set("tree", sweep.tree.name);
+  if (!sweep.points.empty()) register_parallel_point(reg, sweep.points.back());
+  write_observability(opt, trace, reg, process_name);
+}
+
 inline TreeSweep run_sweep(const std::string& name, int scale,
                            const core::SpeculationConfig* speculation = nullptr,
-                           int shards = 1) {
+                           int shards = 1, obs::TraceSession* trace = nullptr) {
   TreeSweep s{harness::tree_by_name(name, scale), {}, {}};
   s.serial = harness::run_serial_baselines(s.tree);
-  for (const int p : harness::figure_processor_counts())
+  for (const int p : harness::figure_processor_counts()) {
+    // A traced sweep keeps only its last point: each run starts the session
+    // over, so the exported file holds one clean schedule (the largest P),
+    // not a pile-up of every sweep point on one virtual timeline.
+    if (trace != nullptr) trace->clear();
     s.points.push_back(harness::run_parallel_point(s.tree, p, s.serial, {},
-                                                   speculation, shards));
+                                                   speculation, shards, trace));
+  }
   return s;
 }
 
@@ -77,92 +146,14 @@ inline void print_header(const char* what) {
 //
 // Every bench can emit a BENCH_<name>.json next to its table: one JSON
 // object per line, so runs diff cleanly and scripts consume them without a
-// JSON library on either side.  The builders below cover exactly what the
-// benches need (flat objects of strings/ints/doubles).  Schema guarantees:
-// string values are escaped, and write_bench_json stamps every line with a
-// `bench` name and the `reps` it was averaged over, so a row's provenance
-// is never ambiguous (EXPERIMENTS.md lists which bench produces which file).
+// JSON library on either side.  The emitters live in obs/json.hpp (the
+// repo's single JSON writer, shared with the metrics registry and the
+// Perfetto trace export); bench code keeps its unqualified spelling via
+// the using-declarations below, and the emitted bytes are unchanged
+// (tests/obs/json_test.cpp pins them).
 
-/// Escape a string for use as a JSON value: quotes, backslashes, and
-/// control characters (the tree names and modes the benches emit are tame,
-/// but the emitter must not rely on that).
-inline std::string json_escape(const char* s) {
-  std::string out;
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-class JsonObject {
- public:
-  JsonObject& field(const char* key, const char* v) {
-    return raw(key, "\"" + json_escape(v) + "\"");
-  }
-  JsonObject& field(const char* key, const std::string& v) {
-    return field(key, v.c_str());
-  }
-  JsonObject& field(const char* key, double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return raw(key, buf);
-  }
-  JsonObject& field(const char* key, std::uint64_t v) {
-    return raw(key, std::to_string(v));
-  }
-  JsonObject& field(const char* key, int v) {
-    return raw(key, std::to_string(v));
-  }
-  /// Append `json` verbatim as the value of `key`.
-  JsonObject& raw(const char* key, const std::string& json) {
-    if (!body_.empty()) body_ += ",";
-    body_ += "\"" + std::string(key) + "\":" + json;
-    return *this;
-  }
-  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
-
-/// Write `lines` (one JSON object each) to BENCH_<name>.json in the current
-/// directory and echo the path so the run log records where they went.
-/// Every line is stamped with `"bench": name` and `"reps": reps` (the
-/// repetitions each row was averaged over; 1 for deterministic benches), so
-/// a file's rows identify their producer without reading this source.
-inline void write_bench_json(const std::string& name, int reps,
-                             const std::vector<std::string>& lines) {
-  const std::string path = "BENCH_" + name + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  const std::string stamp =
-      "{\"bench\":\"" + json_escape(name.c_str()) +
-      "\",\"reps\":" + std::to_string(reps);
-  for (const auto& line : lines) {
-    // Each line is a flat object "{...}"; splice the stamp after the brace.
-    std::fprintf(f, "%s%s%s\n", stamp.c_str(), line.size() > 2 ? "," : "",
-                 line.c_str() + 1);
-  }
-  std::fclose(f);
-  std::printf("wrote %s (%zu rows)\n", path.c_str(), lines.size());
-}
+using obs::json_escape;
+using obs::JsonObject;
+using obs::write_bench_json;
 
 }  // namespace ers::bench

@@ -2,6 +2,8 @@
 // Shared driver for Figures 10/11 (efficiency of ER vs processor count) and
 // Figures 12/13 (nodes generated vs processor count).
 
+#include <optional>
+
 #include "common.hpp"
 
 namespace ers::bench {
@@ -13,10 +15,13 @@ inline void print_efficiency_figure(const char* title,
                                     const FigureOptions& opt) {
   print_header(title);
   if (opt.shards != 1) std::printf("problem-heap shards: %d\n", opt.shards);
+  obs::TraceSession session;
+  obs::TraceSession* trace = trace_session_for(opt, session);
+  std::optional<TreeSweep> last;
   TextTable table({"tree", "procs", "speedup", "efficiency",
                    "serial alpha-beta eff.", "utilization", "idle share"});
   for (const auto& name : opt.tree_names) {
-    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards);
+    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards, trace);
     for (const auto& p : s.points) {
       const double idle_share =
           static_cast<double>(p.metrics.idle_time) /
@@ -28,8 +33,10 @@ inline void print_efficiency_figure(const char* title,
                      TextTable::num(p.metrics.utilization(), 3),
                      TextTable::num(idle_share, 3)});
     }
+    last = s;
   }
   table.print();
+  if (last.has_value()) write_sweep_observability(opt, trace, *last, title);
 }
 
 /// Figures 12/13: nodes generated per processor count, with the serial
@@ -37,10 +44,13 @@ inline void print_efficiency_figure(const char* title,
 inline void print_nodes_figure(const char* title, const FigureOptions& opt) {
   print_header(title);
   if (opt.shards != 1) std::printf("problem-heap shards: %d\n", opt.shards);
+  obs::TraceSession session;
+  obs::TraceSession* trace = trace_session_for(opt, session);
+  std::optional<TreeSweep> last;
   TextTable table({"tree", "procs", "nodes generated", "vs serial ER",
                    "serial ER nodes", "alpha-beta nodes"});
   for (const auto& name : opt.tree_names) {
-    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards);
+    const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards, trace);
     const auto er_nodes = s.serial.er.nodes_generated();
     for (const auto& p : s.points) {
       table.add_row({s.tree.name, std::to_string(p.processors),
@@ -51,8 +61,10 @@ inline void print_nodes_figure(const char* title, const FigureOptions& opt) {
                      std::to_string(er_nodes),
                      std::to_string(s.serial.alpha_beta.nodes_generated())});
     }
+    last = s;
   }
   table.print();
+  if (last.has_value()) write_sweep_observability(opt, trace, *last, title);
 }
 
 }  // namespace ers::bench

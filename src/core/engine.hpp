@@ -70,6 +70,7 @@
 
 #include "core/types.hpp"
 #include "gametree/game.hpp"
+#include "obs/trace.hpp"
 #include "search/er_serial.hpp"
 #include "util/check.hpp"
 #include "util/value.hpp"
@@ -277,12 +278,14 @@ class Engine {
       n.in_primary = false;
       if (n.finished || is_dead(e.node)) {
         ++stats_.dead_items_dropped;
+        trace_instant(obs::EventKind::kSpecCancel, e.node, /*arg=*/0);
         continue;
       }
       // Pop-time cutoff: the node's tentative value may already refute it
       // against the parent's *current* bound.
       if (n.parent != kNoNode && n.value >= beta_of(e.node)) {
         ++stats_.cutoffs_at_pop;
+        trace_instant(obs::EventKind::kSpecCancel, e.node, /*arg=*/1);
         finish_and_combine(e.node);
         continue;
       }
@@ -416,6 +419,10 @@ class Engine {
     n.in_flight = false;
     stats_.search += r.stats;
     ++stats_.units_processed;
+    // Commit record with the parent link: trace_report rebuilds the unit
+    // dependency graph (and its critical path) from exactly these events.
+    trace_instant(obs::EventKind::kUnitCommit, item.node,
+                  n.parent == kNoNode ? obs::kNoTraceNode : n.parent);
     switch (item.kind) {
       case WorkKind::kPromote:
         commit_promotion(item.node);
@@ -762,7 +769,24 @@ class Engine {
       ++stats_.promotions_mandatory;
     else
       ++stats_.promotions_speculative;
+    trace_instant(obs::EventKind::kSpecSpawn, child_id, parent_id);
     push_primary(child_id);
+  }
+
+  /// Engine-side trace hook; a no-op without a session (and compiled out
+  /// entirely when tracing is disabled).  Runs only under the executor's
+  /// serialization of acquire/commit, which is what makes the single
+  /// engine tracer safe.
+  void trace_instant(obs::EventKind kind, std::uint32_t node,
+                     std::uint32_t arg) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)kind; (void)node; (void)arg;
+      return;
+    }
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->engine_tracer().instant(
+        kind, cfg_.trace->now_ns(), node, arg,
+        static_cast<std::uint16_t>(home_shard(node)));
   }
 
   // --- combine (paper §6) ---------------------------------------------------

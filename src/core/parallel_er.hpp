@@ -13,6 +13,7 @@
 #include "core/engine.hpp"
 #include "core/types.hpp"
 #include "gametree/game.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_executor.hpp"
 #include "search/concurrent_ttable.hpp"
 #include "sim/executor.hpp"
@@ -23,6 +24,10 @@ template <typename Position>
 struct ParallelSearchResult {
   Value value = 0;
   core::EngineStats engine;
+  /// The executor's own run report (wall time, scheduler counters, TT
+  /// traffic) — what obs::register_thread_report flattens into a metrics
+  /// snapshot, and what a traced run's per-worker spans must sum to.
+  runtime::ThreadRunReport report;
   /// The root child achieving the value (the move to play); empty when the
   /// whole search ran as one serial unit or the root is a leaf.
   std::optional<Position> best_move;
@@ -43,19 +48,24 @@ struct SimulatedSearchResult {
 /// with more than one shard the executor runs its work-stealing scheduler —
 /// per-worker run queues fed from home shards, randomized stealing between
 /// them.  The returned value equals serial negmax at every (batch, shards).
+/// `trace` (optional) records the run into per-worker ring buffers for
+/// Perfetto export / trace_report (obs/trace_writer.hpp); it covers both
+/// the executor's scheduling events and the engine's own hooks.
 template <Game G>
 [[nodiscard]] ParallelSearchResult<typename G::Position> parallel_er_threads(
     const G& game, const core::EngineConfig& cfg, int threads, int batch = 1,
-    int shards = 1) {
+    int shards = 1, obs::TraceSession* trace = nullptr) {
   core::EngineConfig c = cfg;
   c.heap_shards = std::max(c.heap_shards, shards);
+  c.trace = trace;
   if (c.shared_table != nullptr) c.shared_table->new_search();
   core::Engine<G> engine(game, c);
   runtime::ThreadExecutor<core::Engine<G>> exec(threads);
-  exec.with_batch_size(batch);
-  exec.run(engine);
+  exec.with_batch_size(batch).with_trace(trace);
+  runtime::ThreadRunReport report = exec.run(engine);
   return ParallelSearchResult<typename G::Position>{
-      engine.root_value(), engine.stats(), engine.best_root_position()};
+      engine.root_value(), engine.stats(), std::move(report),
+      engine.best_root_position()};
 }
 
 /// Search `game` with parallel ER on `processors` simulated processors;
@@ -63,19 +73,25 @@ template <Game G>
 /// parallel time used by the efficiency figures.  `batch` mirrors the
 /// thread runtime's scheduler batch size in the cost model: heap accesses
 /// are charged per batch, not per unit.
+/// `trace` (optional) records the simulated schedule on the virtual clock
+/// in the same event schema as the thread runtime — same seed + config
+/// produce an identical event stream (tested).
 template <Game G>
 [[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
     const G& game, const core::EngineConfig& cfg, int processors,
-    sim::CostModel cost = {}, int queue_shards = 1, int batch = 1) {
+    sim::CostModel cost = {}, int queue_shards = 1, int batch = 1,
+    obs::TraceSession* trace = nullptr) {
   // The engine's heap partition and the simulator's shard locks must
   // coincide for the routed contention model to mean anything; the engine's
   // global pop order is shard-count-invariant, so this never changes the
   // schedule or the node counts — only the serialization delays.
   core::EngineConfig c = cfg;
   c.heap_shards = std::max(c.heap_shards, queue_shards);
+  c.trace = trace;
   if (c.shared_table != nullptr) c.shared_table->new_search();
   core::Engine<G> engine(game, c);
   sim::SimExecutor<core::Engine<G>> exec(processors, cost, c.heap_shards, batch);
+  exec.with_trace(trace);
   const sim::SimMetrics m = exec.run(engine);
   return SimulatedSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), m, engine.best_root_position()};

@@ -10,6 +10,9 @@
 namespace ers {
 class ConcurrentTranspositionTable;  // search/concurrent_ttable.hpp
 }
+namespace ers::obs {
+class TraceSession;  // obs/trace.hpp
+}
 
 namespace ers::core {
 
@@ -76,6 +79,13 @@ struct EngineConfig {
   /// Not owned; must outlive the engine.  Ignored unless the game is a
   /// HashedGame.
   ConcurrentTranspositionTable* shared_table = nullptr;
+  /// Tracing session for the scheduling events only the engine sees
+  /// (speculative spawn/cancel, unit commits).  The engine writes the
+  /// session's dedicated engine tracer, which is safe exactly because
+  /// acquire/commit are externally serialized.  Not owned; null disables
+  /// engine-side tracing (the executors trace their own events
+  /// independently via the same session).
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Aggregate counters kept by the engine; nodes_generated feeds Figures

@@ -1,0 +1,90 @@
+#pragma once
+// Flatteners from the runtime's, simulator's and engine's aggregate structs
+// into a MetricsRegistry — the one place that knows how each ad-hoc stats
+// block maps onto registry names (DESIGN.md §11 lists the schema).
+//
+// Prefixes keep the namespaces apart so one registry can hold a whole run:
+//   sched.*   SchedulerStats        (thread runtime workers)
+//   run.*     ThreadRunReport       (thread runtime totals)
+//   sim.*     SimMetrics            (simulated executor)
+//   engine.*  EngineStats           (scheduling state machine)
+//   tt.*      transposition-table traffic (either runtime)
+
+#include <string>
+
+#include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_executor.hpp"
+#include "sim/executor.hpp"
+
+namespace ers::obs {
+
+inline void register_scheduler_stats(MetricsRegistry& reg,
+                                     const runtime::SchedulerStats& s,
+                                     const std::string& prefix = "sched.") {
+  reg.set(prefix + "lock_acquisitions", s.lock_acquisitions);
+  reg.set(prefix + "lock_wait_ns", s.lock_wait_ns);
+  reg.set(prefix + "lock_hold_ns", s.lock_hold_ns);
+  reg.set(prefix + "compute_ns", s.compute_ns);
+  reg.set(prefix + "units", s.units);
+  reg.set(prefix + "batches", s.batches);
+  reg.set(prefix + "mean_batch", s.mean_batch_size());
+  reg.set(prefix + "wakeups_issued", s.wakeups_issued);
+  reg.set(prefix + "sleeps", s.sleeps);
+  reg.set(prefix + "steal_attempts", s.steal_attempts);
+  reg.set(prefix + "steal_hits", s.steal_hits);
+  reg.set(prefix + "steal_misses", s.steal_misses());
+  reg.set(prefix + "flush_deferrals", s.flush_deferrals);
+  reg.set(prefix + "global_refills", s.global_refills);
+}
+
+inline void register_thread_report(MetricsRegistry& reg,
+                                   const runtime::ThreadRunReport& r,
+                                   const std::string& prefix = "run.") {
+  reg.set(prefix + "threads", r.threads);
+  reg.set(prefix + "shards", r.shards);
+  reg.set(prefix + "units", r.units);
+  reg.set(prefix + "elapsed_ns", r.elapsed_ns);
+  reg.set(prefix + "lock_wait_share", r.lock_wait_share());
+  reg.set("tt.probes", r.tt_probes);
+  reg.set("tt.hits", r.tt_hits);
+  reg.set("tt.hit_rate", r.tt_hit_rate());
+  register_scheduler_stats(reg, r.sched);
+}
+
+inline void register_sim_metrics(MetricsRegistry& reg,
+                                 const sim::SimMetrics& m,
+                                 const std::string& prefix = "sim.") {
+  reg.set(prefix + "processors", m.processors);
+  reg.set(prefix + "makespan", m.makespan);
+  reg.set(prefix + "busy_time", m.busy_time);
+  reg.set(prefix + "idle_time", m.idle_time);
+  reg.set(prefix + "lock_wait_time", m.lock_wait_time);
+  reg.set(prefix + "units", m.units);
+  reg.set(prefix + "heap_accesses", m.heap_accesses);
+  reg.set(prefix + "utilization", m.utilization());
+  for (std::size_t s = 0; s < m.shard_accesses.size(); ++s)
+    reg.set(prefix + "shard_accesses." + std::to_string(s),
+            m.shard_accesses[s]);
+}
+
+inline void register_engine_stats(MetricsRegistry& reg,
+                                  const core::EngineStats& e,
+                                  const std::string& prefix = "engine.") {
+  reg.set(prefix + "nodes_generated", e.search.nodes_generated());
+  reg.set(prefix + "leaves_evaluated", e.search.leaves_evaluated);
+  reg.set(prefix + "interior_expanded", e.search.interior_expanded);
+  reg.set(prefix + "sort_evals", e.search.sort_evals);
+  reg.set(prefix + "units_processed", e.units_processed);
+  reg.set(prefix + "serial_units", e.serial_units);
+  reg.set(prefix + "promotions_mandatory", e.promotions_mandatory);
+  reg.set(prefix + "promotions_speculative", e.promotions_speculative);
+  reg.set(prefix + "refutations_dispatched", e.refutations_dispatched);
+  reg.set(prefix + "cutoffs_at_pop", e.cutoffs_at_pop);
+  reg.set(prefix + "dead_items_dropped", e.dead_items_dropped);
+  reg.set("tt.probes", e.search.tt_probes);
+  reg.set("tt.hits", e.search.tt_hits);
+  reg.set("tt.stores", e.search.tt_stores);
+}
+
+}  // namespace ers::obs

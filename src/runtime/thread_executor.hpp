@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "search/concurrent_ttable.hpp"
 #include "util/check.hpp"
 
@@ -61,6 +62,11 @@ struct SchedulerStats {
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_wait_ns = 0;  ///< blocked entering the serial section
   std::uint64_t lock_hold_ns = 0;  ///< inside the serial section
+  /// Time inside the compute phase (the busy timeline).  Measured — from
+  /// the same clock readings the trace spans use, so the two totals agree
+  /// exactly — only while a trace session is attached; 0 otherwise, keeping
+  /// the untraced hot path free of per-unit clock reads.
+  std::uint64_t compute_ns = 0;
   std::uint64_t units = 0;         ///< work units computed and committed
   std::uint64_t batches = 0;       ///< non-empty acquire_batch calls
   std::uint64_t wakeups_issued = 0;  ///< targeted notify_one calls
@@ -76,8 +82,12 @@ struct SchedulerStats {
   /// Refills that fell through an empty home shard to the global scan.
   std::uint64_t global_refills = 0;
 
+  /// Misses are derived, not stored.  Stats blocks can be merged in any
+  /// order (a partially merged block may transiently carry hits from a
+  /// worker whose attempts were not folded in yet), so clamp instead of
+  /// letting the subtraction wrap to ~2^64.
   [[nodiscard]] std::uint64_t steal_misses() const noexcept {
-    return steal_attempts - steal_hits;
+    return steal_hits > steal_attempts ? 0 : steal_attempts - steal_hits;
   }
   /// Histogram of acquired batch sizes: bucket i counts batches of size
   /// i+1, the last bucket collecting everything >= kBatchBuckets.
@@ -90,10 +100,13 @@ struct SchedulerStats {
     ++batch_size_hist[b];
   }
 
+  /// The one way per-worker blocks fold into an aggregate (the executor and
+  /// every bench go through here, never field-by-field addition).
   void merge(const SchedulerStats& o) {
     lock_acquisitions += o.lock_acquisitions;
     lock_wait_ns += o.lock_wait_ns;
     lock_hold_ns += o.lock_hold_ns;
+    compute_ns += o.compute_ns;
     units += o.units;
     batches += o.batches;
     wakeups_issued += o.wakeups_issued;
@@ -159,6 +172,19 @@ class ThreadExecutor {
     return *this;
   }
 
+  /// Attach a trace session: every worker records its scheduling events
+  /// (lock wait/hold, compute spans, steals, refills, sleeps, wakeups) into
+  /// its own ring, stamped with steady-clock ns from the session epoch.
+  /// The session must outlive run(); read it only after run() returns.
+  /// Null (the default) keeps the untraced hot path: no clock reads, no
+  /// stores.  Trace spans reuse the very timestamps SchedulerStats
+  /// arithmetic takes, so per-worker trace totals and the run report agree
+  /// exactly up to ring-buffer drops.
+  ThreadExecutor& with_trace(obs::TraceSession* session) noexcept {
+    trace_ = session;
+    return *this;
+  }
+
   /// Run the engine to completion on `threads_` workers; blocks until done.
   /// Engines exposing a sharded heap (shard_count() > 1) are driven by the
   /// work-stealing scheduler; everything else takes the single-heap path.
@@ -167,6 +193,8 @@ class ThreadExecutor {
     const auto run_start = Clock::now();
 
     const std::size_t S = shard_count_of(engine);
+    if constexpr (!obs::kTracingEnabled) trace_ = nullptr;
+    if (trace_ != nullptr) trace_->ensure_workers(threads_);
 
     std::mutex mu;
     std::condition_variable cv;
@@ -206,11 +234,24 @@ class ThreadExecutor {
 
     auto worker = [&](int index) {
       SchedulerStats& st = stats[static_cast<std::size_t>(index)];
+      obs::Tracer* tr =
+          trace_ == nullptr ? nullptr : &trace_->worker(index);
       std::vector<ItemT> run_buf;
       std::vector<EntryT> done_buf;
       run_buf.reserve(k);
       done_buf.reserve(k);
       int spins = 0;
+
+      // Close the lock-hold accounting at one of the serialized section's
+      // exits: the stats increment and the trace span come from the same
+      // two clock readings.
+      auto end_hold = [&](Clock::time_point hold_from) {
+        const auto hold_to = Clock::now();
+        st.lock_hold_ns += ns(hold_from, hold_to);
+        if (tr != nullptr)
+          tr->span(obs::EventKind::kLockHoldSpan, trace_->to_ns(hold_from),
+                   trace_->to_ns(hold_to));
+      };
 
       std::unique_lock<std::mutex> lock(mu, std::defer_lock);
       for (;;) {
@@ -220,8 +261,17 @@ class ThreadExecutor {
         const auto hold_from = Clock::now();
         ++st.lock_acquisitions;
         st.lock_wait_ns += ns(wait_from, hold_from);
+        if (tr != nullptr) {
+          trace_->set_current_worker(index);
+          tr->span(obs::EventKind::kLockWaitSpan, trace_->to_ns(wait_from),
+                   trace_->to_ns(hold_from));
+        }
 
         if (!done_buf.empty()) {
+          if (tr != nullptr)
+            tr->instant(obs::EventKind::kCommitBatch, trace_->to_ns(hold_from),
+                        obs::kNoTraceNode,
+                        static_cast<std::uint32_t>(done_buf.size()));
           commit_all(engine, done_buf);
           st.units += done_buf.size();
           in_flight -= static_cast<int>(done_buf.size());
@@ -237,7 +287,7 @@ class ThreadExecutor {
           if (got == 0 && engine.done()) stop = true;
         }
         if (stop) {
-          st.lock_hold_ns += ns(hold_from, Clock::now());
+          end_hold(hold_from);
           lock.unlock();
           cv.notify_all();  // everyone must observe done/failed and exit
           return;
@@ -256,12 +306,12 @@ class ThreadExecutor {
             if constexpr (requires { engine.debug_dump_unfinished(stderr); })
               engine.debug_dump_unfinished(stderr);
             failed = true;
-            st.lock_hold_ns += ns(hold_from, Clock::now());
+            end_hold(hold_from);
             lock.unlock();
             cv.notify_all();
             return;
           }
-          st.lock_hold_ns += ns(hold_from, Clock::now());
+          end_hold(hold_from);
           if (spins < kMaxSpinRounds) {
             // Bounded backoff: drop the lock and spin briefly — work is
             // usually released within a commit or two, and a futex sleep
@@ -274,14 +324,22 @@ class ThreadExecutor {
           spins = 0;
           ++st.sleeps;
           ++sleepers;
+          const auto sleep_from = tr != nullptr ? Clock::now() : Clock::time_point{};
           cv.wait(lock);
           --sleepers;
           lock.unlock();
+          if (tr != nullptr)
+            tr->span(obs::EventKind::kSleepSpan, trace_->to_ns(sleep_from),
+                     trace_->now_ns());
           continue;
         }
         spins = 0;
         in_flight += static_cast<int>(got);
         st.record_batch(got);
+        if (tr != nullptr)
+          tr->instant(obs::EventKind::kAcquireBatch, trace_->now_ns(),
+                      node_of(run_buf.front()),
+                      static_cast<std::uint32_t>(got));
         // Targeted wakeups: wake at most one sleeper per unit still queued
         // (we already took ours).  The queue count is maintained under this
         // lock, so a worker that re-checks after us either sees the work or
@@ -291,15 +349,30 @@ class ThreadExecutor {
           const std::size_t queued = queued_estimate(engine);
           wake = std::min(queued, static_cast<std::size_t>(sleepers));
         }
-        st.lock_hold_ns += ns(hold_from, Clock::now());
+        end_hold(hold_from);
         lock.unlock();
         st.wakeups_issued += wake;
         for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+        if (tr != nullptr && wake > 0)
+          tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
+                      obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
 
         // --- parallel section: compute the whole batch outside the lock ---
-        for (ItemT& item : run_buf)
-          done_buf.push_back(
-              EntryT{item, compute_item(engine, item, index, tables)});
+        for (ItemT& item : run_buf) {
+          if (tr == nullptr) {
+            done_buf.push_back(
+                EntryT{item, compute_item(engine, item, index, tables)});
+            continue;
+          }
+          const auto c0 = Clock::now();
+          auto result = compute_item(engine, item, index, tables);
+          const auto c1 = Clock::now();
+          st.compute_ns += ns(c0, c1);
+          tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
+                   trace_->to_ns(c1), node_of(item));
+          trace_tt(*tr, trace_->to_ns(c1), node_of(item), result);
+          done_buf.push_back(EntryT{item, std::move(result)});
+        }
         run_buf.clear();
       }
     };
@@ -318,6 +391,8 @@ class ThreadExecutor {
     // the tree's serialization (see DESIGN.md §10).
     auto stealing_worker = [&](int index) {
       SchedulerStats& st = stats[static_cast<std::size_t>(index)];
+      obs::Tracer* tr =
+          trace_ == nullptr ? nullptr : &trace_->worker(index);
       LocalQueue& mine = *local[static_cast<std::size_t>(index)];
       const std::size_t home = static_cast<std::size_t>(index) % S;
       const std::size_t flush_cap = std::max<std::size_t>(4 * k, 8);
@@ -329,6 +404,14 @@ class ThreadExecutor {
           (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)) | 1;
       int spins = 0;
       int dry = 0;  // consecutive contended serialized-visit attempts
+
+      auto end_hold = [&](Clock::time_point hold_from) {
+        const auto hold_to = Clock::now();
+        st.lock_hold_ns += ns(hold_from, hold_to);
+        if (tr != nullptr)
+          tr->span(obs::EventKind::kLockHoldSpan, trace_->to_ns(hold_from),
+                   trace_->to_ns(hold_to));
+      };
 
       // Adaptive mutex acquire: try, then yield-retry — on a loaded or
       // few-core host the holder is usually *preempted*, not slow, and a
@@ -343,12 +426,22 @@ class ThreadExecutor {
         }
         const auto wait_from = Clock::now();
         lock.lock();
-        st.lock_wait_ns += ns(wait_from, Clock::now());
+        const auto wait_to = Clock::now();
+        st.lock_wait_ns += ns(wait_from, wait_to);
+        if (tr != nullptr)
+          tr->span(obs::EventKind::kLockWaitSpan, trace_->to_ns(wait_from),
+                   trace_->to_ns(wait_to));
       };
 
       // Flush the completion buffer into the engine; `mu` must be held.
       auto flush_locked = [&] {
         if (done_buf.empty()) return;
+        if (tr != nullptr) {
+          trace_->set_current_worker(index);
+          tr->instant(obs::EventKind::kCommitBatch, trace_->now_ns(),
+                      obs::kNoTraceNode,
+                      static_cast<std::uint32_t>(done_buf.size()));
+        }
         commit_all(engine, done_buf);
         st.units += done_buf.size();
         in_flight -= static_cast<int>(done_buf.size());
@@ -359,12 +452,24 @@ class ThreadExecutor {
       // `mu` must be held; returns the number acquired.
       auto refill_locked = [&]() -> std::size_t {
         refill_buf.clear();
+        if (tr != nullptr) trace_->set_current_worker(index);
         std::size_t got = acquire_shard_into(engine, home, k, refill_buf);
+        bool global = false;
         if (got == 0) {
           got = acquire_into(engine, k, refill_buf);
-          if (got > 0) ++st.global_refills;
+          if (got > 0) {
+            ++st.global_refills;
+            global = true;
+          }
         }
         if (got > 0) {
+          if (tr != nullptr)
+            tr->instant(
+                global ? obs::EventKind::kRefillGlobal
+                       : obs::EventKind::kRefillHome,
+                trace_->now_ns(), node_of(refill_buf.front()),
+                static_cast<std::uint32_t>(got),
+                global ? obs::kNoTraceShard : static_cast<std::uint16_t>(home));
           in_flight += static_cast<int>(got);
           st.record_batch(got);
           std::lock_guard<std::mutex> g(mine.mu);
@@ -392,18 +497,42 @@ class ThreadExecutor {
                 static_cast<int>(rng % static_cast<std::uint64_t>(threads_));
             if (victim == index) continue;
             ++st.steal_attempts;
+            if (tr != nullptr)
+              tr->instant(obs::EventKind::kStealProbe, trace_->now_ns(),
+                          obs::kNoTraceNode,
+                          static_cast<std::uint32_t>(victim));
             LocalQueue& q = *local[static_cast<std::size_t>(victim)];
             std::unique_lock<std::mutex> g(q.mu, std::try_to_lock);
-            if (!g.owns_lock() || q.items.empty()) continue;
+            if (!g.owns_lock() || q.items.empty()) {
+              if (tr != nullptr)
+                tr->instant(obs::EventKind::kStealMiss, trace_->now_ns(),
+                            obs::kNoTraceNode,
+                            static_cast<std::uint32_t>(victim));
+              continue;
+            }
             item = std::move(q.items.back());
             q.items.pop_back();
             ++st.steal_hits;
+            if (tr != nullptr)
+              tr->instant(obs::EventKind::kStealHit, trace_->now_ns(),
+                          node_of(*item), static_cast<std::uint32_t>(victim));
           }
         }
         if (item) {
           dry = 0;
-          done_buf.push_back(
-              EntryT{*item, compute_item(engine, *item, index, tables)});
+          if (tr == nullptr) {
+            done_buf.push_back(
+                EntryT{*item, compute_item(engine, *item, index, tables)});
+          } else {
+            const auto c0 = Clock::now();
+            auto result = compute_item(engine, *item, index, tables);
+            const auto c1 = Clock::now();
+            st.compute_ns += ns(c0, c1);
+            tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
+                     trace_->to_ns(c1), node_of(*item));
+            trace_tt(*tr, trace_->to_ns(c1), node_of(*item), result);
+            done_buf.push_back(EntryT{*item, std::move(result)});
+          }
           if (done_buf.size() < k) continue;
           // Flush once per batch; a contended flush below the hard cap is
           // deferred — the worker goes back to computing and retries after
@@ -435,7 +564,7 @@ class ThreadExecutor {
           if (!stop_now && sleepers > 0)
             wake = std::min(queued_estimate(engine) + (got > 0 ? got - 1 : 0),
                             static_cast<std::size_t>(sleepers));
-          st.lock_hold_ns += ns(hold_from, Clock::now());
+          end_hold(hold_from);
           lock.unlock();
           if (stop_now) {
             cv.notify_all();
@@ -443,6 +572,9 @@ class ThreadExecutor {
           }
           st.wakeups_issued += wake;
           for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+          if (tr != nullptr && wake > 0)
+            tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
+                        obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
           continue;
         }
 
@@ -472,7 +604,7 @@ class ThreadExecutor {
           if (got == 0 && engine.done()) stop_now = true;
         }
         if (stop_now) {
-          st.lock_hold_ns += ns(hold_from, Clock::now());
+          end_hold(hold_from);
           lock.unlock();
           cv.notify_all();  // everyone must observe done/failed and exit
           return;
@@ -487,12 +619,12 @@ class ThreadExecutor {
             if constexpr (requires { engine.debug_dump_unfinished(stderr); })
               engine.debug_dump_unfinished(stderr);
             failed = true;
-            st.lock_hold_ns += ns(hold_from, Clock::now());
+            end_hold(hold_from);
             lock.unlock();
             cv.notify_all();
             return;
           }
-          st.lock_hold_ns += ns(hold_from, Clock::now());
+          end_hold(hold_from);
           if (spins < kMaxSpinRounds) {
             ++spins;
             lock.unlock();
@@ -502,9 +634,13 @@ class ThreadExecutor {
           spins = 0;
           ++st.sleeps;
           ++sleepers;
+          const auto sleep_from = tr != nullptr ? Clock::now() : Clock::time_point{};
           cv.wait(lock);
           --sleepers;
           lock.unlock();
+          if (tr != nullptr)
+            tr->span(obs::EventKind::kSleepSpan, trace_->to_ns(sleep_from),
+                     trace_->now_ns());
           continue;
         }
         spins = 0;
@@ -514,10 +650,13 @@ class ThreadExecutor {
         if (sleepers > 0)
           wake = std::min(queued_estimate(engine) + (got - 1),
                           static_cast<std::size_t>(sleepers));
-        st.lock_hold_ns += ns(hold_from, Clock::now());
+        end_hold(hold_from);
         lock.unlock();
         st.wakeups_issued += wake;
         for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+        if (tr != nullptr && wake > 0)
+          tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
+                      obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
       }
     };
 
@@ -649,6 +788,34 @@ class ThreadExecutor {
       return 1;  // no count available: wake one sleeper at a time
   }
 
+  /// Engine node id of a work item, for trace events; kNoTraceNode for
+  /// engines whose items carry no node id.
+  template <typename Item>
+  [[nodiscard]] static std::uint32_t node_of(const Item& item) noexcept {
+    if constexpr (requires { item.node; })
+      return static_cast<std::uint32_t>(item.node);
+    else
+      return obs::kNoTraceNode;
+  }
+
+  /// Per-unit transposition-table traffic as trace instants, from the
+  /// compute result's own counters (compute runs outside the engine lock,
+  /// so the worker's ring — not the engine's — must carry these).
+  template <typename Result>
+  static void trace_tt(obs::Tracer& tr, std::uint64_t ts, std::uint32_t node,
+                       const Result& r) {
+    if constexpr (requires { r.stats.tt_probes; }) {
+      if (r.stats.tt_probes > 0)
+        tr.instant(obs::EventKind::kTtProbe, ts, node,
+                   static_cast<std::uint32_t>(r.stats.tt_probes));
+      if (r.stats.tt_hits > 0)
+        tr.instant(obs::EventKind::kTtHit, ts, node,
+                   static_cast<std::uint32_t>(r.stats.tt_hits));
+    } else {
+      (void)tr; (void)ts; (void)node; (void)r;
+    }
+  }
+
   /// Heavy phase dispatch: engines that accept an explicit table get the
   /// worker's private one when per-thread tables are enabled.
   template <typename Item, typename Tables>
@@ -667,6 +834,7 @@ class ThreadExecutor {
   int threads_;
   int batch_size_ = 1;
   int per_thread_table_log2_ = -1;  ///< < 0: use the engine's configuration
+  obs::TraceSession* trace_ = nullptr;  ///< not owned; null = untraced
 };
 
 }  // namespace ers::runtime

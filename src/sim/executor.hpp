@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "util/check.hpp"
 
@@ -89,6 +90,18 @@ class SimExecutor {
     ERS_CHECK(batch >= 1);
   }
 
+  /// Attach a trace session: the simulator emits the *same* event schema as
+  /// the thread runtime (lock wait/hold, compute spans, acquire/commit
+  /// batches, starvation as sleep spans) stamped on its virtual clock — one
+  /// simulated cost unit per "ns" — so a simulated and a real run of the
+  /// same tree open side by side in one Perfetto view.  The session is
+  /// switched to its virtual clock, which also timestamps the engine's own
+  /// trace hooks.  Deterministic: same engine + config ⇒ identical events.
+  SimExecutor& with_trace(obs::TraceSession* session) noexcept {
+    trace_ = obs::kTracingEnabled ? session : nullptr;
+    return *this;
+  }
+
   /// Run the engine to completion; returns the simulated metrics.
   SimMetrics run(EngineT& engine) {
     using ItemT = std::decay_t<decltype(*engine.acquire())>;
@@ -125,13 +138,18 @@ class SimExecutor {
     SimMetrics m;
     m.processors = processors_;
     m.shard_accesses.assign(static_cast<std::size_t>(shards_), 0);
+    if (trace_ != nullptr) {
+      trace_->ensure_workers(processors_);
+      trace_->use_virtual_clock();
+    }
     std::uint64_t now = 0;
     std::vector<std::uint64_t> lock_free(static_cast<std::size_t>(shards_), 0);
     // A heap access occupies one shard for `op_cost` serialized time units.
     // `shard` == kUnrouted (engines without a sharded heap) falls back to
     // the earliest-available shard — the idealized balanced distribution.
+    // `used` (optional) reports which shard actually served the access.
     auto lock_acquire = [&](std::uint64_t at, std::uint64_t op_cost,
-                            std::size_t shard) {
+                            std::size_t shard, std::size_t* used = nullptr) {
       auto it = shard == kUnrouted
                     ? std::min_element(lock_free.begin(), lock_free.end())
                     : lock_free.begin() + static_cast<std::ptrdiff_t>(shard);
@@ -139,29 +157,61 @@ class SimExecutor {
       *it = start + op_cost;
       ++m.heap_accesses;
       ++m.shard_accesses[static_cast<std::size_t>(it - lock_free.begin())];
+      if (used != nullptr)
+        *used = static_cast<std::size_t>(it - lock_free.begin());
       return start;
     };
     std::uint64_t seq = 0;
 
     auto dispatch = [&] {
       while (!idle.empty()) {
+        // The worker that will take the batch is known before the pop (the
+        // longest-starved one); point the engine's trace hooks at it so
+        // acquire-time cancellations are attributed to the right track.
+        const IdleWorker w = idle.top();
+        if (trace_ != nullptr) {
+          trace_->set_current_worker(w.id);
+          trace_->set_virtual_now(now);
+        }
         std::vector<ItemT> items;
         acquire_into(engine, static_cast<std::size_t>(batch_), items);
         if (items.empty()) break;
-        const IdleWorker w = idle.top();
         idle.pop();
         m.idle_time += now - w.since;
         // One serialized heap access for the whole acquired batch, routed
         // to the shard serving the pop (the best item's home shard).
-        const std::uint64_t start = lock_acquire(now, cost_.per_heap_acquire,
-                                                 route_shard(engine, items.front()));
+        std::size_t used_shard = 0;
+        const std::uint64_t start =
+            lock_acquire(now, cost_.per_heap_acquire,
+                         route_shard(engine, items.front()), &used_shard);
         m.lock_wait_time += start - now;
+        obs::Tracer* tr =
+            trace_ == nullptr ? nullptr : &trace_->worker(w.id);
+        if (tr != nullptr) {
+          if (now > w.since)
+            tr->span(obs::EventKind::kSleepSpan, w.since, now);
+          if (start > now)
+            tr->span(obs::EventKind::kLockWaitSpan, now, start);
+          tr->span(obs::EventKind::kLockHoldSpan, start,
+                   start + cost_.per_heap_acquire);
+          tr->instant(obs::EventKind::kAcquireBatch, start,
+                      node_of(items.front()),
+                      static_cast<std::uint32_t>(items.size()),
+                      static_cast<std::uint16_t>(used_shard));
+        }
         std::vector<Entry> batch;
         batch.reserve(items.size());
         std::uint64_t compute_cost = 0;
+        std::uint64_t t = start + cost_.per_heap_acquire;
         for (ItemT& item : items) {
           auto result = engine.compute(item);
-          compute_cost += cost_.of(result.stats);
+          const std::uint64_t c = cost_.of(result.stats);
+          compute_cost += c;
+          if (tr != nullptr) {
+            tr->span(obs::EventKind::kComputeSpan, t, t + c, node_of(item));
+            trace_tt(*tr, t + c, node_of(item), result);
+          }
+          t += c;
           batch.push_back(Entry{std::move(item), std::move(result)});
         }
         const std::uint64_t done_at =
@@ -179,10 +229,24 @@ class SimExecutor {
       now = ev.t;
       // One serialized heap access commits the whole batch, routed to the
       // shard owning the first committed node's parent.
+      std::size_t used_shard = 0;
       const std::uint64_t start =
           lock_acquire(now, cost_.per_heap_commit,
-                       route_shard(engine, ev.batch.front().item));
+                       route_shard(engine, ev.batch.front().item), &used_shard);
       m.lock_wait_time += start - now;
+      if (trace_ != nullptr) {
+        obs::Tracer& tr = trace_->worker(ev.worker);
+        if (start > now)
+          tr.span(obs::EventKind::kLockWaitSpan, now, start);
+        tr.span(obs::EventKind::kLockHoldSpan, start,
+                start + cost_.per_heap_commit);
+        tr.instant(obs::EventKind::kCommitBatch, start,
+                   node_of(ev.batch.front().item),
+                   static_cast<std::uint32_t>(ev.batch.size()),
+                   static_cast<std::uint16_t>(used_shard));
+        trace_->set_current_worker(ev.worker);
+        trace_->set_virtual_now(start);
+      }
       const std::uint64_t freed_at = start + cost_.per_heap_commit;
       // Busy time is credited at commit so that work still in flight when
       // the root combines can be clamped to the makespan below.
@@ -207,7 +271,12 @@ class SimExecutor {
     while (!idle.empty()) {
       const IdleWorker w = idle.top();
       idle.pop();
-      if (m.makespan > w.since) m.idle_time += m.makespan - w.since;
+      if (m.makespan > w.since) {
+        m.idle_time += m.makespan - w.since;
+        if (trace_ != nullptr)
+          trace_->worker(w.id).span(obs::EventKind::kSleepSpan, w.since,
+                                    m.makespan);
+      }
     }
     return m;
   }
@@ -253,10 +322,40 @@ class SimExecutor {
     for (EntryT& e : batch) engine.commit(e.item, std::move(e.result));
   }
 
+  /// Engine node id of a work item, for trace events; kNoTraceNode for
+  /// engines whose items carry no node id.
+  template <typename Item>
+  [[nodiscard]] static std::uint32_t node_of(const Item& item) noexcept {
+    if constexpr (requires { item.node; })
+      return static_cast<std::uint32_t>(item.node);
+    else
+      return obs::kNoTraceNode;
+  }
+
+  /// Per-unit transposition-table traffic as trace instants, mirroring the
+  /// thread runtime's schema (same kinds, same arg meaning).
+  template <typename Result>
+  static void trace_tt(obs::Tracer& tr, std::uint64_t ts, std::uint32_t node,
+                       const Result& r) {
+    if constexpr (requires { r.stats.tt_probes; }) {
+      if (r.stats.tt_probes > 0)
+        tr.instant(obs::EventKind::kTtProbe, ts, node,
+                   static_cast<std::uint32_t>(r.stats.tt_probes));
+      if (r.stats.tt_hits > 0)
+        tr.instant(obs::EventKind::kTtHit, ts, node,
+                   static_cast<std::uint32_t>(r.stats.tt_hits));
+    } else {
+      (void)tr;
+      (void)ts;
+      (void)node;
+    }
+  }
+
   int processors_;
   CostModel cost_;
   int shards_;
   int batch_;
+  obs::TraceSession* trace_ = nullptr;  ///< not owned; null = untraced
 };
 
 }  // namespace ers::sim

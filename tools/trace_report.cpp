@@ -1,0 +1,43 @@
+// trace_report: offline analyzer for Perfetto traces written by the search
+// executors (DESIGN.md §11, EXPERIMENTS.md "tracing a run").
+//
+//   trace_report <trace.json> [--pid N]
+//
+// Prints per-worker busy/starve/lock timelines, the steal-migration
+// matrix, scheduling event counts, and the critical path through the unit
+// dependency graph.  --pid selects one session of a multi-session file
+// (e.g. the simulated half of a sim-vs-threads diff trace); the default is
+// the first session in the file.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  ers::CliArgs args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr, "usage: trace_report <trace.json> [--pid N]\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const std::string path = args.positional().front();
+  const int pid = static_cast<int>(args.get_int("pid", -1));
+
+  std::vector<ers::obs::TraceEvent> events;
+  if (!ers::obs::load_trace_file(path, events, pid)) {
+    std::fprintf(stderr, "trace_report: cannot load %s\n", path.c_str());
+    return 1;
+  }
+  if (events.empty()) {
+    std::fprintf(stderr,
+                 "trace_report: %s holds no schema events%s\n", path.c_str(),
+                 pid >= 0 ? " for that pid" : "");
+    return 1;
+  }
+  std::printf("%s: %zu events\n\n", path.c_str(), events.size());
+  const ers::obs::TraceReport rep = ers::obs::analyze_trace(events);
+  std::fputs(ers::obs::render_report(rep).c_str(), stdout);
+  return 0;
+}
