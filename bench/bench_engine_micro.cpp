@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "core/parallel_er.hpp"
 #include "othello/eval.hpp"
 #include "othello/positions.hpp"
@@ -61,6 +65,56 @@ void BM_ParallelErSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelErSim)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EngineCommitContention(benchmark::State& state) {
+  // Commit-under-contention: T raw protocol drivers hammer the engine with
+  // batch-1 acquire/compute/commit loops — no executor batching, parking
+  // or stealing to smooth the interleavings — so elapsed time is dominated
+  // by shard-lock sections and flat-combining drain rounds.  Sweeping
+  // shards 1 vs 8 at fixed threads isolates what per-shard locking buys on
+  // the pure synchronization path.
+  const UniformRandomTree g(4, 6, 17, -1000, 1000);
+  core::EngineConfig cfg;
+  cfg.search_depth = 6;
+  cfg.serial_depth = 4;
+  cfg.heap_shards = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t units = 0;
+  std::uint64_t peer_applied = 0;
+  for (auto _ : state) {
+    core::Engine<UniformRandomTree> engine(g, cfg);
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      drivers.emplace_back([&engine] {
+        std::vector<core::WorkItem> items;
+        std::vector<core::Engine<UniformRandomTree>::CommitEntry> batch;
+        while (!engine.done()) {
+          items.clear();
+          batch.clear();
+          if (engine.acquire_batch(1, items) == 0) {
+            std::this_thread::yield();
+            continue;
+          }
+          for (const core::WorkItem& item : items)
+            batch.push_back({item, engine.compute(item)});
+          engine.commit_batch(batch);
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    units += engine.stats().units_processed;
+    peer_applied += engine.lock_stats().combine_peer_applied;
+  }
+  state.counters["units/s"] = benchmark::Counter(
+      static_cast<double>(units), benchmark::Counter::kIsRate);
+  state.counters["peer_applied"] = benchmark::Counter(
+      static_cast<double>(peer_applied), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineCommitContention)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelErThreads(benchmark::State& state) {
   const UniformRandomTree g(4, 7, 11, -1000, 1000);

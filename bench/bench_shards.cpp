@@ -6,7 +6,9 @@
 // {1, 4} over the Othello midgame suite (O1–O3) and the random trees
 // (R1, R3), measuring with the executor's own SchedulerStats:
 //   * units/sec          — scheduler throughput (wall clock, --reps runs)
-//   * lock-wait share    — fraction of worker-time blocked on the heap lock
+//   * lock-wait share    — fraction of worker-time blocked on shard locks
+//   * lock-hold share    — fraction of worker-time inside lock sections
+//   * peer               — combine records a concurrent combiner applied
 //   * steals (hit/try)   — work moved between per-worker run queues
 //   * defer              — contended commit flushes deferred by try_lock
 //   * global refills     — refills that fell through an empty home shard
@@ -38,6 +40,8 @@ struct ShardRun {
   std::uint64_t units = 0;       ///< mean over reps
   double units_per_sec = 0.0;    ///< mean over reps
   double lock_wait_share = 0.0;  ///< mean over reps
+  double lock_hold_share = 0.0;  ///< mean over reps
+  std::uint64_t combine_peer_applied = 0;
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_hits = 0;
   std::uint64_t flush_deferrals = 0;
@@ -73,6 +77,8 @@ ShardRun run_config(const G& game, const ers::core::EngineConfig& cfg,
                              : static_cast<double>(report.units) * 1e9 /
                                    static_cast<double>(report.elapsed_ns);
     sum.lock_wait_share += report.lock_wait_share();
+    sum.lock_hold_share += report.lock_hold_share();
+    sum.combine_peer_applied += report.combine_peer_applied;
     sum.steal_attempts += report.sched.steal_attempts;
     sum.steal_hits += report.sched.steal_hits;
     sum.flush_deferrals += report.sched.flush_deferrals;
@@ -83,6 +89,8 @@ ShardRun run_config(const G& game, const ers::core::EngineConfig& cfg,
   sum.units /= n;
   sum.units_per_sec /= static_cast<double>(reps);
   sum.lock_wait_share /= static_cast<double>(reps);
+  sum.lock_hold_share /= static_cast<double>(reps);
+  sum.combine_peer_applied /= n;
   sum.steal_attempts /= n;
   sum.steal_hits /= n;
   sum.flush_deferrals /= n;
@@ -103,12 +111,18 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry reg;
   reg.set("bench", "shards");
   TextTable table({"tree", "shards", "threads", "batch", "units/s",
-                   "lock share", "steals", "defer", "refill", "nodes",
-                   "value"});
+                   "wait share", "hold share", "peer", "steals", "defer",
+                   "refill", "nodes", "value"});
   std::vector<std::string> json;
-  // 8-thread mean lock-wait share per (shards, batch): the contention
-  // headline the shard sweep exists to move.
-  std::map<std::pair<int, int>, std::pair<double, int>> t8;
+  // 8-thread mean lock-wait and lock-hold share per (shards, batch): the
+  // contention headlines the shard sweep and the per-shard locking engine
+  // exist to move.
+  struct Share {
+    double wait = 0.0;
+    double hold = 0.0;
+    int n = 0;
+  };
+  std::map<std::pair<int, int>, Share> t8;
   for (const auto& name : opt.tree_names) {
     auto base = harness::tree_by_name(name, opt.scale);
     const Value oracle = std::visit(
@@ -131,14 +145,17 @@ int main(int argc, char** argv) {
           reg.set("tree", base.name);
           reg.set("run.batch", batch);
           if (threads == 8) {
-            auto& acc = t8[{shards, batch}];
-            acc.first += r.lock_wait_share;
-            ++acc.second;
+            Share& acc = t8[{shards, batch}];
+            acc.wait += r.lock_wait_share;
+            acc.hold += r.lock_hold_share;
+            ++acc.n;
           }
           table.add_row(
               {base.name, std::to_string(shards), std::to_string(threads),
                std::to_string(batch), TextTable::num(r.units_per_sec, 0),
                TextTable::num(r.lock_wait_share, 4),
+               TextTable::num(r.lock_hold_share, 4),
+               std::to_string(r.combine_peer_applied),
                std::to_string(r.steal_hits) + "/" +
                    std::to_string(r.steal_attempts),
                std::to_string(r.flush_deferrals),
@@ -152,6 +169,9 @@ int main(int argc, char** argv) {
                              .field("units", r.units)
                              .field("units_per_sec", r.units_per_sec)
                              .field("lock_wait_share", r.lock_wait_share)
+                             .field("lock_hold_share", r.lock_hold_share)
+                             .field("combine_peer_applied",
+                                    r.combine_peer_applied)
                              .field("steal_attempts", r.steal_attempts)
                              .field("steal_hits", r.steal_hits)
                              .field("flush_deferrals", r.flush_deferrals)
@@ -164,10 +184,11 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  std::printf("\nmean lock-wait share at 8 threads:\n");
+  std::printf("\nmean lock shares at 8 threads (wait / hold):\n");
   for (const auto& [key, acc] : t8) {
-    std::printf("  shards=%d batch=%d: %.4f\n", key.first, key.second,
-                acc.second > 0 ? acc.first / acc.second : 0.0);
+    const double n = acc.n > 0 ? static_cast<double>(acc.n) : 1.0;
+    std::printf("  shards=%d batch=%d: %.4f / %.4f\n", key.first, key.second,
+                acc.wait / n, acc.hold / n);
   }
   bench::write_bench_json("shards", opt.reps, json);
   bench::write_observability(opt, trace, reg, "shards");

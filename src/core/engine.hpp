@@ -4,48 +4,72 @@
 // This class is the *scheduling state machine* only: it owns the shared
 // search tree, the primary priority queue (scheduled work, deepest first)
 // and the speculative priority queue (potential e-child selections, fewest
-// e-children first, then shallower).  It performs no threading and keeps no
-// clock; executors drive it through a three-phase protocol:
-//
-// The two queues are partitioned into EngineConfig::heap_shards shards
-// (paper §8's proposal of distributing the problem heap).  A node's entries
-// live on the shard owning its parent, so one commit's pushes land on one
-// shard.  Global pops (acquire/acquire_batch) scan the shard tops and are
-// bit-identical to the single-heap order at every shard count; shard-local
-// pops (acquire_shard/acquire_batch_shard) let an executor drain one shard
-// in its local priority order and balance the rest by stealing.
+// e-children first, then shallower).  It keeps no clock of its own beyond
+// lock accounting; executors drive it through a three-phase protocol:
 //
 //     acquire()  -> WorkItem        pick the next unit (Table 1 dispatch /
 //                                   speculative promotion / serial subtree)
 //     compute()  -> ComputeResult   the heavy, *pure* part of the unit —
 //                                   child generation or a serial-ER subtree
 //                                   search.  Touches no engine state, so the
-//                                   thread executor runs it outside the lock
-//                                   and the simulator charges its cost.
+//                                   thread executor runs it with no engine
+//                                   lock held and the simulator charges its
+//                                   cost.
 //     commit()                      apply the result: mutate the tree, run
 //                                   the paper's combine procedure, apply the
 //                                   Table 2 actions, refill the queues.
 //
-// The protocol also has batch forms — the contention remedy of the paper's
-// §6 observation that heap serialization erodes efficiency as processors
-// are added:
+// The two queues are partitioned into EngineConfig::heap_shards shards
+// (paper §8's proposal of distributing the problem heap).  A node's entries
+// live on the shard owning its parent (core/shard_policy.hpp), so one
+// commit's pushes land on one shard.  Global pops (acquire/acquire_batch)
+// scan the shard tops and are bit-identical to the single-heap order at
+// every shard count; shard-local pops (acquire_shard/acquire_batch_shard)
+// let an executor drain one shard in its local priority order and balance
+// the rest by stealing.
 //
-//     acquire_batch(k, out)         pop up to k ready units in one pass (one
-//                                   heap access for the whole batch)
-//     commit_batch(span)            apply several results back to back under
-//                                   a single serialized heap access
+// Concurrency model (this PR retires the executor-side global engine
+// mutex; DESIGN.md §12):
 //
-// A batch commit is exactly a sequence of single commits applied atomically
-// in batch order; the combine procedure only requires commits to be
-// serialized, never that they interleave at any particular granularity, so
-// batching changes the schedule but not the result (the root value is
-// schedule-independent).  The single-item calls are thin wrappers over the
-// same implementation, so executors that never batch (the baselines, the
-// k=1 simulator) are untouched semantically.
+//   * Every shard has its own lock guarding its two queues, its publish
+//     list, and the queue-membership state of the nodes homed on it.  A
+//     shard-local acquire takes exactly its shard's lock; a global acquire
+//     takes all shard locks in ascending index order.
+//   * Commits go through a *flat-combining* path: the caller publishes a
+//     combine record (the batch of CommitEntry results, or a deferred
+//     pop-time cutoff) to a shard's apply list and then either observes a
+//     concurrent combiner apply it, or becomes the combiner itself by
+//     taking combine_mu_.  The combiner snapshots every shard's publish
+//     list, sorts the records by publish ticket, locks the union of the
+//     records' *touch sets* in ascending shard order, and applies them
+//     back to back.  A record's touch set is every shard owning entries or
+//     children of any node on the committed node's ancestor chain — the
+//     full footprint of commit + combine + Table 2 — so refills on
+//     untouched shards never block, and the ascending order makes the lock
+//     hierarchy (combine_mu_, then shard locks ascending) deadlock-free by
+//     construction.
+//   * Node fields read across shard boundaries (ancestor windows, dead
+//     checks, promotion candidacy) are relaxed atomics.  Staleness is
+//     sound because node values only increase: a stale ancestor value
+//     yields a *wider* (weaker) window, so a pop-time cutoff that fires
+//     against a stale bound is still valid against the fresh one, and a
+//     missed cutoff merely schedules work a later check cancels.
+//   * Pop order stays bit-identical at every shard count: pops use the
+//     same global comparator over shard tops as the single heap, pushes
+//     happen only inside combiner application (serialized by combine_mu_),
+//     and a single-threaded driver publishes and immediately applies each
+//     record itself, reproducing the PR-3 mutation order exactly.
 //
-// acquire/commit (batch or not) must be externally serialized (the
-// simulator is single threaded; the thread runtime holds a mutex); compute
-// calls may run concurrently with anything.
+// The batch protocol forms — the contention remedy of the paper's §6
+// observation that heap serialization erodes efficiency as processors are
+// added — survive unchanged:
+//
+//     acquire_batch(k, out)         pop up to k ready units in one locked
+//                                   pass over the shard tops
+//     commit_batch(span)            publish the results as one combine
+//                                   record; applied back to back, so a
+//                                   batch commit is exactly a sequence of
+//                                   single commits in batch order
 //
 // Work classification follows the paper exactly:
 //   * nodes at ply >= serial_depth are leaves of the *parallel* tree and are
@@ -59,15 +83,22 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <limits>
+#include <cstdio>
 #include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/shard_policy.hpp"
 #include "core/types.hpp"
 #include "gametree/game.hpp"
 #include "obs/trace.hpp"
@@ -76,6 +107,31 @@
 #include "util/value.hpp"
 
 namespace ers::core {
+
+/// Relaxed-atomic cell for node fields that are *read* across shard
+/// boundaries while their owner's shard lock serializes all writes.  The
+/// implicit conversions keep the scheduling code readable; every access is
+/// memory_order_relaxed on purpose — cross-shard readers tolerate staleness
+/// (see the monotonicity argument in the header comment), and the
+/// happens-before edges they do need come from the shard mutexes.
+template <typename T>
+class Shared {
+ public:
+  constexpr Shared() noexcept = default;
+  constexpr Shared(T v) noexcept : v_(v) {}
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+  [[nodiscard]] operator T() const noexcept {  // NOLINT(google-explicit-*)
+    return v_.load(std::memory_order_relaxed);
+  }
+  Shared& operator=(T v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<T> v_;
+};
 
 template <Game G>
 class Engine {
@@ -102,8 +158,12 @@ class Engine {
     ERS_CHECK(cfg_.search_depth >= 0);
     ERS_CHECK(cfg_.heap_shards >= 1);
     cfg_.serial_depth = std::clamp(cfg_.serial_depth, 0, cfg_.search_depth);
-    shards_.resize(static_cast<std::size_t>(cfg_.heap_shards));
-    nodes_.push_back(Node(game_.root(), kNoNode, 0, NodeType::kENode, 0));
+    for (int s = 0; s < cfg_.heap_shards; ++s) shards_.emplace_back();
+    if constexpr (obs::kTracingEnabled) {
+      if (cfg_.trace != nullptr) cfg_.trace->ensure_shards(shards_.size());
+    }
+    // Construction is single-threaded: seeding the root needs no locks.
+    nodes_.emplace(game_.root(), kNoNode, 0, NodeType::kENode, 0);
     push_primary(0);
   }
 
@@ -112,73 +172,6 @@ class Engine {
     WorkItem item;
     ComputeResult result;
   };
-
-  // --- executor protocol -------------------------------------------------
-
-  [[nodiscard]] std::optional<WorkItem> acquire() {
-    return acquire_one(kAnyShard);
-  }
-
-  /// Shard-local acquire: pop the best ready unit of shard `s` only (its
-  /// own priority order; never touches other shards' queues).  The thread
-  /// runtime's steal loop drains a worker's home shard through this before
-  /// probing victims.
-  [[nodiscard]] std::optional<WorkItem> acquire_shard(std::size_t s) {
-    return acquire_one(s % shards_.size());
-  }
-
-  /// Batch form of acquire(): pop up to `k` ready units in one pass,
-  /// appending them to `out`.  Returns the number acquired.  Executors pay
-  /// one serialized heap access for the whole call, which is the point.
-  std::size_t acquire_batch(std::size_t k, std::vector<WorkItem>& out) {
-    return acquire_batch_from(kAnyShard, k, out);
-  }
-
-  /// Batch form of acquire_shard(): up to `k` units from shard `s` alone.
-  std::size_t acquire_batch_shard(std::size_t s, std::size_t k,
-                                  std::vector<WorkItem>& out) {
-    return acquire_batch_from(s % shards_.size(), k, out);
-  }
-
-  void commit(const WorkItem& item, ComputeResult&& r) {
-    commit_one(item, std::move(r));
-  }
-
-  /// Batch form of commit(): apply several results back to back — exactly a
-  /// sequence of single commits executed atomically in batch order, so the
-  /// queues are refilled once per batch instead of once per unit.  Entries
-  /// are consumed (results moved from).
-  void commit_batch(std::span<CommitEntry> batch) {
-    for (CommitEntry& e : batch) commit_one(e.item, std::move(e.result));
-  }
-
-  /// Entries currently queued (primary + speculative) across all shards.
-  /// An upper bound — lazily-invalidated stale entries are counted — which
-  /// is all the thread runtime needs to size its wakeups to the work
-  /// actually available.
-  [[nodiscard]] std::size_t queued_count() const noexcept {
-    std::size_t n = 0;
-    for (const Shard& s : shards_) n += s.primary.size() + s.spec.size();
-    return n;
-  }
-
-  /// Queued entries (upper bound, stale included) in shard `s` alone.
-  [[nodiscard]] std::size_t queued_count_shard(std::size_t s) const noexcept {
-    const Shard& sh = shards_[s % shards_.size()];
-    return sh.primary.size() + sh.spec.size();
-  }
-
-  [[nodiscard]] std::size_t shard_count() const noexcept {
-    return shards_.size();
-  }
-
-  /// The shard a node's queue entries live in: the shard owning its parent,
-  /// so the children created by one commit all land on one shard and a
-  /// worker draining it keeps the depth-first focus of the LIFO tiebreak.
-  [[nodiscard]] std::size_t home_shard(std::uint32_t id) const noexcept {
-    const std::uint32_t p = nodes_[id].parent;
-    return p == kNoNode ? 0 : p % shards_.size();
-  }
 
  private:
   struct PrimaryEntry {
@@ -209,26 +202,363 @@ class Engine {
     }
   };
 
+  /// One published flat-combining operation.  Records live on the
+  /// publisher's stack: the publisher blocks (publishing thread) or drains
+  /// (combiner) until `applied` is set, so the pointer in a shard's publish
+  /// list never dangles.
+  struct ApplyRecord {
+    enum class Kind : std::uint8_t {
+      kCommit,  ///< apply `entries` back to back (a commit_batch)
+      kFinish,  ///< deferred pop-time cutoff: finish_and_combine(finish_node)
+    };
+    Kind kind = Kind::kCommit;
+    std::span<CommitEntry> entries{};
+    std::uint32_t finish_node = kNoNode;
+    /// kFinish: the cutoff was against the node's own bound (traced as a
+    /// kSpecCancel), not the empty-window parent finish (untraced, matching
+    /// the pre-sharded engine).
+    bool traced_cutoff = false;
+    std::uint64_t ticket = 0;
+    std::atomic<bool>* applied = nullptr;
+  };
+
+  /// A pop-time cutoff detected under an acquire's shard locks.  The
+  /// finish walks a cross-shard ancestor chain, so the acquire releases
+  /// its locks, publishes a kFinish record, combines, and retries — which
+  /// single-threaded reproduces the old pop -> finish -> keep-popping
+  /// sequence exactly.
+  struct DeferredFinish {
+    std::uint32_t node = kNoNode;  ///< kNoNode = nothing deferred
+    bool traced = false;
+  };
+
   /// One slice of the problem heap: the primary and speculative queues for
-  /// the nodes homed here.  Entry comparators are global (ply/keys + global
-  /// seq), so within a shard the paper's priority order is preserved and
-  /// across shards the tops reconstruct the global order exactly.
+  /// the nodes homed here, the shard's lock, and its flat-combining publish
+  /// list.  Entry comparators are global (ply/keys + global seq), so within
+  /// a shard the paper's priority order is preserved and across shards the
+  /// tops reconstruct the global order exactly.
   struct Shard {
     std::priority_queue<PrimaryEntry> primary;
     std::priority_queue<SpecEntry> spec;
+    /// Guards the queues and the queue-membership state (in_primary,
+    /// in_flight, on_spec, spec_seq, and every plain field) of nodes homed
+    /// here.  Writers are acquires on this shard and combiners whose touch
+    /// set includes it.
+    mutable std::mutex mu;
+    /// Guards `pending` only — a leaf lock publishers take without mu so a
+    /// publish never waits behind a long apply.
+    mutable std::mutex pending_mu;
+    std::vector<ApplyRecord*> pending;
+    // Counted lock sections attributed to this shard (guarded by mu).
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_wait_ns = 0;
+    std::uint64_t lock_hold_ns = 0;
+    /// ++ under mu; read lock-free when stats() folds the aggregate.
+    std::atomic<std::uint64_t> dead_drops{0};
   };
 
   /// Sentinel for "pop the globally best entry over every shard".
   static constexpr std::size_t kAnyShard = std::numeric_limits<std::size_t>::max();
 
+  struct Node;  // defined with the storage arena below
+
+ public:
+  /// Caller-owned handle for a commit published without combining
+  /// (publish_commit below).  Must outlive the record's application.
+  struct PendingCommit {
+    PendingCommit() = default;
+    PendingCommit(const PendingCommit&) = delete;
+    PendingCommit& operator=(const PendingCommit&) = delete;
+    std::atomic<bool> applied{false};
+
+   private:
+    friend class Engine;
+    ApplyRecord record{};
+  };
+
+  // --- executor protocol -------------------------------------------------
+
+  [[nodiscard]] std::optional<WorkItem> acquire() {
+    WorkItem buf;
+    return acquire_fill(kAnyShard, std::span<WorkItem>(&buf, 1)) == 1
+               ? std::optional<WorkItem>(buf)
+               : std::nullopt;
+  }
+
+  /// Shard-local acquire: pop the best ready unit of shard `s` only (its
+  /// own priority order; never touches other shards' queues or locks).  The
+  /// thread runtime's steal loop drains a worker's home shard through this
+  /// before probing victims.
+  [[nodiscard]] std::optional<WorkItem> acquire_shard(std::size_t s) {
+    WorkItem buf;
+    return acquire_fill(fold_shard(s, shards_.size()),
+                        std::span<WorkItem>(&buf, 1)) == 1
+               ? std::optional<WorkItem>(buf)
+               : std::nullopt;
+  }
+
+  /// Batch form of acquire(): pop up to `k` ready units in one locked pass,
+  /// appending them to `out`.  Returns the number acquired.
+  std::size_t acquire_batch(std::size_t k, std::vector<WorkItem>& out) {
+    return acquire_batch_from(kAnyShard, k, out);
+  }
+
+  /// Batch form of acquire_shard(): up to `k` units from shard `s` alone.
+  std::size_t acquire_batch_shard(std::size_t s, std::size_t k,
+                                  std::vector<WorkItem>& out) {
+    return acquire_batch_from(fold_shard(s, shards_.size()), k, out);
+  }
+
+  void commit(const WorkItem& item, ComputeResult&& r) {
+    CommitEntry e{item, std::move(r)};
+    commit_batch(std::span<CommitEntry>(&e, 1));
+  }
+
+  /// Batch form of commit(): publish the results as one flat-combining
+  /// record and block until some combiner — usually this thread — applies
+  /// it.  Application is exactly a sequence of single commits executed
+  /// back to back in batch order; the combine procedure only requires
+  /// commits to be serialized, never that they interleave at any particular
+  /// granularity, so batching changes the schedule but not the result (the
+  /// root value is schedule-independent).  Entries are consumed (results
+  /// moved from).  Returns true when a *concurrent* combiner applied the
+  /// record — the caller never took a shard lock (the stealing runtime
+  /// counts these as flush deferrals).
+  bool commit_batch(std::span<CommitEntry> batch) {
+    if (batch.empty()) return false;
+    std::atomic<bool> applied{false};
+    ApplyRecord rec;
+    rec.kind = ApplyRecord::Kind::kCommit;
+    rec.entries = batch;
+    rec.applied = &applied;
+    // Uncontended fast path: the combine lock is free, so skip the publish
+    // queue entirely — become the combiner and apply this record (after
+    // any peers' published ones) in one round.  Behaviorally identical to
+    // publish + immediate self-combine, minus a pending-queue round-trip
+    // per commit; a sequential driver always takes this branch, so the
+    // single-threaded schedule is untouched.
+    if (combine_mu_.try_lock()) {
+      drain_round_with(&rec);
+      combine_mu_.unlock();
+      ERS_CHECK(applied.load(std::memory_order_acquire));
+      return false;
+    }
+    publish(rec, home_shard(batch.front().item.node),
+            static_cast<std::uint32_t>(batch.size()));
+    return combine_until_applied(applied);
+  }
+
+  /// Opportunistic combine: become the combiner if nobody else is, drain
+  /// every published record, and return true.  False means a peer holds the
+  /// combine lock — the caller's published records will ride that peer's
+  /// round or a later one (check their PendingCommit::applied).  This is
+  /// the non-blocking half of the asynchronous commit path: publish_commit
+  /// + try_combine lets an executor keep computing through a contended
+  /// commit instead of convoying behind the current combiner.
+  bool try_combine() {
+    if (!combine_mu_.try_lock()) return false;
+    drain_round();
+    combine_mu_.unlock();
+    return true;
+  }
+
+  /// Non-blocking commit: if the combine lock is free, become the combiner
+  /// and apply `batch` (after any published peers) in one round, returning
+  /// true with the entries consumed.  Returns false — entries untouched —
+  /// when a peer holds the lock; the caller publishes them instead
+  /// (publish_commit) and keeps working.  The stealing executor's flush
+  /// rides this so an uncontended commit costs one try_lock plus the
+  /// touch-set shard locks and never a pending-queue round-trip.
+  bool try_commit_batch(std::span<CommitEntry> batch) {
+    if (batch.empty()) return true;
+    if (!combine_mu_.try_lock()) return false;
+    std::atomic<bool> applied{false};
+    ApplyRecord rec;
+    rec.kind = ApplyRecord::Kind::kCommit;
+    rec.entries = batch;
+    rec.applied = &applied;
+    drain_round_with(&rec);
+    combine_mu_.unlock();
+    ERS_CHECK(applied.load(std::memory_order_acquire));
+    return true;
+  }
+
+  // --- asynchronous commit path (stealing executor + tests/core) ----------
+
+  /// Publish `batch` as a combine record *without* combining.  `batch` and
+  /// `pc` must stay alive until some combiner applies the record —
+  /// combine_published() below, or any concurrent commit path.
+  void publish_commit(std::span<CommitEntry> batch, PendingCommit& pc) {
+    ERS_CHECK(!batch.empty());
+    pc.record.kind = ApplyRecord::Kind::kCommit;
+    pc.record.entries = batch;
+    pc.record.applied = &pc.applied;
+    publish(pc.record, home_shard(batch.front().item.node),
+            static_cast<std::uint32_t>(batch.size()));
+  }
+
+  /// Become the combiner and drain one full round: every record published
+  /// so far is applied, in publish-ticket order.
+  void combine_published() {
+    std::scoped_lock lk(combine_mu_);
+    drain_round();
+  }
+
+  // --- queue observers ----------------------------------------------------
+
+  /// Entries currently queued (primary + speculative) across all shards.
+  /// An upper bound — lazily-invalidated stale entries are counted — which
+  /// is all the thread runtime needs to size its wakeups to the work
+  /// actually available.  Takes each shard lock briefly (uncounted).
+  [[nodiscard]] std::size_t queued_count() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
+      n += s.primary.size() + s.spec.size();
+    }
+    return n;
+  }
+
+  /// Queued entries (upper bound, stale included) in shard `s` alone.
+  [[nodiscard]] std::size_t queued_count_shard(std::size_t s) const {
+    const Shard& sh = shards_[fold_shard(s, shards_.size())];
+    std::scoped_lock lk(sh.mu);
+    return sh.primary.size() + sh.spec.size();
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// The shard a node's queue entries live in: the shard owning its parent
+  /// (core/shard_policy.hpp), so the children created by one commit all
+  /// land on one shard and a worker draining it keeps the depth-first focus
+  /// of the LIFO tiebreak.  Lock-free: parent links are immutable.
+  [[nodiscard]] std::size_t home_shard(std::uint32_t id) const noexcept {
+    return home_shard_of(nodes_[id].parent, shards_.size());
+  }
+
+  /// Append the ascending, deduplicated set of shards a commit on `id` may
+  /// lock: every shard owning entries or children of any node on id's
+  /// ancestor chain.  Lock-free (the chain is immutable); the simulator
+  /// charges its routed contention model from exactly this set.
+  void commit_touch_shards(std::uint32_t id,
+                           std::vector<std::uint32_t>& out) const {
+    const std::size_t S = shards_.size();
+    std::array<std::uint8_t, kMaxShards> seen{};
+    ERS_CHECK(S <= seen.size());
+    mark_touch(id, seen.data());
+    for (std::size_t s = 0; s < S; ++s)
+      if (seen[s] != 0) out.push_back(static_cast<std::uint32_t>(s));
+  }
+
+ private:
   std::size_t acquire_batch_from(std::size_t shard, std::size_t k,
                                  std::vector<WorkItem>& out) {
+    const std::size_t base = out.size();
+    out.resize(base + k);
+    const std::size_t got =
+        acquire_fill(shard, std::span<WorkItem>(out).subspan(base));
+    out.resize(base + got);
+    return got;
+  }
+
+  /// Acquire driver: repeat locked popping passes, handling deferred
+  /// pop-time cutoffs between passes, until `out` is full or the visible
+  /// queues are drained.
+  std::size_t acquire_fill(std::size_t shard, std::span<WorkItem> out) {
     std::size_t got = 0;
-    while (got < k) {
-      auto item = acquire_one(shard);
-      if (!item) break;
-      out.push_back(*item);
-      ++got;
+    for (;;) {
+      DeferredFinish d{};
+      if (shard == kAnyShard && shards_.size() > 1) {
+        const auto t0 = Clock::now();
+        for (Shard& sh : shards_) sh.mu.lock();
+        const auto t1 = Clock::now();
+        got += acquire_under_locks(shard, out.subspan(got), d);
+        const auto t2 = Clock::now();
+        // Multi-lock counters: every multi section holds shard 0 (global
+        // acquires take all locks; apply touch sets always reach the root,
+        // homed on shard 0), which is what serializes these writes.
+        multi_acquisitions_ += 1;
+        multi_wait_ns_ += delta_ns(t0, t1);
+        multi_hold_ns_ += delta_ns(t1, t2);
+        for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+          it->mu.unlock();
+        trace_lock_section(t0, t1, t2, obs::kNoTraceShard);
+      } else {
+        const std::size_t s = shard == kAnyShard ? 0 : shard;
+        Shard& sh = shards_[s];
+        const auto t0 = Clock::now();
+        sh.mu.lock();
+        const auto t1 = Clock::now();
+        got += acquire_under_locks(shard, out.subspan(got), d);
+        const auto t2 = Clock::now();
+        sh.lock_acquisitions += 1;
+        sh.lock_wait_ns += delta_ns(t0, t1);
+        sh.lock_hold_ns += delta_ns(t1, t2);
+        sh.mu.unlock();
+        trace_lock_section(t0, t1, t2, static_cast<std::uint16_t>(s));
+      }
+      if (d.node == kNoNode) return got;  // filled, or queues drained
+      apply_deferred_finish(d);
+      if (got == out.size()) return got;
+    }
+  }
+
+  /// One locked popping pass; caller holds the lock(s) covering `shard`.
+  /// Mirrors the pre-sharded acquire loop exactly, except that a pop-time
+  /// cutoff is reported through `d` for the caller to combine instead of
+  /// finishing inline.
+  std::size_t acquire_under_locks(std::size_t shard, std::span<WorkItem> out,
+                                  DeferredFinish& d) {
+    std::size_t got = 0;
+    while (got < out.size()) {
+      auto popped = pop_primary(shard);
+      if (!popped) break;
+      const PrimaryEntry e = *popped;
+      Node& n = nodes_[e.node];
+      if (!n.in_primary) continue;  // stale entry
+      n.in_primary = false;
+      if (n.finished || is_dead(e.node)) {
+        const std::size_t owner = home_shard(e.node);
+        shards_[owner].dead_drops.fetch_add(1, std::memory_order_relaxed);
+        trace_shard_instant(owner, obs::EventKind::kSpecCancel, e.node,
+                            /*arg=*/0);
+        continue;
+      }
+      // Pop-time cutoff: the node's tentative value may already refute it
+      // against the parent's *current* bound.  (A stale bound read is
+      // sound: bounds only tighten, so a cutoff seen stale holds fresh.)
+      if (n.parent != kNoNode && n.value >= beta_of(e.node)) {
+        d = DeferredFinish{e.node, /*traced=*/true};
+        return got;
+      }
+      if (n.ply >= cfg_.serial_depth) {
+        const Window w = window_of(e.node);
+        if (!w.is_open()) {
+          // Empty window: an ancestor's bound already refutes the parent.
+          // Finish the parent instead of searching nothing.
+          d = DeferredFinish{n.parent, /*traced=*/false};
+          return got;
+        }
+        n.in_flight = true;
+        out[got++] = WorkItem{e.node, serial_kind(n), w, n.value, n.type, &n};
+        continue;
+      }
+      n.in_flight = true;
+      out[got++] = WorkItem{e.node,  WorkKind::kExpand, full_window(),
+                            -kValueInf, n.type,          &n};
+    }
+    while (got < out.size()) {
+      auto popped = pop_spec(shard);
+      if (!popped) break;
+      const SpecEntry e = *popped;
+      Node& n = nodes_[e.node];
+      if (!n.on_spec || e.spec_seq != n.spec_seq) continue;  // stale
+      n.on_spec = false;
+      if (n.finished || is_dead(e.node) || !spec_eligible(e.node)) continue;
+      out[got++] = WorkItem{e.node,  WorkKind::kPromote, full_window(),
+                            -kValueInf, n.type,           &n};
     }
     return got;
   }
@@ -270,53 +600,6 @@ class Engine {
     return e;
   }
 
-  [[nodiscard]] std::optional<WorkItem> acquire_one(std::size_t shard) {
-    while (auto popped = pop_primary(shard)) {
-      const PrimaryEntry e = *popped;
-      Node& n = nodes_[e.node];
-      if (!n.in_primary) continue;  // stale entry
-      n.in_primary = false;
-      if (n.finished || is_dead(e.node)) {
-        ++stats_.dead_items_dropped;
-        trace_instant(obs::EventKind::kSpecCancel, e.node, /*arg=*/0);
-        continue;
-      }
-      // Pop-time cutoff: the node's tentative value may already refute it
-      // against the parent's *current* bound.
-      if (n.parent != kNoNode && n.value >= beta_of(e.node)) {
-        ++stats_.cutoffs_at_pop;
-        trace_instant(obs::EventKind::kSpecCancel, e.node, /*arg=*/1);
-        finish_and_combine(e.node);
-        continue;
-      }
-      if (n.ply >= cfg_.serial_depth) {
-        const Window w = window_of(e.node);
-        if (!w.is_open()) {
-          // Empty window: an ancestor's bound already refutes the parent.
-          // Finish the parent instead of searching nothing.
-          ++stats_.cutoffs_at_pop;
-          finish_and_combine(n.parent);
-          continue;
-        }
-        n.in_flight = true;
-        return WorkItem{e.node, serial_kind(n), w, n.value, n.type, &n};
-      }
-      n.in_flight = true;
-      return WorkItem{e.node, WorkKind::kExpand, full_window(), -kValueInf,
-                      n.type, &n};
-    }
-    while (auto popped = pop_spec(shard)) {
-      const SpecEntry e = *popped;
-      Node& n = nodes_[e.node];
-      if (!n.on_spec || e.spec_seq != n.spec_seq) continue;  // stale
-      n.on_spec = false;
-      if (n.finished || is_dead(e.node) || !spec_eligible(e.node)) continue;
-      return WorkItem{e.node, WorkKind::kPromote, full_window(), -kValueInf,
-                      n.type, &n};
-    }
-    return std::nullopt;
-  }
-
  public:
   /// Pure phase; safe to run concurrently with acquire/commit on other
   /// items.  Reads only fields frozen while the item is in flight.
@@ -330,8 +613,8 @@ class Engine {
   /// by acquire/commit, so concurrent compute calls share it freely.
   [[nodiscard]] ComputeResult compute(const WorkItem& item,
                                       ConcurrentTranspositionTable* tt) const {
-    // Use the pointer captured under the lock: indexing nodes_ here would
-    // race with commits growing the deque on other threads.
+    // Use the pointer captured under the shard lock: indexing nodes_ here
+    // would race with commits growing the arena on other threads.
     const Node& n = *static_cast<const Node*>(item.node_ref);
     ComputeResult out;
     ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
@@ -403,8 +686,8 @@ class Engine {
         }
         out.stats.interior_expanded += 1;
         // Paper §7: children of e-nodes are never statically sorted.  Use
-        // the role frozen at acquire: the live field may be re-typed under
-        // the engine lock while this unit runs (WorkItem::ntype).
+        // the role frozen at acquire: the live field may be re-typed by a
+        // concurrent commit while this unit runs (WorkItem::ntype).
         if (item.ntype != NodeType::kENode && cfg_.ordering.should_sort(n.ply))
           sort_children_by_static_value(game_, out.child_positions, out.stats);
         break;
@@ -413,66 +696,90 @@ class Engine {
     return out;
   }
 
- private:
-  void commit_one(const WorkItem& item, ComputeResult&& r) {
-    Node& n = nodes_[item.node];
-    n.in_flight = false;
-    stats_.search += r.stats;
-    ++stats_.units_processed;
-    // Commit record with the parent link: trace_report rebuilds the unit
-    // dependency graph (and its critical path) from exactly these events.
-    trace_instant(obs::EventKind::kUnitCommit, item.node,
-                  n.parent == kNoNode ? obs::kNoTraceNode : n.parent);
-    switch (item.kind) {
-      case WorkKind::kPromote:
-        commit_promotion(item.node);
-        break;
-      case WorkKind::kSerialFull:
-      case WorkKind::kSerialRefuteRest:
-      case WorkKind::kSerialRefute:
-        ++stats_.serial_units;
-        n.value = std::max(n.value, r.value);
-        finish_and_combine(item.node);
-        break;
-      case WorkKind::kSerialEvalFirst:
-        commit_eval_first(item.node, std::move(r));
-        break;
-      case WorkKind::kExpand:
-        commit_expand(item.node, std::move(r));
-        break;
-    }
-  }
+  // --- run observers -------------------------------------------------------
 
- public:
   [[nodiscard]] bool done() const noexcept { return done_; }
-  [[nodiscard]] Value root_value() const noexcept { return nodes_[0].value; }
+  [[nodiscard]] Value root_value() const noexcept {
+    return nodes_[0].value;
+  }
 
   /// Position of the root child that achieved the root value — the move to
   /// play.  Empty when the root was resolved inside a single serial unit
   /// (serial_depth == 0) or is a leaf.
   [[nodiscard]] std::optional<Position> best_root_position() const {
+    std::scoped_lock lk(combine_mu_);
     const std::uint32_t b = nodes_[0].best_child;
     if (b == kNoNode) return std::nullopt;
     return nodes_[b].pos;
   }
-  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
-  /// True if no work is queued.  An executor observing has_work()==false,
-  /// done()==false and no in-flight items has found a scheduling bug.
-  [[nodiscard]] bool has_queued_work() const noexcept {
+  /// Aggregate engine counters.  Returns a snapshot by value: the shard-
+  /// local dead-drop tallies are folded in and the combiner-owned counters
+  /// read under combine_mu_.
+  [[nodiscard]] EngineStats stats() const {
+    EngineStats out;
+    {
+      std::scoped_lock lk(combine_mu_);
+      out = stats_;
+    }
     for (const Shard& s : shards_)
+      out.dead_items_dropped += s.dead_drops.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Snapshot of the per-shard and flat-combining lock accounting; the
+  /// thread runtime folds this into its SchedulerStats totals.
+  [[nodiscard]] EngineLockStats lock_stats() const {
+    EngineLockStats out;
+    const std::size_t S = shards_.size();
+    out.shard_acquisitions.resize(S);
+    out.shard_wait_ns.resize(S);
+    out.shard_hold_ns.resize(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      const Shard& sh = shards_[s];
+      std::scoped_lock lk(sh.mu);
+      out.shard_acquisitions[s] = sh.lock_acquisitions;
+      out.shard_wait_ns[s] = sh.lock_wait_ns;
+      out.shard_hold_ns[s] = sh.lock_hold_ns;
+      if (s == 0) {  // multi counters live under shard 0's lock
+        out.multi_acquisitions = multi_acquisitions_;
+        out.multi_wait_ns = multi_wait_ns_;
+        out.multi_hold_ns = multi_hold_ns_;
+      }
+    }
+    {
+      std::scoped_lock lk(combine_mu_);
+      out.combine_batches = combine_batches_;
+      out.combine_records = combine_records_;
+      out.combine_entries = combine_entries_;
+    }
+    out.combine_peer_applied = peer_applied_.load(std::memory_order_relaxed);
+    out.combine_wait_ns = publisher_wait_ns_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// True if no work is queued.  An executor observing has_queued_work() ==
+  /// false, done() == false and no in-flight items has found a scheduling
+  /// bug.
+  [[nodiscard]] bool has_queued_work() const {
+    for (const Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
       if (!s.primary.empty() || !s.spec.empty()) return true;
+    }
     return false;
   }
 
-  [[nodiscard]] std::size_t tree_size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t tree_size() const noexcept {
+    return nodes_.size();
+  }
 
   /// Diagnostic dump of all unfinished, non-dead nodes, grouped under a
   /// per-shard occupancy summary (used by the executors' stall reports; see
-  /// tests/core/engine_test.cpp).  The unfinished-node table is partitioned
-  /// by home shard so a stall in one shard's scheduling is visible as that
-  /// shard's occupancy, not a flat global list.
+  /// tests/core/engine_test.cpp).  Takes every engine lock; callers must
+  /// hold none.
   void debug_dump_unfinished(std::FILE* out) const {
+    std::scoped_lock clk(combine_mu_);
+    for (const Shard& s : shards_) s.mu.lock();
     std::vector<std::size_t> unfinished(shards_.size(), 0);
     for (std::uint32_t id = 0; id < nodes_.size(); ++id)
       if (!nodes_[id].finished && !is_dead(id)) ++unfinished[home_shard(id)];
@@ -490,52 +797,219 @@ class Engine {
           "elder %d d %d e_ch %d partial %d expanded %d inprim %d inflight %d "
           "first_e %d e_eval %d seqref %d\n",
           id, home_shard(id), static_cast<int>(n.parent), n.ply,
-          static_cast<int>(n.type), n.value, n.generated, n.finished_children,
-          n.elder_done, child_count(n), n.e_children, n.partial ? 1 : 0,
-          n.expanded ? 1 : 0, n.in_primary ? 1 : 0, n.in_flight ? 1 : 0,
-          n.first_e_selected ? 1 : 0, n.e_child_evaluated ? 1 : 0,
-          static_cast<int>(n.seq_refuting));
+          static_cast<int>(static_cast<NodeType>(n.type)),
+          static_cast<int>(static_cast<Value>(n.value)), n.generated,
+          n.finished_children, n.elder_done, child_count(n), n.e_children,
+          n.partial ? 1 : 0, n.expanded ? 1 : 0, n.in_primary ? 1 : 0,
+          n.in_flight ? 1 : 0, n.first_e_selected ? 1 : 0,
+          n.e_child_evaluated ? 1 : 0, static_cast<int>(n.seq_refuting));
     }
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+      it->mu.unlock();
   }
 
  private:
-  struct Node {
-    Node(Position position, std::uint32_t parent_id, int ply_at, NodeType ty,
-         int index_in_parent)
-        : pos(std::move(position)),
-          parent(parent_id),
-          ply(ply_at),
-          child_index(index_in_parent),
-          type(ty) {}
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kMaxShards = 256;
+  static constexpr int kSpinsBeforeYield = 256;
 
-    Position pos;
-    std::uint32_t parent;
-    std::int32_t ply;
-    std::int32_t child_index;  ///< index within the parent's child list
-    NodeType type;
-    Value value = -kValueInf;  ///< monotone tentative value, own perspective
+  // --- flat-combining machinery -------------------------------------------
 
-    bool finished = false;      ///< subtree resolved (evaluated or refuted)
-    bool expanded = false;      ///< child_positions computed
-    bool partial = false;       ///< cutover node: Eval_first unit completed
-    bool in_primary = false;    ///< a live entry exists in the primary queue
-    bool in_flight = false;     ///< a worker holds this node
-    bool on_spec = false;       ///< a live entry exists in the spec queue
-    bool elder_counted = false; ///< contributed to parent's elder_done
-    bool first_e_selected = false;
-    bool e_child_evaluated = false;   ///< some promoted e-child has finished
-    bool refutation_dispatched = false;
+  /// Publish a record to shard `shard`'s apply list.  Takes only the
+  /// shard's leaf publish lock — never its queue lock — so a publish never
+  /// waits behind a long apply or refill.
+  void publish(ApplyRecord& rec, std::size_t shard, std::uint32_t arg) {
+    rec.ticket = publish_ticket_.fetch_add(1, std::memory_order_relaxed);
+    // Gate counter for drain_round_with: incremented *before* the push, so
+    // it over-counts transiently (a combiner may snapshot fewer records
+    // than the count suggests) but never misses a record already in a
+    // list — and a publisher's own drain always sees its own increment,
+    // which is what combine_until_applied's post-drain check relies on.
+    published_pending_.fetch_add(1, std::memory_order_release);
+    {
+      std::scoped_lock lk(shards_[shard].pending_mu);
+      shards_[shard].pending.push_back(&rec);
+    }
+    trace_publish(shard, arg);
+  }
 
-    std::vector<Position> child_positions;
-    std::vector<std::uint32_t> child_nodes;  ///< kNoNode until generated
-    std::int32_t generated = 0;          ///< children instantiated as nodes
-    std::int32_t finished_children = 0;
-    std::int32_t elder_done = 0;  ///< children with tentative value / finished
-    std::int32_t e_children = 0;  ///< children promoted to e-node
-    std::uint32_t seq_refuting = kNoNode;  ///< sequential-refutation cursor
-    std::uint32_t best_child = kNoNode;    ///< child that last raised value
-    std::uint64_t spec_seq = 0;
-  };
+  /// Block until `applied`: either a concurrent combiner applies the
+  /// record (returns true), or this thread takes combine_mu_ and drains
+  /// (returns false).  One drain round suffices for the caller's own
+  /// record: collection and application happen under a single combine_mu_
+  /// hold, so a still-unapplied record is still in some publish list and
+  /// the snapshot picks it up.
+  bool combine_until_applied(std::atomic<bool>& applied) {
+    const auto t0 = Clock::now();
+    int spins = 0;
+    for (;;) {
+      if (applied.load(std::memory_order_acquire)) {
+        note_publisher_wait(t0, /*peer=*/true);
+        return true;
+      }
+      if (combine_mu_.try_lock()) {
+        if (applied.load(std::memory_order_acquire)) {
+          combine_mu_.unlock();
+          note_publisher_wait(t0, /*peer=*/true);
+          return true;
+        }
+        note_publisher_wait(t0, /*peer=*/false);
+        drain_round();
+        combine_mu_.unlock();
+        ERS_CHECK(applied.load(std::memory_order_acquire));
+        return false;
+      }
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      } else {
+        spin_pause();
+      }
+    }
+  }
+
+  void apply_deferred_finish(const DeferredFinish& d) {
+    std::atomic<bool> applied{false};
+    ApplyRecord rec;
+    rec.kind = ApplyRecord::Kind::kFinish;
+    rec.finish_node = d.node;
+    rec.traced_cutoff = d.traced;
+    rec.applied = &applied;
+    publish(rec, home_shard(d.node), /*arg=*/0);
+    combine_until_applied(applied);
+  }
+
+  /// One flat-combining round; requires combine_mu_.  Snapshot every
+  /// shard's publish list, sort by publish ticket, lock the union touch
+  /// set in ascending shard order, and apply the records back to back.
+  void drain_round() { drain_round_with(nullptr); }
+
+  /// One combine round, optionally carrying the combiner's own unpublished
+  /// record: `extra` (if non-null) is ticketed *after* the snapshot and
+  /// applied with it, exactly as if it had been published last — the
+  /// commit_batch fast path rides this to skip the pending-queue
+  /// round-trip when the combine lock is free.  Caller holds combine_mu_.
+  void drain_round_with(ApplyRecord* extra) {
+    scratch_records_.clear();
+    // Skip the per-shard pending-list sweep when nothing is published —
+    // the common case for an uncontended try_commit_batch, where paying S
+    // leaf-lock round-trips per commit would dwarf the apply itself.
+    if (published_pending_.load(std::memory_order_acquire) != 0) {
+      for (Shard& sh : shards_) {
+        std::scoped_lock plk(sh.pending_mu);
+        scratch_records_.insert(scratch_records_.end(), sh.pending.begin(),
+                                sh.pending.end());
+        sh.pending.clear();
+      }
+      if (!scratch_records_.empty())
+        published_pending_.fetch_sub(scratch_records_.size(),
+                                     std::memory_order_relaxed);
+    }
+    if (extra != nullptr) {
+      extra->ticket = publish_ticket_.fetch_add(1, std::memory_order_relaxed);
+      scratch_records_.push_back(extra);
+    }
+    if (scratch_records_.empty()) return;
+    std::sort(scratch_records_.begin(), scratch_records_.end(),
+              [](const ApplyRecord* a, const ApplyRecord* b) {
+                return a->ticket < b->ticket;
+              });
+    const std::size_t S = shards_.size();
+    scratch_touch_.assign(S, 0);
+    for (const ApplyRecord* r : scratch_records_) {
+      if (r->kind == ApplyRecord::Kind::kCommit) {
+        for (const CommitEntry& e : r->entries)
+          mark_touch(e.item.node, scratch_touch_.data());
+      } else {
+        mark_touch(r->finish_node, scratch_touch_.data());
+      }
+    }
+    scratch_locks_.clear();
+    for (std::size_t s = 0; s < S; ++s)
+      if (scratch_touch_[s] != 0) scratch_locks_.push_back(s);
+    const auto t0 = Clock::now();
+    for (const std::size_t s : scratch_locks_) shards_[s].mu.lock();
+    const auto t1 = Clock::now();
+    std::uint64_t entries = 0;
+    for (ApplyRecord* r : scratch_records_) {
+      if (r->kind == ApplyRecord::Kind::kCommit) entries += r->entries.size();
+      apply_record(*r);
+    }
+    combine_batches_ += 1;
+    combine_records_ += scratch_records_.size();
+    combine_entries_ += entries;
+    trace_combine_batch(scratch_records_.size());
+    const auto t2 = Clock::now();
+    // Touch sets always reach the root (homed on shard 0), so every apply
+    // round holds shard 0's mu — which is what serializes these writes
+    // with the global-acquire path's.
+    multi_acquisitions_ += 1;
+    multi_wait_ns_ += delta_ns(t0, t1);
+    multi_hold_ns_ += delta_ns(t1, t2);
+    for (auto it = scratch_locks_.rbegin(); it != scratch_locks_.rend(); ++it)
+      shards_[*it].mu.unlock();
+    trace_lock_section(t0, t1, t2, obs::kNoTraceShard);
+  }
+
+  void apply_record(ApplyRecord& r) {
+    if (r.kind == ApplyRecord::Kind::kCommit) {
+      for (CommitEntry& e : r.entries) commit_one(e.item, std::move(e.result));
+    } else {
+      ++stats_.cutoffs_at_pop;
+      if (r.traced_cutoff)
+        trace_instant(obs::EventKind::kSpecCancel, r.finish_node, /*arg=*/1);
+      Node& n = nodes_[r.finish_node];
+      // Re-check: another combiner may have finished this node (or an
+      // ancestor) since the cutoff was detected at pop time; finishing
+      // twice would double-count finished_children at the parent.  The
+      // cutoff itself cannot have become invalid — bounds only tighten.
+      if (!n.finished && !is_dead(r.finish_node))
+        finish_and_combine(r.finish_node);
+    }
+    r.applied->store(true, std::memory_order_release);
+  }
+
+  /// Mark every shard a commit/finish on `id` may touch: the shard owning
+  /// each chain node's children, fold_shard(a).  That covers each chain
+  /// node's own home shard too — home(a) == fold(parent(a)), the chain
+  /// includes every parent, and the root's home is its own fold, shard 0.
+  void mark_touch(std::uint32_t id, std::uint8_t* seen) const {
+    const std::size_t S = shards_.size();
+    for (std::uint32_t a = id; a != kNoNode; a = nodes_[a].parent)
+      seen[fold_shard(a, S)] = 1;
+  }
+
+  // --- commit application (current combiner only: combine_mu_ plus every
+  // --- touched shard lock held) -------------------------------------------
+
+  void commit_one(const WorkItem& item, ComputeResult&& r) {
+    Node& n = nodes_[item.node];
+    n.in_flight = false;
+    stats_.search += r.stats;
+    ++stats_.units_processed;
+    // Commit record with the parent link: trace_report rebuilds the unit
+    // dependency graph (and its critical path) from exactly these events.
+    trace_instant(obs::EventKind::kUnitCommit, item.node,
+                  n.parent == kNoNode ? obs::kNoTraceNode : n.parent);
+    switch (item.kind) {
+      case WorkKind::kPromote:
+        commit_promotion(item.node);
+        break;
+      case WorkKind::kSerialFull:
+      case WorkKind::kSerialRefuteRest:
+      case WorkKind::kSerialRefute:
+        ++stats_.serial_units;
+        n.value = std::max<Value>(n.value, r.value);
+        finish_and_combine(item.node);
+        break;
+      case WorkKind::kSerialEvalFirst:
+        commit_eval_first(item.node, std::move(r));
+        break;
+      case WorkKind::kExpand:
+        commit_expand(item.node, std::move(r));
+        break;
+    }
+  }
 
   /// Ranking keys for the speculative queue under the configured policy.
   [[nodiscard]] std::pair<std::int64_t, std::int64_t> spec_keys_for(
@@ -546,7 +1020,8 @@ class Engine {
         return {n.e_children, n.ply};
       case SpecRankPolicy::kBestBound: {
         const std::uint32_t c = best_promotion_candidate(n);
-        return {c == kNoNode ? kValueInf : nodes_[c].value, n.ply};
+        return {c == kNoNode ? kValueInf : static_cast<Value>(nodes_[c].value),
+                n.ply};
       }
       case SpecRankPolicy::kFifo:
         return {0, 0};
@@ -554,7 +1029,7 @@ class Engine {
     return {0, 0};
   }
 
-  // --- queue helpers -----------------------------------------------------
+  // --- queue helpers (combiner only, except the single-threaded ctor) -----
 
   void push_primary(std::uint32_t id) {
     Node& n = nodes_[id];
@@ -581,7 +1056,7 @@ class Engine {
   [[nodiscard]] WorkKind serial_kind(const Node& n) const {
     if (n.ply >= cfg_.search_depth) return WorkKind::kSerialFull;  // horizon
     if (n.partial) return WorkKind::kSerialRefuteRest;
-    switch (n.type) {
+    switch (static_cast<NodeType>(n.type)) {
       case NodeType::kENode: return WorkKind::kSerialFull;
       case NodeType::kUndecided: return WorkKind::kSerialEvalFirst;
       case NodeType::kRNode: return WorkKind::kSerialRefute;
@@ -594,6 +1069,8 @@ class Engine {
   ///     w(child) = ( -beta(parent), -max(alpha(parent), value(parent)) ).
   /// Using the whole ancestor chain (not just -parent.value) preserves the
   /// deep-cutoff information the serial recursion carries implicitly.
+  /// Ancestor values are relaxed-atomic reads: a stale (lower) value gives
+  /// a wider window, which is sound (monotone values only narrow windows).
   [[nodiscard]] Window window_of(std::uint32_t id) const {
     // Collected on the stack: this runs on every combine-step cutoff check,
     // and search depths are tiny (the horizon bounds the path length).
@@ -605,7 +1082,7 @@ class Engine {
     }
     Window w = full_window();
     while (depth-- > 0) {
-      const Value alpha = std::max(w.alpha, nodes_[path[depth]].value);
+      const Value alpha = std::max<Value>(w.alpha, nodes_[path[depth]].value);
       w = Window{negate(w.beta), negate(alpha)};
     }
     return w;
@@ -616,7 +1093,9 @@ class Engine {
   }
 
   /// A node is dead when some proper ancestor has finished (its subtree was
-  /// abandoned: speculative loss).
+  /// abandoned: speculative loss).  Relaxed reads: a false negative only
+  /// lets a doomed unit run (its commit is discarded); a false positive is
+  /// impossible, finished only ever transitions false -> true.
   [[nodiscard]] bool is_dead(std::uint32_t id) const {
     for (std::uint32_t a = nodes_[id].parent; a != kNoNode; a = nodes_[a].parent)
       if (nodes_[a].finished) return true;
@@ -639,7 +1118,9 @@ class Engine {
     std::uint32_t best = kNoNode;
     for (const std::uint32_t c : p.child_nodes) {
       if (c == kNoNode || !is_promotion_candidate(c)) continue;
-      if (best == kNoNode || nodes_[c].value < nodes_[best].value) best = c;
+      if (best == kNoNode || static_cast<Value>(nodes_[c].value) <
+                                 static_cast<Value>(nodes_[best].value))
+        best = c;
     }
     return best;
   }
@@ -661,7 +1142,7 @@ class Engine {
   void commit_eval_first(std::uint32_t id, ComputeResult&& r) {
     Node& n = nodes_[id];
     ++stats_.serial_units;
-    n.value = std::max(n.value, r.value);
+    n.value = std::max<Value>(n.value, r.value);
     n.partial = true;
     n.child_positions = std::move(r.child_positions);
     if (r.is_done || n.value >= beta_of(id)) {
@@ -686,7 +1167,7 @@ class Engine {
       if (r.is_leaf) {
         // Terminal position above the cutover: a true leaf of the game.
         n.expanded = true;
-        n.value = std::max(n.value, r.value);
+        n.value = std::max<Value>(n.value, r.value);
         finish_and_combine(id);
         return;
       }
@@ -695,7 +1176,7 @@ class Engine {
       n.child_nodes.assign(n.child_positions.size(), kNoNode);
     }
     ERS_CHECK(n.expanded);
-    switch (n.type) {
+    switch (static_cast<NodeType>(n.type)) {
       case NodeType::kENode: {
         // Generate all (missing) children as undecided (Table 1 row 1).
         const bool e_child_done =
@@ -737,10 +1218,12 @@ class Engine {
   void make_child(std::uint32_t parent_id, int index, NodeType type) {
     Node& p = nodes_[parent_id];
     ERS_CHECK(p.child_nodes[index] == kNoNode);
-    const auto child_id = static_cast<std::uint32_t>(nodes_.size());
-    // nodes_ is a deque: growth never invalidates existing references.
-    nodes_.push_back(
-        Node(p.child_positions[index], parent_id, p.ply + 1, type, index));
+    // Arena slots never move: growth never invalidates existing references,
+    // and the id only becomes visible to other shards through the queue
+    // push below (under the child's home-shard lock, held by this combiner).
+    const std::uint32_t child_id =
+        nodes_.emplace(p.child_positions[index], parent_id, p.ply + 1, type,
+                       index);
     p.child_nodes[index] = child_id;
     p.generated += 1;
     push_primary(child_id);
@@ -771,22 +1254,6 @@ class Engine {
       ++stats_.promotions_speculative;
     trace_instant(obs::EventKind::kSpecSpawn, child_id, parent_id);
     push_primary(child_id);
-  }
-
-  /// Engine-side trace hook; a no-op without a session (and compiled out
-  /// entirely when tracing is disabled).  Runs only under the executor's
-  /// serialization of acquire/commit, which is what makes the single
-  /// engine tracer safe.
-  void trace_instant(obs::EventKind kind, std::uint32_t node,
-                     std::uint32_t arg) {
-    if constexpr (!obs::kTracingEnabled) {
-      (void)kind; (void)node; (void)arg;
-      return;
-    }
-    if (cfg_.trace == nullptr) return;
-    cfg_.trace->engine_tracer().instant(
-        kind, cfg_.trace->now_ns(), node, arg,
-        static_cast<std::uint16_t>(home_shard(node)));
   }
 
   // --- combine (paper §6) ---------------------------------------------------
@@ -848,7 +1315,7 @@ class Engine {
   void reconsider(std::uint32_t id) {
     Node& n = nodes_[id];
     if (n.finished) return;
-    switch (n.type) {
+    switch (static_cast<NodeType>(n.type)) {
       case NodeType::kUndecided:
         // Dormant: waits for its parent to promote or re-type it.
         return;
@@ -910,7 +1377,8 @@ class Engine {
     if (undecided.empty()) return;
     std::stable_sort(undecided.begin(), undecided.end(),
                      [this](std::uint32_t a, std::uint32_t b) {
-                       return nodes_[a].value < nodes_[b].value;
+                       return static_cast<Value>(nodes_[a].value) <
+                              static_cast<Value>(nodes_[b].value);
                      });
     if (!all) {
       // Sequential refutation: take only the most promising candidate.
@@ -933,14 +1401,252 @@ class Engine {
     }
   }
 
+  // --- tracing & timing hooks ----------------------------------------------
+
+  /// Combiner-side trace hook (the engine tracer); a no-op without a
+  /// session and compiled out entirely when tracing is disabled.  Safe
+  /// because there is exactly one combiner at a time and combiner handoff
+  /// synchronizes through combine_mu_.  The single-threaded simulator
+  /// re-points the engine tracer to its current virtual worker before
+  /// driving commits, exactly as before.
+  void trace_instant(obs::EventKind kind, std::uint32_t node,
+                     std::uint32_t arg) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)kind; (void)node; (void)arg;
+      return;
+    }
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->engine_tracer().instant(
+        kind, cfg_.trace->now_ns(), node, arg,
+        static_cast<std::uint16_t>(home_shard(node)));
+  }
+
+  void trace_combine_batch(std::size_t records) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)records;
+      return;
+    }
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->engine_tracer().instant(obs::EventKind::kCombineBatch,
+                                        cfg_.trace->now_ns(), obs::kNoTraceNode,
+                                        static_cast<std::uint32_t>(records));
+  }
+
+  /// Acquire-side trace hook: the per-shard ring, written only while
+  /// holding that shard's queue lock.
+  void trace_shard_instant(std::size_t shard, obs::EventKind kind,
+                           std::uint32_t node, std::uint32_t arg) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)shard; (void)kind; (void)node; (void)arg;
+      return;
+    }
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->shard_tracer(shard).instant(
+        kind, cfg_.trace->now_ns(), node, arg,
+        static_cast<std::uint16_t>(shard));
+  }
+
+  /// Publish-side trace hook: the calling worker's own ring (thread runtime
+  /// only — the simulator and untraced runs have no thread tracer).
+  void trace_publish(std::size_t shard, std::uint32_t arg) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)shard; (void)arg;
+      return;
+    }
+    if (cfg_.trace == nullptr || cfg_.trace->virtual_clock()) return;
+    if (obs::Tracer* t = obs::TraceSession::thread_tracer(); t != nullptr)
+      t->instant(obs::EventKind::kCombinePublish, cfg_.trace->now_ns(),
+                 obs::kNoTraceNode, arg, static_cast<std::uint16_t>(shard));
+  }
+
+  /// Counted lock sections mirror their (wait, hold) nanoseconds onto the
+  /// calling worker's trace ring from the *same* clock readings the
+  /// counters use, so traced span totals equal folded stats totals exactly
+  /// (tests/obs).  Virtual-clock sessions suppress the spans: the simulator
+  /// models lock time in its cost model, and steady-clock spans would
+  /// corrupt its virtual timeline.
+  void trace_lock_section(Clock::time_point t0, Clock::time_point t1,
+                          Clock::time_point t2, std::uint16_t shard) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)t0; (void)t1; (void)t2; (void)shard;
+      return;
+    }
+    if (cfg_.trace == nullptr || cfg_.trace->virtual_clock()) return;
+    obs::Tracer* t = obs::TraceSession::thread_tracer();
+    if (t == nullptr) return;
+    t->span(obs::EventKind::kLockWaitSpan, cfg_.trace->to_ns(t0),
+            cfg_.trace->to_ns(t1), obs::kNoTraceNode, 0, shard);
+    t->span(obs::EventKind::kLockHoldSpan, cfg_.trace->to_ns(t1),
+            cfg_.trace->to_ns(t2), obs::kNoTraceNode, 0, shard);
+  }
+
+  /// Publisher wait accounting: time blocked before either a peer applied
+  /// the record or this thread became the combiner.  The combiner's own
+  /// apply time is *not* wait — it is counted (and traced) by drain_round
+  /// as a multi-lock section.
+  void note_publisher_wait(Clock::time_point t0, bool peer) {
+    const auto t1 = Clock::now();
+    publisher_wait_ns_.fetch_add(delta_ns(t0, t1), std::memory_order_relaxed);
+    if (peer) peer_applied_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kTracingEnabled) {
+      if (cfg_.trace != nullptr && !cfg_.trace->virtual_clock()) {
+        if (obs::Tracer* t = obs::TraceSession::thread_tracer(); t != nullptr)
+          t->span(obs::EventKind::kLockWaitSpan, cfg_.trace->to_ns(t0),
+                  cfg_.trace->to_ns(t1));
+      }
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t delta_ns(Clock::time_point a,
+                                              Clock::time_point b) noexcept {
+    return b <= a ? 0
+                  : static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            b - a)
+                            .count());
+  }
+
+  static void spin_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  // --- node storage ---------------------------------------------------------
+
+  struct Node {
+    Node(Position position, std::uint32_t parent_id, int ply_at, NodeType ty,
+         int index_in_parent)
+        : pos(std::move(position)),
+          parent(parent_id),
+          ply(ply_at),
+          child_index(index_in_parent),
+          type(ty) {}
+
+    Position pos;
+    std::uint32_t parent;      ///< immutable; lock-free chain walks rely on it
+    std::int32_t ply;          ///< immutable
+    std::int32_t child_index;  ///< immutable; index within the parent's child list
+
+    // Cross-shard-readable fields (relaxed atomics, written under the
+    // owner's home-shard lock; see the header's concurrency model).
+    Shared<NodeType> type;
+    Shared<Value> value{-kValueInf};  ///< monotone tentative value, own perspective
+    Shared<bool> finished{false};     ///< subtree resolved (evaluated or refuted)
+    Shared<bool> in_primary{false};   ///< a live entry exists in the primary queue
+    Shared<bool> in_flight{false};    ///< a worker holds this node
+    Shared<bool> elder_counted{false};///< contributed to parent's elder_done
+
+    // Plain fields: only ever accessed under home_shard(id)'s lock — by an
+    // acquire on that shard or a combiner whose touch set includes it.
+    bool expanded = false;      ///< child_positions computed
+    bool partial = false;       ///< cutover node: Eval_first unit completed
+    bool on_spec = false;       ///< a live entry exists in the spec queue
+    bool first_e_selected = false;
+    bool e_child_evaluated = false;   ///< some promoted e-child has finished
+    bool refutation_dispatched = false;
+    std::vector<Position> child_positions;
+    std::vector<std::uint32_t> child_nodes;  ///< kNoNode until generated
+    std::int32_t generated = 0;          ///< children instantiated as nodes
+    std::int32_t finished_children = 0;
+    std::int32_t elder_done = 0;  ///< children with tentative value / finished
+    std::int32_t e_children = 0;  ///< children promoted to e-node
+    std::uint32_t seq_refuting = kNoNode;  ///< sequential-refutation cursor
+    std::uint32_t best_child = kNoNode;    ///< child that last raised value
+    std::uint64_t spec_seq = 0;
+  };
+
+  /// Chunked stable-address node storage.  One writer — the current
+  /// combiner — appends; concurrent readers index nodes they learned about
+  /// through a shard lock, which is what publishes both the chunk pointer
+  /// and the constructed node (ids only escape via queue entries pushed
+  /// under shard locks after construction, and parents are constructed
+  /// before children).  A deque would be the natural container, but its
+  /// internal chunk map reallocates on growth and a concurrent operator[]
+  /// would race; here the chunk-pointer table is preallocated and never
+  /// moves.  Nodes hold atomics, so slots are placement-new constructed in
+  /// place and never moved or copied.
+  class NodeArena {
+   public:
+    NodeArena() : chunks_(kMaxChunks) {}
+    ~NodeArena() {
+      const std::size_t n = size_.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < n; ++i) slot(i)->~Node();
+    }
+    NodeArena(const NodeArena&) = delete;
+    NodeArena& operator=(const NodeArena&) = delete;
+
+    template <typename... Args>
+    std::uint32_t emplace(Args&&... args) {
+      const std::size_t i = size_.load(std::memory_order_relaxed);
+      const std::size_t c = i >> kChunkShift;
+      ERS_CHECK(c < chunks_.size());
+      if (chunks_[c] == nullptr) chunks_[c] = std::make_unique<Chunk>();
+      ::new (static_cast<void*>(slot(i))) Node(std::forward<Args>(args)...);
+      size_.store(i + 1, std::memory_order_relaxed);
+      return static_cast<std::uint32_t>(i);
+    }
+
+    [[nodiscard]] Node& operator[](std::size_t i) const { return *slot(i); }
+    [[nodiscard]] std::size_t size() const noexcept {
+      return size_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    static constexpr std::size_t kChunkShift = 10;  // 1024 nodes per chunk
+    static constexpr std::size_t kChunkNodes = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;  // 16.7M nodes
+    struct Chunk {
+      alignas(Node) std::byte raw[sizeof(Node) * kChunkNodes];
+    };
+    [[nodiscard]] Node* slot(std::size_t i) const {
+      return reinterpret_cast<Node*>(chunks_[i >> kChunkShift]->raw) +
+             (i & (kChunkNodes - 1));
+    }
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::atomic<std::size_t> size_{0};
+  };
+
+  // --- members --------------------------------------------------------------
+
   const G& game_;
   EngineConfig cfg_;
-  std::deque<Node> nodes_;  // stable references: children are created while
-                            // parent references are live
-  std::vector<Shard> shards_;
+  NodeArena nodes_;           ///< stable slots: children are created while
+                              ///< parent references are live
+  std::deque<Shard> shards_;  ///< deque: Shard is immovable (owns mutexes)
+  /// Global push sequence for the LIFO/FIFO tiebreaks.  Plain on purpose:
+  /// pushes only happen during single-threaded construction and inside
+  /// combiner application, which combine_mu_ serializes.
   std::uint64_t seq_ = 0;
-  bool done_ = false;
+  Shared<bool> done_{false};
+  /// Combiner-owned aggregates (guarded by combine_mu_).
   EngineStats stats_;
+  std::uint64_t combine_batches_ = 0;
+  std::uint64_t combine_records_ = 0;
+  std::uint64_t combine_entries_ = 0;
+  /// Multi-lock section counters; every writer holds shard 0's mu (global
+  /// acquires take all shard locks, apply touch sets always include the
+  /// root's home shard 0).
+  std::uint64_t multi_acquisitions_ = 0;
+  std::uint64_t multi_wait_ns_ = 0;
+  std::uint64_t multi_hold_ns_ = 0;
+  /// Publisher-side counters (publishers hold no engine lock).
+  std::atomic<std::uint64_t> publish_ticket_{0};
+  std::atomic<std::uint64_t> published_pending_{0};
+  std::atomic<std::uint64_t> peer_applied_{0};
+  std::atomic<std::uint64_t> publisher_wait_ns_{0};
+  /// The combiner lock: at most one thread drains/applies at a time.
+  /// Lock hierarchy: combine_mu_, then shard queue locks in ascending
+  /// index order; pending_mu is a leaf taken on its own.
+  mutable std::mutex combine_mu_;
+  /// Combiner scratch buffers (touched only under combine_mu_).
+  std::vector<ApplyRecord*> scratch_records_;
+  std::vector<std::uint8_t> scratch_touch_;
+  std::vector<std::size_t> scratch_locks_;
 };
 
 }  // namespace ers::core

@@ -42,8 +42,11 @@ struct SimulatedSearchResult {
 };
 
 /// Search `game` to cfg.search_depth with parallel ER on `threads` OS
-/// threads.  `batch` is the scheduler batch size: units each worker pulls
-/// and commits per serialized heap access (1 = the unbatched scheduler).
+/// threads.  The engine synchronizes itself with per-shard locks and a
+/// flat-combining commit path (DESIGN.md §12); there is no global engine
+/// mutex, so workers touching different shards proceed concurrently.
+/// `batch` is the scheduler batch size: units each worker pulls and commits
+/// per engine lock section (1 = the unbatched scheduler).
 /// `shards` partitions the problem heap (cfg.heap_shards wins if larger):
 /// with more than one shard the executor runs its work-stealing scheduler —
 /// per-worker run queues fed from home shards, randomized stealing between

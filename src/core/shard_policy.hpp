@@ -1,0 +1,38 @@
+#pragma once
+// The one definition of the problem-heap routing policy (paper §8's
+// "distribute the work to reduce processor interaction").
+//
+// A node's queue entries live on the shard owning its *parent* — so the
+// children created by one commit all land on one shard and a worker
+// draining it keeps the depth-first focus of the LIFO tiebreak.  The root
+// (no parent) lives on shard 0.
+//
+// Both the engine (core::Engine::home_shard) and the simulator's routed
+// contention model (sim::SimExecutor) go through these helpers; before this
+// header each re-implemented `parent % S` and could silently drift — a
+// drift the tests would only catch as a shard-contention mismatch, not a
+// wrong answer.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace ers::core {
+
+/// Shard owning a node whose parent is `parent` (kNoNode for the root),
+/// over `shard_count` shards.
+[[nodiscard]] constexpr std::size_t home_shard_of(
+    std::uint32_t parent, std::size_t shard_count) noexcept {
+  return parent == kNoNode ? 0 : static_cast<std::size_t>(parent) % shard_count;
+}
+
+/// Fold a shard index onto a (possibly smaller) shard count.  The simulator
+/// folds the engine's assignment onto its own lock count; folding is the
+/// identity when the two coincide (parallel_er_sim keeps them equal).
+[[nodiscard]] constexpr std::size_t fold_shard(std::size_t shard,
+                                               std::size_t shard_count) noexcept {
+  return shard % shard_count;
+}
+
+}  // namespace ers::core

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "search/ordering.hpp"
 #include "util/value.hpp"
@@ -80,11 +81,12 @@ struct EngineConfig {
   /// HashedGame.
   ConcurrentTranspositionTable* shared_table = nullptr;
   /// Tracing session for the scheduling events only the engine sees
-  /// (speculative spawn/cancel, unit commits).  The engine writes the
-  /// session's dedicated engine tracer, which is safe exactly because
-  /// acquire/commit are externally serialized.  Not owned; null disables
-  /// engine-side tracing (the executors trace their own events
-  /// independently via the same session).
+  /// (speculative spawn/cancel, unit commits, combine batches).  The engine
+  /// writes the session's dedicated engine tracer from whichever thread is
+  /// the current commit combiner (there is exactly one at a time), and the
+  /// per-shard rings (ensure_shards) from under each shard's own lock.  Not
+  /// owned; null disables engine-side tracing (the executors trace their
+  /// own events independently via the same session).
   obs::TraceSession* trace = nullptr;
 };
 
@@ -99,6 +101,47 @@ struct EngineStats {
   std::uint64_t refutations_dispatched = 0; ///< children re-typed r-node
   std::uint64_t cutoffs_at_pop = 0;         ///< units cancelled before compute
   std::uint64_t dead_items_dropped = 0;     ///< queue entries under finished ancestors
+};
+
+/// Snapshot of the engine's internal lock accounting under per-shard
+/// locking with flat-combining commits (engine.hpp).  Counters accrue
+/// whether or not a trace session is attached, from the same clock readings
+/// that feed the traced wait/hold spans, so report totals and span totals
+/// agree exactly.  The thread runtime folds this into its SchedulerStats;
+/// metrics_adapters exports it per shard.
+struct EngineLockStats {
+  /// Single-shard lock sections (shard-local and, at S=1, global acquires),
+  /// indexed by shard.
+  std::vector<std::uint64_t> shard_acquisitions;
+  std::vector<std::uint64_t> shard_wait_ns;
+  std::vector<std::uint64_t> shard_hold_ns;
+  /// Multi-shard lock sections: global acquires at S>1 and combiner apply
+  /// rounds, which take their whole (ascending) lock set as one section.
+  std::uint64_t multi_acquisitions = 0;
+  std::uint64_t multi_wait_ns = 0;
+  std::uint64_t multi_hold_ns = 0;
+  /// Flat-combining commit path.
+  std::uint64_t combine_batches = 0;       ///< combiner drain rounds executed
+  std::uint64_t combine_records = 0;       ///< publish records applied
+  std::uint64_t combine_entries = 0;       ///< commit entries inside those records
+  std::uint64_t combine_peer_applied = 0;  ///< records another thread's combiner applied
+  std::uint64_t combine_wait_ns = 0;       ///< publisher time blocked before combining/applied
+
+  [[nodiscard]] std::uint64_t total_acquisitions() const noexcept {
+    std::uint64_t n = multi_acquisitions;
+    for (const std::uint64_t a : shard_acquisitions) n += a;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_wait_ns() const noexcept {
+    std::uint64_t n = multi_wait_ns + combine_wait_ns;
+    for (const std::uint64_t w : shard_wait_ns) n += w;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_hold_ns() const noexcept {
+    std::uint64_t n = multi_hold_ns;
+    for (const std::uint64_t h : shard_hold_ns) n += h;
+    return n;
+  }
 };
 
 /// What a worker should do with an acquired node.  Nodes at or below the
@@ -124,15 +167,15 @@ struct WorkItem {
   /// (kSerialRefuteRest only).
   Value tentative = -kValueInf;
   /// Node role frozen at acquire time.  The live Node::type can be
-  /// re-written under the engine lock while this item is in flight
+  /// re-written by a concurrent commit while this item is in flight
   /// (dispatch_refutations re-types queued/running children), so compute()
   /// must consult this copy, never the node's field.
   NodeType ntype = NodeType::kUndecided;
-  /// Stable pointer to the engine node, captured under the engine lock at
-  /// acquire time.  compute() runs *outside* the lock in the thread
-  /// runtime, and indexing the node container there would race with
-  /// concurrent commits growing it; deque element references are stable,
-  /// so the pointer is safe while the item is in flight.
+  /// Stable pointer to the engine node, captured under the node's shard
+  /// lock at acquire time.  compute() runs with no engine lock held, and
+  /// indexing the node container there would race with concurrent commits
+  /// growing it; arena slots never move, so the pointer is safe while the
+  /// item is in flight.
   const void* node_ref = nullptr;
 };
 

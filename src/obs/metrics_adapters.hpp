@@ -46,6 +46,19 @@ inline void register_thread_report(MetricsRegistry& reg,
   reg.set(prefix + "units", r.units);
   reg.set(prefix + "elapsed_ns", r.elapsed_ns);
   reg.set(prefix + "lock_wait_share", r.lock_wait_share());
+  reg.set(prefix + "lock_hold_share", r.lock_hold_share());
+  reg.set(prefix + "combine_batches", r.combine_batches);
+  reg.set(prefix + "combine_records", r.combine_records);
+  reg.set(prefix + "combine_entries", r.combine_entries);
+  reg.set(prefix + "combine_peer_applied", r.combine_peer_applied);
+  reg.set(prefix + "combine_wait_ns", r.combine_wait_ns);
+  for (std::size_t s = 0; s < r.shard_lock_acquisitions.size(); ++s) {
+    const std::string shard = std::to_string(s);
+    reg.set(prefix + "shard_lock_acquisitions." + shard,
+            r.shard_lock_acquisitions[s]);
+    reg.set(prefix + "shard_lock_wait_ns." + shard, r.shard_lock_wait_ns[s]);
+    reg.set(prefix + "shard_lock_hold_ns." + shard, r.shard_lock_hold_ns[s]);
+  }
   reg.set("tt.probes", r.tt_probes);
   reg.set("tt.hits", r.tt_hits);
   reg.set("tt.hit_rate", r.tt_hit_rate());

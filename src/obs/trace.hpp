@@ -6,9 +6,11 @@
 // appends to it with no synchronization whatsoever: a Tracer is
 // single-producer by construction, and buffers are only merged after the
 // workers have joined (thread runtime) or on the single simulator thread.
-// The engine gets one extra tracer of its own, written strictly under the
-// executor's engine mutex, for the events only the scheduling state machine
-// can see (speculative promotions, pop-time cancellations, unit commits).
+// The engine gets one extra tracer of its own, written strictly by the
+// current commit combiner (one at a time, by construction), for the events
+// only the scheduling state machine can see (speculative promotions,
+// pop-time cancellations, unit commits), plus one tracer per heap shard,
+// written only under that shard's lock, for acquire-side events.
 //
 // A full ring drops new events and counts the drops instead of resizing or
 // overwriting — the record stays a prefix of the truth and consumers can
@@ -68,13 +70,16 @@ enum class EventKind : std::uint8_t {
   kWakeup,        ///< arg = notify_one calls issued
   kTtProbe,       ///< arg = table probes performed by one unit's compute
   kTtHit,         ///< arg = validated table hits in one unit's compute
-  // --- engine instants (recorded under the engine lock) ------------------
+  // --- engine instants (combiner-serialized, or per-shard rings) ----------
   kSpecSpawn,   ///< speculative/mandatory promotion; node = child, arg = parent
   kSpecCancel,  ///< queued work cancelled; arg: 0 = dead subtree, 1 = cutoff
   kUnitCommit,  ///< unit committed; node = node id, arg = parent node id
+  // --- flat-combining commit path (engine-internal locking) ---------------
+  kCombinePublish,  ///< commit record published; shard = apply queue, arg = entries
+  kCombineBatch,    ///< one combiner drain round; arg = records applied
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kUnitCommit) + 1;
+    static_cast<std::size_t>(EventKind::kCombineBatch) + 1;
 
 /// Stable display/schema name of a kind (the Perfetto event `name`).
 [[nodiscard]] constexpr const char* event_name(EventKind k) noexcept {
@@ -96,6 +101,8 @@ inline constexpr std::size_t kEventKindCount =
     case EventKind::kSpecSpawn: return "spec_spawn";
     case EventKind::kSpecCancel: return "spec_cancel";
     case EventKind::kUnitCommit: return "unit_commit";
+    case EventKind::kCombinePublish: return "combine_publish";
+    case EventKind::kCombineBatch: return "combine_batch";
   }
   return "unknown";
 }
@@ -218,11 +225,47 @@ class TraceSession {
     return engine_tracer_;
   }
 
+  /// Grow (never shrink) the per-shard tracer set.  One ring per heap
+  /// shard, written only by the thread holding that shard's lock — the
+  /// engine's acquire-side events (dead-entry drops, combine-record
+  /// publishes) land here because concurrent shard-local acquires can no
+  /// longer share the single engine ring.  Shard events are attributed to
+  /// the kEngineWorker track, so timeline analysis keeps treating them as
+  /// engine events rather than inventing phantom workers.
+  void ensure_shards(std::size_t shards) {
+    while (shard_tracers_.size() < shards)
+      shard_tracers_.push_back(
+          std::make_unique<Tracer>(kEngineWorker, capacity_));
+  }
+  [[nodiscard]] Tracer& shard_tracer(std::size_t s) {
+    ERS_CHECK(s < shard_tracers_.size());
+    return *shard_tracers_[s];
+  }
+  [[nodiscard]] std::size_t shard_tracer_count() const noexcept {
+    return shard_tracers_.size();
+  }
+
   /// The engine tracer's events are attributed to the worker that holds
-  /// the engine lock at the time; executors re-point this before driving
-  /// acquire/commit.
+  /// the combiner lock at the time; the single-threaded simulator re-points
+  /// this before driving acquire/commit.  (The thread runtime leaves the
+  /// attribution at kEngineWorker: under per-shard locking there is no one
+  /// worker "holding the engine".)
   void set_current_worker(int w) noexcept {
     engine_tracer_.set_worker(static_cast<std::uint16_t>(w));
+  }
+
+  /// Thread-local tracer of the calling worker, so engine-internal lock
+  /// instrumentation can emit wait/hold spans onto the right worker track
+  /// without threading a tracer through every protocol call.  Null (the
+  /// default, and always for the single-threaded simulator, which models
+  /// lock time in its cost model instead) suppresses the spans; the
+  /// thread executor sets it at worker start and clears it at exit.
+  static void set_thread_tracer(Tracer* t) noexcept {
+    if constexpr (kTracingEnabled) tls_worker_tracer_ = t;
+  }
+  [[nodiscard]] static Tracer* thread_tracer() noexcept {
+    if constexpr (kTracingEnabled) return tls_worker_tracer_;
+    return nullptr;
   }
 
   // --- clock --------------------------------------------------------------
@@ -260,11 +303,14 @@ class TraceSession {
     std::vector<TraceEvent> out;
     std::size_t total = engine_tracer_.size();
     for (const auto& w : workers_) total += w->size();
+    for (const auto& s : shard_tracers_) total += s->size();
     out.reserve(total);
     for (const auto& w : workers_)
       out.insert(out.end(), w->events().begin(), w->events().end());
     out.insert(out.end(), engine_tracer_.events().begin(),
                engine_tracer_.events().end());
+    for (const auto& s : shard_tracers_)
+      out.insert(out.end(), s->events().begin(), s->events().end());
     std::stable_sort(out.begin(), out.end(),
                      [](const TraceEvent& a, const TraceEvent& b) {
                        if (a.ts != b.ts) return a.ts < b.ts;
@@ -280,11 +326,13 @@ class TraceSession {
   [[nodiscard]] std::uint64_t total_dropped() const noexcept {
     std::uint64_t n = engine_tracer_.dropped();
     for (const auto& w : workers_) n += w->dropped();
+    for (const auto& s : shard_tracers_) n += s->dropped();
     return n;
   }
 
   void clear() {
     for (const auto& w : workers_) w->clear();
+    for (const auto& s : shard_tracers_) s->clear();
     engine_tracer_.clear();
   }
 
@@ -295,10 +343,12 @@ class TraceSession {
  private:
   std::size_t capacity_;
   std::vector<std::unique_ptr<Tracer>> workers_;
+  std::vector<std::unique_ptr<Tracer>> shard_tracers_;
   Tracer engine_tracer_;
   std::chrono::steady_clock::time_point epoch_;
   bool virtual_clock_ = false;
   std::uint64_t virtual_now_ = 0;
+  inline static thread_local Tracer* tls_worker_tracer_ = nullptr;
 };
 
 }  // namespace ers::obs

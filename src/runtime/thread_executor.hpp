@@ -2,24 +2,29 @@
 // Shared-memory runtime: real std::thread workers driving a problem-heap
 // engine (the counterpart of the paper's Sequent implementation).
 //
-// The engine's acquire/commit phases mutate the shared tree and queues, so
-// they run under one mutex (the paper likewise reports contention for the
-// shared tree as a first-order cost).  The heavy compute phase — child
-// generation and serial subtree searches — runs outside the lock, which is
-// where the real parallelism lives.
+// The engine is internally synchronized (per-shard locks plus a
+// flat-combining commit path, DESIGN.md §12), so this executor holds no
+// engine-wrapping mutex at all: acquires on different shards proceed
+// concurrently, and a commit either rides a concurrent combiner or becomes
+// the combiner itself inside the engine.  What remains up here is pure
+// scheduling policy — local run queues, work stealing, targeted wakeups —
+// plus a small wake mutex that exists only to park starving workers on a
+// condition variable without lost wakeups.  The heavy compute phase — child
+// generation and serial subtree searches — runs with no lock of any kind
+// held, which is where the real parallelism lives.
 //
 // Batched scheduling (paper §6's contention remedy): each worker keeps a
 // small local run buffer filled by one acquire_batch call and a local
-// completion buffer flushed through one commit_batch call, so the serialized
-// section is entered once per batch instead of twice per unit.  Wakeups are
-// targeted: a worker that commits or acquires work wakes only as many
-// sleepers as there are units actually left on the queues (no
+// completion buffer flushed through one commit_batch call, so the engine's
+// serialized sections are entered once per batch instead of twice per unit.
+// Wakeups are targeted: a worker that commits or acquires work wakes only
+// as many sleepers as there are units actually left on the queues (no
 // notify_all thundering herd), and a starving worker spins briefly before
 // sleeping so it can catch work released a few microseconds later without a
-// futex round trip.  Every worker keeps a SchedulerStats block — lock
-// traffic, wait/hold nanoseconds, batch-size histogram, wakeups — aggregated
-// into the ThreadRunReport so contention is measurable, not guessed
-// (bench_scheduler consumes exactly these counters).
+// futex round trip.  Every worker keeps a SchedulerStats block; the engine's
+// own lock accounting (EngineLockStats) is folded into the aggregate after
+// the join, so contention is measurable, not guessed (bench_scheduler
+// consumes exactly these counters).
 //
 // Transposition tables: the engine's EngineConfig::shared_table (one
 // lock-free table, every worker probes/stores it) is the production setup.
@@ -34,6 +39,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -59,9 +65,14 @@ namespace ers::runtime {
 /// includes preemption of the lock holder, which is precisely the
 /// interference a real shared heap suffers.
 struct SchedulerStats {
+  /// Engine lock sections.  Workers no longer hold an executor-side engine
+  /// mutex, so these three stay zero in the per-worker blocks and are
+  /// populated by folding the engine's own EngineLockStats into the
+  /// aggregate after the join (run() does this; benches read the totals
+  /// exactly as before).
   std::uint64_t lock_acquisitions = 0;
-  std::uint64_t lock_wait_ns = 0;  ///< blocked entering the serial section
-  std::uint64_t lock_hold_ns = 0;  ///< inside the serial section
+  std::uint64_t lock_wait_ns = 0;  ///< blocked entering a serialized section
+  std::uint64_t lock_hold_ns = 0;  ///< inside a serialized section
   /// Time inside the compute phase (the busy timeline).  Measured — from
   /// the same clock readings the trace spans use, so the two totals agree
   /// exactly — only while a trace session is attached; 0 otherwise, keeping
@@ -76,8 +87,10 @@ struct SchedulerStats {
   // a peer's local run queue; misses are attempts - hits.
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_hits = 0;
-  /// Contended commit flushes deferred by try_lock failure (the worker kept
-  /// computing instead of queueing on the heap lock).
+  /// Commit flushes this worker never had to apply itself: a concurrent
+  /// combiner picked up the published record and applied it (the
+  /// flat-combining path absorbed the contention the old deferred
+  /// try_lock flush used to dodge).  Sharded scheduler only.
   std::uint64_t flush_deferrals = 0;
   /// Refills that fell through an empty home shard to the global scan.
   std::uint64_t global_refills = 0;
@@ -133,19 +146,37 @@ struct ThreadRunReport {
   std::uint64_t tt_probes = 0;  ///< table probes across all workers
   std::uint64_t tt_hits = 0;    ///< validated, depth-covering hits
   std::uint64_t elapsed_ns = 0;  ///< wall time of the run() call
-  SchedulerStats sched;          ///< aggregated across workers
+  SchedulerStats sched;          ///< aggregated across workers + engine locks
+
+  // Engine-internal lock accounting (per-shard lock sections plus the
+  // flat-combining commit path), already folded into sched.lock_* above;
+  // kept verbatim here for per-shard metrics export and the benches.
+  std::vector<std::uint64_t> shard_lock_acquisitions;
+  std::vector<std::uint64_t> shard_lock_wait_ns;
+  std::vector<std::uint64_t> shard_lock_hold_ns;
+  std::uint64_t combine_batches = 0;       ///< combiner drain rounds
+  std::uint64_t combine_records = 0;       ///< publish records applied
+  std::uint64_t combine_entries = 0;       ///< commit entries in those records
+  std::uint64_t combine_peer_applied = 0;  ///< records applied by a peer combiner
+  std::uint64_t combine_wait_ns = 0;       ///< publisher blocked time
 
   [[nodiscard]] double tt_hit_rate() const noexcept {
     return tt_probes == 0
                ? 0.0
                : static_cast<double>(tt_hits) / static_cast<double>(tt_probes);
   }
-  /// Fraction of total worker-time spent blocked on the heap lock — the
-  /// contention number the batching exists to shrink.
+  /// Fraction of total worker-time spent blocked on heap locks — the
+  /// contention number batching and per-shard locking exist to shrink.
   [[nodiscard]] double lock_wait_share() const noexcept {
     const double total = static_cast<double>(elapsed_ns) *
                          static_cast<double>(threads);
     return total > 0 ? static_cast<double>(sched.lock_wait_ns) / total : 0.0;
+  }
+  /// Fraction of total worker-time spent *inside* engine lock sections.
+  [[nodiscard]] double lock_hold_share() const noexcept {
+    const double total = static_cast<double>(elapsed_ns) *
+                         static_cast<double>(threads);
+    return total > 0 ? static_cast<double>(sched.lock_hold_ns) / total : 0.0;
   }
 };
 
@@ -156,7 +187,7 @@ class ThreadExecutor {
     ERS_CHECK(threads >= 1);
   }
 
-  /// Units a worker pulls per serialized heap access (its local run-buffer
+  /// Units a worker pulls per engine heap access (its local run-buffer
   /// size).  1 reproduces the unbatched scheduler exactly.
   ThreadExecutor& with_batch_size(int k) noexcept {
     ERS_CHECK(k >= 1);
@@ -173,13 +204,15 @@ class ThreadExecutor {
   }
 
   /// Attach a trace session: every worker records its scheduling events
-  /// (lock wait/hold, compute spans, steals, refills, sleeps, wakeups) into
-  /// its own ring, stamped with steady-clock ns from the session epoch.
+  /// (compute spans, steals, refills, sleeps, wakeups) into its own ring,
+  /// stamped with steady-clock ns from the session epoch; the engine's lock
+  /// wait/hold spans land on the same per-worker rings via the session's
+  /// thread-local tracer, which each worker installs for its lifetime.
   /// The session must outlive run(); read it only after run() returns.
   /// Null (the default) keeps the untraced hot path: no clock reads, no
-  /// stores.  Trace spans reuse the very timestamps SchedulerStats
-  /// arithmetic takes, so per-worker trace totals and the run report agree
-  /// exactly up to ring-buffer drops.
+  /// stores.  Trace spans reuse the very timestamps the stats arithmetic
+  /// takes, so per-worker trace totals and the run report agree exactly up
+  /// to ring-buffer drops.
   ThreadExecutor& with_trace(obs::TraceSession* session) noexcept {
     trace_ = session;
     return *this;
@@ -196,21 +229,32 @@ class ThreadExecutor {
     if constexpr (!obs::kTracingEnabled) trace_ = nullptr;
     if (trace_ != nullptr) trace_->ensure_workers(threads_);
 
-    std::mutex mu;
+    // Units acquired but not yet committed (includes items parked in local
+    // run queues and completion buffers).  Acquirers *pre-claim* their
+    // batch — add k before the acquire, give back the shortfall after — so
+    // a peer can never observe "no queued work and nothing in flight" while
+    // an acquire that will succeed is mid-flight (the stall check below
+    // would misfire otherwise).
+    std::atomic<int> in_flight{0};
+    std::atomic<bool> failed{false};
+
+    // Parking.  wake_mu serializes only the sleep/wake handshake, never any
+    // engine access on the waker's side: wakers make work visible first
+    // (inside the engine), then pass through wake_mu, so a parking worker
+    // that re-checks under wake_mu either sees the work or is already in
+    // wait() when the notify lands — no lost wakeups.  Sleepers do read the
+    // engine's queue counts while holding wake_mu; nothing takes wake_mu
+    // while holding an engine lock, so the hierarchy stays acyclic.
+    std::mutex wake_mu;
     std::condition_variable cv;
-    int in_flight = 0;   // units acquired but not yet committed (this count
-                         // includes items parked in local run queues and
-                         // completion buffers)
-    int sleepers = 0;    // workers parked on the cv
-    bool failed = false;
+    std::atomic<int> sleepers{0};  // mutated under wake_mu; read lock-free
 
     std::vector<SchedulerStats> stats(static_cast<std::size_t>(threads_));
 
     // Per-worker local run queues (sharded scheduler only).  The owner pops
     // the front — its acquired priority order — while thieves take the
-    // back (the entries the owner would reach last) under try_lock.  Lock
-    // order is engine mutex -> queue mutex, and steals take a queue mutex
-    // only, so the hierarchy is acyclic.
+    // back (the entries the owner would reach last) under try_lock.  A
+    // queue mutex is only ever taken with no other lock held.
     struct LocalQueue {
       std::mutex mu;
       std::deque<ItemT> items;
@@ -232,132 +276,132 @@ class ThreadExecutor {
 
     const std::size_t k = static_cast<std::size_t>(batch_size_);
 
+    // Park until work plausibly exists again.  The predicate also fires on
+    // in_flight == 0 so that a scheduling bug (work leaked with nothing in
+    // flight) wakes everyone into the stall check instead of deadlocking.
+    auto park = [&](SchedulerStats& st, obs::Tracer* tr) {
+      std::unique_lock<std::mutex> lk(wake_mu);
+      auto ready = [&] {
+        return engine.done() || failed.load() || in_flight.load() == 0 ||
+               queued_estimate(engine) > 0;
+      };
+      if (ready()) return;
+      sleepers.fetch_add(1);
+      ++st.sleeps;
+      const auto sleep_from =
+          tr != nullptr ? Clock::now() : Clock::time_point{};
+      cv.wait(lk, ready);
+      sleepers.fetch_sub(1);
+      lk.unlock();
+      if (tr != nullptr)
+        tr->span(obs::EventKind::kSleepSpan, trace_->to_ns(sleep_from),
+                 trace_->now_ns());
+    };
+
+    // Targeted wakeups: at most one sleeper per unit actually available
+    // (`extra` covers units just parked in the caller's own local queue —
+    // sleepers can steal those).  The empty wake_mu section pairs with the
+    // sleeper's locked re-check (see above).
+    auto wake_for = [&](std::size_t extra, SchedulerStats& st,
+                        obs::Tracer* tr) {
+      if (sleepers.load() <= 0) return;
+      const std::size_t avail = queued_estimate(engine) + extra;
+      const std::size_t wake =
+          std::min(avail, static_cast<std::size_t>(sleepers.load()));
+      if (wake == 0) return;
+      { std::lock_guard<std::mutex> g(wake_mu); }
+      st.wakeups_issued += wake;
+      for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
+      if (tr != nullptr)
+        tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
+                    obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
+    };
+
+    // Exit path: pass through wake_mu before the broadcast so sleepers'
+    // locked re-checks are ordered against our observation of done/failed.
+    auto broadcast_exit = [&] {
+      obs::TraceSession::set_thread_tracer(nullptr);
+      { std::lock_guard<std::mutex> g(wake_mu); }
+      cv.notify_all();
+    };
+
+    auto report_stall = [&](int index) {
+      std::fprintf(stderr,
+                   "ThreadExecutor stall: no queued work, 0 units in "
+                   "flight, engine not done (worker %d, %d threads, "
+                   "batch %d, %zu shards).  Unfinished nodes:\n",
+                   index, threads_, batch_size_, S);
+      if constexpr (requires { engine.debug_dump_unfinished(stderr); })
+        engine.debug_dump_unfinished(stderr);
+      failed.store(true);
+    };
+
+    // --- single-heap scheduler ---------------------------------------------
+    // Flush completions, acquire a batch, compute it, repeat.  All engine
+    // synchronization happens inside the engine; at S == 1 every acquire
+    // takes the one shard lock, reproducing the old one-mutex schedule.
     auto worker = [&](int index) {
       SchedulerStats& st = stats[static_cast<std::size_t>(index)];
-      obs::Tracer* tr =
-          trace_ == nullptr ? nullptr : &trace_->worker(index);
+      obs::Tracer* tr = trace_ == nullptr ? nullptr : &trace_->worker(index);
+      obs::TraceSession::set_thread_tracer(tr);
       std::vector<ItemT> run_buf;
       std::vector<EntryT> done_buf;
       run_buf.reserve(k);
       done_buf.reserve(k);
       int spins = 0;
 
-      // Close the lock-hold accounting at one of the serialized section's
-      // exits: the stats increment and the trace span come from the same
-      // two clock readings.
-      auto end_hold = [&](Clock::time_point hold_from) {
-        const auto hold_to = Clock::now();
-        st.lock_hold_ns += ns(hold_from, hold_to);
-        if (tr != nullptr)
-          tr->span(obs::EventKind::kLockHoldSpan, trace_->to_ns(hold_from),
-                   trace_->to_ns(hold_to));
-      };
-
-      std::unique_lock<std::mutex> lock(mu, std::defer_lock);
       for (;;) {
-        // --- serial section: flush completions, acquire the next batch ---
-        const auto wait_from = Clock::now();
-        lock.lock();
-        const auto hold_from = Clock::now();
-        ++st.lock_acquisitions;
-        st.lock_wait_ns += ns(wait_from, hold_from);
-        if (tr != nullptr) {
-          trace_->set_current_worker(index);
-          tr->span(obs::EventKind::kLockWaitSpan, trace_->to_ns(wait_from),
-                   trace_->to_ns(hold_from));
-        }
-
+        // --- flush completions (engine combines internally) ---------------
         if (!done_buf.empty()) {
           if (tr != nullptr)
-            tr->instant(obs::EventKind::kCommitBatch, trace_->to_ns(hold_from),
+            tr->instant(obs::EventKind::kCommitBatch, trace_->now_ns(),
                         obs::kNoTraceNode,
                         static_cast<std::uint32_t>(done_buf.size()));
-          commit_all(engine, done_buf);
+          // The peer-applied signal is a stealing-path statistic; the
+          // single-heap path keeps its steal-family counters at zero.
+          (void)commit_all(engine, done_buf);
           st.units += done_buf.size();
-          in_flight -= static_cast<int>(done_buf.size());
+          in_flight.fetch_sub(static_cast<int>(done_buf.size()));
           done_buf.clear();
         }
+        if (engine.done() || failed.load()) return broadcast_exit();
 
-        bool stop = engine.done() || failed;
-        std::size_t got = 0;
-        if (!stop) {
-          got = acquire_into(engine, k, run_buf);
+        // --- acquire the next batch ---------------------------------------
+        in_flight.fetch_add(static_cast<int>(k));  // pre-claim (see above)
+        const std::size_t got = acquire_into(engine, k, run_buf);
+        if (got < k) in_flight.fetch_sub(static_cast<int>(k - got));
+        if (got == 0) {
           // acquire() itself can finish the search (pop-time cutoffs can
           // combine all the way to the root); re-check before stalling.
-          if (got == 0 && engine.done()) stop = true;
-        }
-        if (stop) {
-          end_hold(hold_from);
-          lock.unlock();
-          cv.notify_all();  // everyone must observe done/failed and exit
-          return;
-        }
-        if (got == 0) {
-          if (in_flight == 0) {
-            // No queued work, nothing in flight, root not combined: the
-            // scheduling state machine leaked work.  Dump the engine's
-            // queue/in-flight snapshot so the stall is diagnosable from CI
-            // logs, then fail loudly rather than deadlock.
-            std::fprintf(stderr,
-                         "ThreadExecutor stall: no queued work, 0 units in "
-                         "flight, engine not done (worker %d, %d threads, "
-                         "batch %d).  Unfinished nodes:\n",
-                         index, threads_, batch_size_);
-            if constexpr (requires { engine.debug_dump_unfinished(stderr); })
-              engine.debug_dump_unfinished(stderr);
-            failed = true;
-            end_hold(hold_from);
-            lock.unlock();
-            cv.notify_all();
-            return;
+          if (engine.done()) return broadcast_exit();
+          if (in_flight.load() == 0) {
+            report_stall(index);
+            return broadcast_exit();
           }
-          end_hold(hold_from);
-          if (spins < kMaxSpinRounds) {
-            // Bounded backoff: drop the lock and spin briefly — work is
-            // usually released within a commit or two, and a futex sleep
-            // plus wakeup costs far more than a few pause loops.
+          if (spins < kDryYieldRounds) {
+            // Bounded backoff before the futex sleep: yield, don't pause —
+            // work is usually released within a commit or two, and a
+            // voluntary reschedule donates the timeslice to whichever
+            // worker holds it (decisive on an oversubscribed machine,
+            // where a pause loop just burns the quantum the work holder
+            // needs), while a sleep plus wakeup costs two syscalls.
             ++spins;
-            lock.unlock();
-            spin_pause();
+            std::this_thread::yield();
             continue;
           }
           spins = 0;
-          ++st.sleeps;
-          ++sleepers;
-          const auto sleep_from = tr != nullptr ? Clock::now() : Clock::time_point{};
-          cv.wait(lock);
-          --sleepers;
-          lock.unlock();
-          if (tr != nullptr)
-            tr->span(obs::EventKind::kSleepSpan, trace_->to_ns(sleep_from),
-                     trace_->now_ns());
+          park(st, tr);
           continue;
         }
         spins = 0;
-        in_flight += static_cast<int>(got);
         st.record_batch(got);
         if (tr != nullptr)
           tr->instant(obs::EventKind::kAcquireBatch, trace_->now_ns(),
                       node_of(run_buf.front()),
                       static_cast<std::uint32_t>(got));
-        // Targeted wakeups: wake at most one sleeper per unit still queued
-        // (we already took ours).  The queue count is maintained under this
-        // lock, so a worker that re-checks after us either sees the work or
-        // was woken for it — no lost wakeups, no thundering herd.
-        std::size_t wake = 0;
-        if (sleepers > 0) {
-          const std::size_t queued = queued_estimate(engine);
-          wake = std::min(queued, static_cast<std::size_t>(sleepers));
-        }
-        end_hold(hold_from);
-        lock.unlock();
-        st.wakeups_issued += wake;
-        for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
-        if (tr != nullptr && wake > 0)
-          tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
-                      obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
+        wake_for(0, st, tr);
 
-        // --- parallel section: compute the whole batch outside the lock ---
+        // --- parallel section: compute the whole batch, no locks held -----
         for (ItemT& item : run_buf) {
           if (tr == nullptr) {
             done_buf.push_back(
@@ -377,82 +421,106 @@ class ThreadExecutor {
       }
     };
 
-    // Sharded scheduler: local shard first, then bounded random victim
-    // probes, then park.  Each worker refills its local run queue from its
-    // home shard (falling back to a global scan so no shard is orphaned
-    // when threads < shards), computes one unit at a time, and steals from
-    // a random peer's queue when its own runs dry — so a starving worker
-    // converts heap-lock waits into useful work.  Commits flush through the
-    // engine lock once per batch; a *contended* flush below the hard cap is
-    // deferred (try_lock miss) rather than waited on, which is where the
-    // measured lock-wait share falls relative to the batched single-heap
-    // scheduler.  The engine itself is still driven under the one mutex —
-    // sharding partitions the heap's *order* and the workers' queues, not
-    // the tree's serialization (see DESIGN.md §10).
+    // --- work-stealing scheduler (sharded heap) ----------------------------
+    // Own local queue first, then bounded random victim probes, then the
+    // engine: each worker refills its local run queue from its home shard
+    // (falling back to a global scan so no shard is orphaned when
+    // threads < shards), computes one unit at a time, and steals from a
+    // random peer's queue when its own runs dry.  A home-shard refill takes
+    // exactly one shard lock, so refills on different shards run
+    // concurrently; commits publish to the flat-combining path, where a
+    // contended commit rides a peer's combine round instead of convoying on
+    // a lock (counted as a flush deferral).
     auto stealing_worker = [&](int index) {
       SchedulerStats& st = stats[static_cast<std::size_t>(index)];
-      obs::Tracer* tr =
-          trace_ == nullptr ? nullptr : &trace_->worker(index);
+      obs::Tracer* tr = trace_ == nullptr ? nullptr : &trace_->worker(index);
+      obs::TraceSession::set_thread_tracer(tr);
       LocalQueue& mine = *local[static_cast<std::size_t>(index)];
       const std::size_t home = static_cast<std::size_t>(index) % S;
-      const std::size_t flush_cap = std::max<std::size_t>(4 * k, 8);
       std::vector<EntryT> done_buf;
       std::vector<ItemT> refill_buf;
-      done_buf.reserve(flush_cap);
+      done_buf.reserve(k);
       refill_buf.reserve(k);
       std::uint64_t rng =
           (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)) | 1;
       int spins = 0;
-      int dry = 0;  // consecutive contended serialized-visit attempts
 
-      auto end_hold = [&](Clock::time_point hold_from) {
-        const auto hold_to = Clock::now();
-        st.lock_hold_ns += ns(hold_from, hold_to);
-        if (tr != nullptr)
-          tr->span(obs::EventKind::kLockHoldSpan, trace_->to_ns(hold_from),
-                   trace_->to_ns(hold_to));
+      // Asynchronous commits: flush applies the completed batch in place
+      // when the combine lock is free (try_commit_batch); when a peer
+      // holds it, the batch is published as a flat-combining record and
+      // the worker keeps computing while the record rides a later drain
+      // round (counted as a flush deferral, the same
+      // keep-working-through-a-contended-commit discipline the try_lock
+      // scheduler had).  The entries and the PendingCommit handle are
+      // referenced by the engine until some combiner applies the record,
+      // so outstanding flushes park in `pending` (heap-stable) and are
+      // reaped once their applied flag flips.  Records can apply out of
+      // publish order (a concurrent drain may snapshot a later record's
+      // shard list first), so reap scans the whole set.
+      struct PendingFlush {
+        std::vector<EntryT> entries;
+        typename EngineT::PendingCommit pc;
       };
+      std::deque<std::unique_ptr<PendingFlush>> pending;
+      constexpr std::size_t kMaxPendingFlushes = 4;
 
-      // Adaptive mutex acquire: try, then yield-retry — on a loaded or
-      // few-core host the holder is usually *preempted*, not slow, and a
-      // yield donates the timeslice so the next try succeeds — then block
-      // for real.  Only the final blocking wait counts as lock wait: the
-      // yield rounds are voluntary reschedules, not futex blocks.
-      auto lock_adaptive = [&](std::unique_lock<std::mutex>& lock) {
-        if (lock.try_lock()) return;
-        for (int i = 0; i < kYieldRounds; ++i) {
-          std::this_thread::yield();
-          if (lock.try_lock()) return;
+      auto reap = [&] {
+        for (auto it = pending.begin(); it != pending.end();) {
+          if ((*it)->pc.applied.load(std::memory_order_acquire)) {
+            st.units += (*it)->entries.size();
+            in_flight.fetch_sub(static_cast<int>((*it)->entries.size()));
+            it = pending.erase(it);
+          } else {
+            ++it;
+          }
         }
-        const auto wait_from = Clock::now();
-        lock.lock();
-        const auto wait_to = Clock::now();
-        st.lock_wait_ns += ns(wait_from, wait_to);
-        if (tr != nullptr)
-          tr->span(obs::EventKind::kLockWaitSpan, trace_->to_ns(wait_from),
-                   trace_->to_ns(wait_to));
       };
 
-      // Flush the completion buffer into the engine; `mu` must be held.
-      auto flush_locked = [&] {
+      // Blocking backstop: force a combine round until every outstanding
+      // record of ours is applied.  The spin covers the window where a
+      // peer's drain has snapshotted a record but not yet flipped its flag.
+      // Must run before the worker returns — the engine holds pointers
+      // into `pending` until application — and before parking, because a
+      // sleeping publisher's unapplied record would otherwise hold
+      // in_flight above zero with no one left to combine it.
+      auto drain_pending = [&] {
+        while (!pending.empty()) {
+          engine.combine_published();
+          reap();
+          if (!pending.empty()) spin_pause();
+        }
+      };
+
+      auto flush = [&] {
         if (done_buf.empty()) return;
-        if (tr != nullptr) {
-          trace_->set_current_worker(index);
+        if (tr != nullptr)
           tr->instant(obs::EventKind::kCommitBatch, trace_->now_ns(),
                       obs::kNoTraceNode,
                       static_cast<std::uint32_t>(done_buf.size()));
+        if (engine.try_commit_batch(std::span<EntryT>(done_buf))) {
+          st.units += done_buf.size();
+          in_flight.fetch_sub(static_cast<int>(done_buf.size()));
+          done_buf.clear();
+          reap();  // our drain round may have applied earlier publishes
+          return;
         }
-        commit_all(engine, done_buf);
-        st.units += done_buf.size();
-        in_flight -= static_cast<int>(done_buf.size());
-        done_buf.clear();
+        auto pf = std::make_unique<PendingFlush>();
+        pf->entries.swap(done_buf);
+        done_buf.reserve(k);
+        engine.publish_commit(std::span<EntryT>(pf->entries), pf->pc);
+        pending.push_back(std::move(pf));
+        ++st.flush_deferrals;
+        reap();
+        // Bound the outstanding set so a worker that keeps losing the
+        // combine race cannot accumulate unapplied records without limit.
+        if (pending.size() >= kMaxPendingFlushes) drain_pending();
       };
 
       // Refill the local run queue: home shard first, global scan second.
-      // `mu` must be held; returns the number acquired.
-      auto refill_locked = [&]() -> std::size_t {
+      // Returns the number acquired.
+      auto refill = [&]() -> std::size_t {
         refill_buf.clear();
-        if (tr != nullptr) trace_->set_current_worker(index);
+        in_flight.fetch_add(static_cast<int>(k));  // pre-claim
         std::size_t got = acquire_shard_into(engine, home, k, refill_buf);
         bool global = false;
         if (got == 0) {
@@ -462,6 +530,7 @@ class ThreadExecutor {
             global = true;
           }
         }
+        if (got < k) in_flight.fetch_sub(static_cast<int>(k - got));
         if (got > 0) {
           if (tr != nullptr)
             tr->instant(
@@ -470,7 +539,6 @@ class ThreadExecutor {
                 trace_->now_ns(), node_of(refill_buf.front()),
                 static_cast<std::uint32_t>(got),
                 global ? obs::kNoTraceShard : static_cast<std::uint16_t>(home));
-          in_flight += static_cast<int>(got);
           st.record_batch(got);
           std::lock_guard<std::mutex> g(mine.mu);
           for (ItemT& it : refill_buf) mine.items.push_back(std::move(it));
@@ -479,7 +547,7 @@ class ThreadExecutor {
       };
 
       for (;;) {
-        // --- parallel section: own queue first, then steal ---------------
+        // --- own queue first, then steal ----------------------------------
         std::optional<ItemT> item;
         {
           std::lock_guard<std::mutex> g(mine.mu);
@@ -519,7 +587,6 @@ class ThreadExecutor {
           }
         }
         if (item) {
-          dry = 0;
           if (tr == nullptr) {
             done_buf.push_back(
                 EntryT{*item, compute_item(engine, *item, index, tables)});
@@ -533,130 +600,50 @@ class ThreadExecutor {
             trace_tt(*tr, trace_->to_ns(c1), node_of(*item), result);
             done_buf.push_back(EntryT{*item, std::move(result)});
           }
-          if (done_buf.size() < k) continue;
-          // Flush once per batch; a contended flush below the hard cap is
-          // deferred — the worker goes back to computing and retries after
-          // the next unit instead of convoying on the lock.
-          const bool force = done_buf.size() >= flush_cap;
-          std::unique_lock<std::mutex> lock(mu, std::defer_lock);
-          if (force) {
-            lock_adaptive(lock);
-          } else if (!lock.try_lock()) {
-            ++st.flush_deferrals;
-            continue;
-          }
-          const auto hold_from = Clock::now();
-          ++st.lock_acquisitions;
-          flush_locked();
-          const bool stop_now = engine.done() || failed;
-          // Top up the run queue while we hold the lock anyway: the next
-          // dry spell then needs no second serialized visit.
-          std::size_t got = 0;
-          if (!stop_now) {
-            bool empty;
-            {
-              std::lock_guard<std::mutex> g(mine.mu);
-              empty = mine.items.empty();
+          if (done_buf.size() >= k) {
+            flush();
+            if (engine.done() || failed.load()) {
+              drain_pending();
+              return broadcast_exit();
             }
-            if (empty) got = refill_locked();
+            wake_for(0, st, tr);
           }
-          std::size_t wake = 0;
-          if (!stop_now && sleepers > 0)
-            wake = std::min(queued_estimate(engine) + (got > 0 ? got - 1 : 0),
-                            static_cast<std::size_t>(sleepers));
-          end_hold(hold_from);
-          lock.unlock();
-          if (stop_now) {
-            cv.notify_all();
-            return;
-          }
-          st.wakeups_issued += wake;
-          for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
-          if (tr != nullptr && wake > 0)
-            tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
-                        obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
           continue;
         }
 
-        // --- serial section: flush and refill -----------------------------
-        // Contended entry is retried via the steal loop first (kDryRounds
-        // times, yielding between rounds): instead of queueing on the heap
-        // lock, the worker goes back to looking for a peer's work — the
-        // wait converts to compute when any queue is non-empty.  Only a
-        // persistently dry worker falls through to the adaptive (and
-        // finally blocking) acquire, and then usually parks on the cv.
-        std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
-        if (!lock.owns_lock()) {
-          if (++dry <= kDryRounds) {
+        // --- dry: flush what we have, then refill -------------------------
+        flush();
+        if (engine.done() || failed.load()) {
+          drain_pending();
+          return broadcast_exit();
+        }
+        const std::size_t got = refill();
+        if (got == 0) {
+          if (!pending.empty()) {
+            // Applying our outstanding records may create the very work the
+            // refill just missed — drain and retry before giving up.
+            drain_pending();
+            if (engine.done() || failed.load()) return broadcast_exit();
+            continue;
+          }
+          if (engine.done()) return broadcast_exit();
+          if (in_flight.load() == 0) {
+            report_stall(index);
+            return broadcast_exit();
+          }
+          if (spins < kDryYieldRounds) {
+            ++spins;
             std::this_thread::yield();
             continue;
           }
-          lock_adaptive(lock);
-        }
-        dry = 0;
-        const auto hold_from = Clock::now();
-        ++st.lock_acquisitions;
-        flush_locked();
-        bool stop_now = engine.done() || failed;
-        std::size_t got = 0;
-        if (!stop_now) {
-          got = refill_locked();
-          if (got == 0 && engine.done()) stop_now = true;
-        }
-        if (stop_now) {
-          end_hold(hold_from);
-          lock.unlock();
-          cv.notify_all();  // everyone must observe done/failed and exit
-          return;
-        }
-        if (got == 0) {
-          if (in_flight == 0) {
-            std::fprintf(stderr,
-                         "ThreadExecutor stall: no queued work, 0 units in "
-                         "flight, engine not done (worker %d, %d threads, "
-                         "batch %d, %zu shards).  Unfinished nodes:\n",
-                         index, threads_, batch_size_, S);
-            if constexpr (requires { engine.debug_dump_unfinished(stderr); })
-              engine.debug_dump_unfinished(stderr);
-            failed = true;
-            end_hold(hold_from);
-            lock.unlock();
-            cv.notify_all();
-            return;
-          }
-          end_hold(hold_from);
-          if (spins < kMaxSpinRounds) {
-            ++spins;
-            lock.unlock();
-            spin_pause();
-            continue;
-          }
           spins = 0;
-          ++st.sleeps;
-          ++sleepers;
-          const auto sleep_from = tr != nullptr ? Clock::now() : Clock::time_point{};
-          cv.wait(lock);
-          --sleepers;
-          lock.unlock();
-          if (tr != nullptr)
-            tr->span(obs::EventKind::kSleepSpan, trace_->to_ns(sleep_from),
-                     trace_->now_ns());
+          park(st, tr);
           continue;
         }
         spins = 0;
         // Wake one sleeper per unit still acquirable plus the surplus just
         // parked in our own queue (sleepers can steal those).
-        std::size_t wake = 0;
-        if (sleepers > 0)
-          wake = std::min(queued_estimate(engine) + (got - 1),
-                          static_cast<std::size_t>(sleepers));
-        end_hold(hold_from);
-        lock.unlock();
-        st.wakeups_issued += wake;
-        for (std::size_t i = 0; i < wake; ++i) cv.notify_one();
-        if (tr != nullptr && wake > 0)
-          tr->instant(obs::EventKind::kWakeup, trace_->now_ns(),
-                      obs::kNoTraceNode, static_cast<std::uint32_t>(wake));
+        wake_for(got - 1, st, tr);
       }
     };
 
@@ -669,7 +656,7 @@ class ThreadExecutor {
         pool.emplace_back(worker, i);
     }
     for (auto& t : pool) t.join();
-    ERS_CHECK(!failed && "problem-heap engine stalled");
+    ERS_CHECK(!failed.load() && "problem-heap engine stalled");
     ERS_CHECK(engine.done());
 
     ThreadRunReport report;
@@ -678,6 +665,22 @@ class ThreadExecutor {
     report.elapsed_ns = ns(run_start, Clock::now());
     for (const SchedulerStats& st : stats) report.sched.merge(st);
     report.units = report.sched.units;
+    // Fold the engine's internal lock accounting into the aggregate the
+    // benches read; keep the per-shard and combine breakdowns verbatim.
+    if constexpr (requires { engine.lock_stats(); }) {
+      const auto ls = engine.lock_stats();
+      report.sched.lock_acquisitions += ls.total_acquisitions();
+      report.sched.lock_wait_ns += ls.total_wait_ns();
+      report.sched.lock_hold_ns += ls.total_hold_ns();
+      report.shard_lock_acquisitions = ls.shard_acquisitions;
+      report.shard_lock_wait_ns = ls.shard_wait_ns;
+      report.shard_lock_hold_ns = ls.shard_hold_ns;
+      report.combine_batches = ls.combine_batches;
+      report.combine_records = ls.combine_records;
+      report.combine_entries = ls.combine_entries;
+      report.combine_peer_applied = ls.combine_peer_applied;
+      report.combine_wait_ns = ls.combine_wait_ns;
+    }
     if constexpr (requires { engine.stats().search.tt_probes; }) {
       report.tt_probes = engine.stats().search.tt_probes;
       report.tt_hits = engine.stats().search.tt_hits;
@@ -705,15 +708,13 @@ class ThreadExecutor {
   };
   using EntryT = typename EntryFor<EngineT>::type;
 
-  static constexpr int kMaxSpinRounds = 2;
+  /// Yield-retry rounds a dry worker donates its timeslice through before
+  /// parking on the condition variable (a futex sleep plus wakeup costs two
+  /// syscalls; work is usually released within a commit or two).
+  static constexpr int kDryYieldRounds = 16;
   /// Victim probes per steal round; bounded so a starving worker falls
   /// through to the (blocking) refill path quickly when all queues are dry.
   static constexpr int kStealProbes = 4;
-  /// Contended serialized-visit attempts a dry worker converts into extra
-  /// steal rounds before it blocks on the heap lock for real.
-  static constexpr int kDryRounds = 16;
-  /// Yield-retry rounds of the adaptive mutex acquire before blocking.
-  static constexpr int kYieldRounds = 64;
 
   [[nodiscard]] static std::uint64_t ns(
       std::chrono::steady_clock::time_point a,
@@ -749,12 +750,22 @@ class ThreadExecutor {
     }
   }
 
+  /// Commit the completion buffer; returns true when the engine reports a
+  /// *peer* combiner applied the batch (flat-combining engines only; false
+  /// for engines whose commit path returns void).
   template <typename E>
-  static void commit_all(E& engine, std::vector<EntryT>& buf) {
+  static bool commit_all(E& engine, std::vector<EntryT>& buf) {
     if constexpr (requires { engine.commit_batch(std::span<EntryT>(buf)); }) {
-      engine.commit_batch(std::span<EntryT>(buf));
+      using R = decltype(engine.commit_batch(std::span<EntryT>(buf)));
+      if constexpr (std::is_convertible_v<R, bool>) {
+        return engine.commit_batch(std::span<EntryT>(buf));
+      } else {
+        engine.commit_batch(std::span<EntryT>(buf));
+        return false;
+      }
     } else {
       for (EntryT& e : buf) engine.commit(e.item, std::move(e.result));
+      return false;
     }
   }
 
@@ -799,8 +810,8 @@ class ThreadExecutor {
   }
 
   /// Per-unit transposition-table traffic as trace instants, from the
-  /// compute result's own counters (compute runs outside the engine lock,
-  /// so the worker's ring — not the engine's — must carry these).
+  /// compute result's own counters (compute runs outside every lock, so the
+  /// worker's ring — not the engine's — must carry these).
   template <typename Result>
   static void trace_tt(obs::Tracer& tr, std::uint64_t ts, std::uint32_t node,
                        const Result& r) {

@@ -33,6 +33,15 @@ struct CostModel {
   /// price per access does not.
   std::uint64_t per_heap_acquire = 1;
   std::uint64_t per_heap_commit = 1;
+  /// Per-shard lock footprint of a cross-shard commit under the per-shard
+  /// locking engine (DESIGN.md §12): each *additional* shard in the
+  /// committed node's ancestor touch set extends the commit's serialized
+  /// section by this much, and the section blocks every touched shard for
+  /// its whole duration — modeling the flat-combining apply round, which
+  /// locks its union touch set in ascending order.  0 (the default) keeps
+  /// the single-shard commit model — and every existing simulated figure —
+  /// bit-identical; benches raise it to study cross-shard commit pressure.
+  std::uint64_t per_shard_lock = 0;
   /// Transposition-table traffic.  Probes and stores are lock-free (one
   /// cache line each), so unlike queue ops they are charged to the issuing
   /// processor only — cheap, but not free, which keeps a table-heavy search

@@ -16,10 +16,13 @@
 //  * acquire+compute+commit form one batch.  The heavy compute part costs
 //    the sum of CostModel::of(unit stats) over the batch; the acquire and
 //    the commit each perform one access to the shared problem heap
-//    (CostModel::per_heap_acquire / per_heap_commit), which is serialized
-//    across processors (a single lock), modeling the paper's interference
+//    (CostModel::per_heap_acquire / per_heap_commit), serialized per shard
+//    lock (one lock at queue_shards = 1), modeling the paper's interference
 //    loss.  Batching therefore pays the serialized heap price once per
 //    batch instead of once per unit — exactly the thread runtime's remedy.
+//    CostModel::per_shard_lock > 0 additionally makes commits occupy their
+//    whole ancestor-chain touch set, the footprint of the engine's
+//    flat-combining apply round (DESIGN.md §12).
 //    Engine state changes are applied atomically in event order, so the
 //    schedule is deterministic and the search result is exact; the lock
 //    models *time*, not state races.
@@ -38,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/shard_policy.hpp"
 #include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "util/check.hpp"
@@ -48,7 +52,7 @@ struct SimMetrics {
   std::uint64_t makespan = 0;        ///< simulated completion time
   std::uint64_t busy_time = 0;       ///< total processor-time spent computing
   std::uint64_t idle_time = 0;       ///< total processor-time starving
-  std::uint64_t lock_wait_time = 0;  ///< total time blocked on the heap lock
+  std::uint64_t lock_wait_time = 0;  ///< total time blocked on shard locks
   std::uint64_t units = 0;           ///< work units completed
   std::uint64_t heap_accesses = 0;   ///< serialized heap ops (acquire+commit)
   /// Serialized accesses per shard (sums to heap_accesses): the simulated
@@ -144,6 +148,7 @@ class SimExecutor {
     }
     std::uint64_t now = 0;
     std::vector<std::uint64_t> lock_free(static_cast<std::size_t>(shards_), 0);
+    std::vector<std::size_t> touch_set;  // commit touch-set scratch
     // A heap access occupies one shard for `op_cost` serialized time units.
     // `shard` == kUnrouted (engines without a sharded heap) falls back to
     // the earliest-available shard — the idealized balanced distribution.
@@ -227,19 +232,40 @@ class SimExecutor {
       Completion ev = std::move(const_cast<Completion&>(inflight.top()));
       inflight.pop();
       now = ev.t;
-      // One serialized heap access commits the whole batch, routed to the
-      // shard owning the first committed node's parent.
+      // One serialized access commits the whole batch, routed to the shard
+      // owning the first committed node's parent.  When the cost model
+      // charges per_shard_lock, the commit instead occupies the node's full
+      // ancestor-chain touch set — the shards the flat-combining apply
+      // round locks together — each additional shard extending the section,
+      // so cross-shard commits delay refills on those shards exactly as the
+      // real combiner does.
       std::size_t used_shard = 0;
-      const std::uint64_t start =
-          lock_acquire(now, cost_.per_heap_commit,
-                       route_shard(engine, ev.batch.front().item), &used_shard);
+      std::uint64_t commit_cost = cost_.per_heap_commit;
+      std::uint64_t start;
+      touch_set.clear();
+      if (cost_.per_shard_lock > 0)
+        collect_touch_shards(engine, ev.batch.front().item, touch_set);
+      if (touch_set.size() > 1) {
+        used_shard = route_shard(engine, ev.batch.front().item);
+        commit_cost += cost_.per_shard_lock *
+                       static_cast<std::uint64_t>(touch_set.size() - 1);
+        start = now;
+        for (const std::size_t s : touch_set)
+          start = std::max(start, lock_free[s]);
+        for (const std::size_t s : touch_set) lock_free[s] = start + commit_cost;
+        ++m.heap_accesses;
+        ++m.shard_accesses[used_shard];
+      } else {
+        start = lock_acquire(now, commit_cost,
+                             route_shard(engine, ev.batch.front().item),
+                             &used_shard);
+      }
       m.lock_wait_time += start - now;
       if (trace_ != nullptr) {
         obs::Tracer& tr = trace_->worker(ev.worker);
         if (start > now)
           tr.span(obs::EventKind::kLockWaitSpan, now, start);
-        tr.span(obs::EventKind::kLockHoldSpan, start,
-                start + cost_.per_heap_commit);
+        tr.span(obs::EventKind::kLockHoldSpan, start, start + commit_cost);
         tr.instant(obs::EventKind::kCommitBatch, start,
                    node_of(ev.batch.front().item),
                    static_cast<std::uint32_t>(ev.batch.size()),
@@ -247,10 +273,10 @@ class SimExecutor {
         trace_->set_current_worker(ev.worker);
         trace_->set_virtual_now(start);
       }
-      const std::uint64_t freed_at = start + cost_.per_heap_commit;
+      const std::uint64_t freed_at = start + commit_cost;
       // Busy time is credited at commit so that work still in flight when
       // the root combines can be clamped to the makespan below.
-      m.busy_time += (ev.t - ev.started) + cost_.per_heap_commit;
+      m.busy_time += (ev.t - ev.started) + commit_cost;
       commit_all(engine, ev.batch);
       m.units += ev.batch.size();
       m.makespan = std::max(m.makespan, freed_at);
@@ -293,11 +319,35 @@ class SimExecutor {
   [[nodiscard]] std::size_t route_shard(const E& engine,
                                         const ItemT& item) const {
     if constexpr (requires { engine.home_shard(item.node); }) {
-      return engine.home_shard(item.node) % static_cast<std::size_t>(shards_);
+      return core::fold_shard(engine.home_shard(item.node),
+                              static_cast<std::size_t>(shards_));
     } else {
       (void)engine;
       (void)item;
       return kUnrouted;
+    }
+  }
+
+  /// The ascending, deduplicated set of executor shards a commit on the
+  /// item's node would lock under the engine's flat-combining apply path —
+  /// the engine's touch set folded onto this executor's shard count.  Empty
+  /// for engines without the sharded commit protocol.
+  template <typename E, typename ItemT>
+  void collect_touch_shards(const E& engine, const ItemT& item,
+                            std::vector<std::size_t>& out) const {
+    if constexpr (requires {
+                    engine.commit_touch_shards(
+                        item.node, std::declval<std::vector<std::uint32_t>&>());
+                  }) {
+      std::vector<std::uint32_t> raw;
+      engine.commit_touch_shards(item.node, raw);
+      for (const std::uint32_t s : raw)
+        out.push_back(core::fold_shard(s, static_cast<std::size_t>(shards_)));
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    } else {
+      (void)engine;
+      (void)item;
     }
   }
 

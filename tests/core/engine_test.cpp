@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -403,6 +405,96 @@ TEST(EngineShards, ShardedBatchDriverMatchesNegmax) {
       ASSERT_TRUE(engine.done()) << "shards=" << shards << " seed=" << seed;
       EXPECT_EQ(engine.root_value(), negmax_search(g, 5).value)
           << "shards=" << shards << " seed=" << seed;
+    }
+  }
+}
+
+// --- flat-combining commit path -------------------------------------------
+
+TEST(EngineCombine, CombinedCommitsMatchSequentialCommits) {
+  // The soundness claim of flat combining (DESIGN.md §12): a combiner
+  // applying N published records in one drain round must leave the engine
+  // in exactly the state N sequential commit_batch calls (same records,
+  // same order) would.  Twin engines, identical up to a set of uncommitted
+  // batches; one publishes them all and combines once, the other commits
+  // them one by one.  Every observable — the complete remaining pop order,
+  // the root value, the tree, the stats block — must coincide.
+  for (const int shards : {1, 4}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const UniformRandomTree g(4, 5, seed + 60, -80, 80);
+      using EngineT = core::Engine<UniformRandomTree>;
+      EngineT combined(g, sharded_config(5, 3, shards));
+      EngineT sequential(g, sharded_config(5, 3, shards));
+      // Walk both engines through the same prefix so several units are
+      // ready and ancestor chains span shards.
+      for (int r = 0; r < 6; ++r) {
+        auto a = combined.acquire();
+        auto b = sequential.acquire();
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (!a.has_value()) break;
+        ASSERT_EQ(a->node, b->node);
+        combined.commit(*a, combined.compute(*a));
+        sequential.commit(*b, sequential.compute(*b));
+      }
+      // Pull the same uncommitted units from each twin, computed but held.
+      constexpr std::size_t kPer = 2;
+      std::vector<core::WorkItem> ca, sa;
+      combined.acquire_batch(6, ca);
+      sequential.acquire_batch(6, sa);
+      ASSERT_EQ(ca.size(), sa.size());
+      std::vector<std::vector<EngineT::CommitEntry>> cbatches, sbatches;
+      for (std::size_t i = 0; i < ca.size(); i += kPer) {
+        cbatches.emplace_back();
+        sbatches.emplace_back();
+        for (std::size_t j = i; j < std::min(i + kPer, ca.size()); ++j) {
+          ASSERT_EQ(ca[j].node, sa[j].node);
+          cbatches.back().push_back({ca[j], combined.compute(ca[j])});
+          sbatches.back().push_back({sa[j], sequential.compute(sa[j])});
+        }
+      }
+      // Publish every record first, then apply them all in one combiner
+      // drain round; the twin commits the identical records sequentially.
+      std::deque<EngineT::PendingCommit> pending(cbatches.size());
+      for (std::size_t i = 0; i < cbatches.size(); ++i)
+        combined.publish_commit(cbatches[i], pending[i]);
+      combined.combine_published();
+      for (EngineT::PendingCommit& pc : pending)
+        EXPECT_TRUE(pc.applied.load()) << "combiner left a record behind";
+      for (std::vector<EngineT::CommitEntry>& b : sbatches)
+        sequential.commit_batch(b);
+      // From here the engines must be indistinguishable: drain both to
+      // completion and compare every observable.
+      std::vector<std::uint32_t> corder, sorder;
+      while (!combined.done()) {
+        auto item = combined.acquire();
+        if (!item.has_value()) break;
+        corder.push_back(item->node);
+        combined.commit(*item, combined.compute(*item));
+      }
+      while (!sequential.done()) {
+        auto item = sequential.acquire();
+        if (!item.has_value()) break;
+        sorder.push_back(item->node);
+        sequential.commit(*item, sequential.compute(*item));
+      }
+      EXPECT_EQ(corder, sorder) << "shards=" << shards << " seed=" << seed;
+      ASSERT_TRUE(combined.done());
+      ASSERT_TRUE(sequential.done());
+      EXPECT_EQ(combined.root_value(), sequential.root_value());
+      EXPECT_EQ(combined.root_value(), negmax_search(g, 5).value);
+      EXPECT_EQ(combined.tree_size(), sequential.tree_size());
+      const core::EngineStats cs = combined.stats();
+      const core::EngineStats ss = sequential.stats();
+      EXPECT_EQ(cs.units_processed, ss.units_processed);
+      EXPECT_EQ(cs.search.nodes_generated(), ss.search.nodes_generated());
+      EXPECT_EQ(cs.search.leaves_evaluated, ss.search.leaves_evaluated);
+      EXPECT_EQ(cs.promotions_mandatory, ss.promotions_mandatory);
+      EXPECT_EQ(cs.promotions_speculative, ss.promotions_speculative);
+      EXPECT_EQ(cs.refutations_dispatched, ss.refutations_dispatched);
+      EXPECT_EQ(cs.cutoffs_at_pop, ss.cutoffs_at_pop);
+      const core::EngineLockStats ls = combined.lock_stats();
+      EXPECT_GE(ls.combine_records, cbatches.size())
+          << "published records must be accounted as combined";
     }
   }
 }

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <thread>
+#include <vector>
+
 #include "core/parallel_er.hpp"
 #include "othello/game.hpp"
 #include "othello/positions.hpp"
@@ -264,6 +268,77 @@ TEST(ThreadExecutor, ShardedTinyTreeManyThreads) {
   const UniformRandomTree g(2, 2, 3, -10, 10);
   const auto r = parallel_er_threads(g, cfg(2, 1), 8, 1, 4);
   EXPECT_EQ(r.value, negmax_search(g, 2).value);
+}
+
+// --- per-shard locking / flat-combining stress ----------------------------
+
+TEST(ThreadExecutor, CrossShardCommitStress) {
+  // Hammer the flat-combining commit path under real concurrency: 8 shards
+  // with 8 threads at the smallest batch sizes maximizes the number of
+  // concurrent publishers whose records back values up ancestor chains
+  // crossing shard boundaries, while the stealing scheduler keeps
+  // shard-local refills and steals racing the combiner's multi-shard apply
+  // rounds.  This is the test a ThreadSanitizer build exists for.
+  const UniformRandomTree g(5, 5, 71, -100, 100);
+  const Value oracle = negmax_search(g, 5).value;
+  for (const int batch : {1, 2}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto r = parallel_er_threads(g, cfg(5, 3), 8, batch, 8);
+      EXPECT_EQ(r.value, oracle) << "batch=" << batch << " rep=" << rep;
+      EXPECT_GT(r.report.combine_records, 0u)
+          << "every commit publishes a combine record";
+      EXPECT_GE(r.report.combine_records,
+                r.report.combine_peer_applied)
+          << "peer-applied records are a subset of all records";
+    }
+  }
+}
+
+TEST(ThreadExecutor, DirectProtocolCrossShardHammer) {
+  // Drive the engine's raw acquire/compute/commit protocol from racing
+  // threads that mix shard-local refills (the stealing path) with global
+  // multi-shard acquires, so combiner drain rounds, shard pops and
+  // whole-heap lock sweeps all run concurrently with no executor policy
+  // smoothing the interleavings.
+  const UniformRandomTree g(4, 5, 73, -100, 100);
+  core::EngineConfig c = cfg(5, 3);
+  c.heap_shards = 8;
+  using EngineT = core::Engine<UniformRandomTree>;
+  EngineT engine(g, c);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&engine, t] {
+      std::vector<core::WorkItem> items;
+      std::vector<EngineT::CommitEntry> batch;
+      std::size_t shard = static_cast<std::size_t>(t) % engine.shard_count();
+      while (!engine.done()) {
+        items.clear();
+        batch.clear();
+        std::size_t got = engine.acquire_batch_shard(shard, 2, items);
+        if (got == 0) got = engine.acquire_batch(2, items);
+        if (got == 0) {
+          shard = (shard + 1) % engine.shard_count();
+          std::this_thread::yield();
+          continue;
+        }
+        for (const core::WorkItem& item : items)
+          batch.push_back({item, engine.compute(item)});
+        engine.commit_batch(batch);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_TRUE(engine.done());
+  EXPECT_EQ(engine.root_value(), negmax_search(g, 5).value);
+  const core::EngineLockStats ls = engine.lock_stats();
+  EXPECT_GT(ls.combine_records, 0u);
+  EXPECT_GT(ls.combine_batches, 0u)
+      << "records only flow through drain rounds";
+  EXPECT_GE(ls.combine_records, ls.combine_batches)
+      << "every drain round applies at least one record";
+  EXPECT_GT(ls.total_acquisitions(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: diff a freshly generated BENCH_*.json against the
+committed baseline and fail on a throughput regression.
+
+    check_bench_regression.py BASELINE FRESH [--metric units_per_sec]
+                              [--threshold 0.25] [--group shards,threads,batch]
+
+Both files are JSON-lines (one flat object per bench row, the schema
+obs::write_bench_json emits).  Rows are grouped by the --group key fields
+and the metric is averaged within each group — single rows on a loaded CI
+runner are too noisy to gate on, but a whole configuration's mean dropping
+by more than --threshold (default 25%) is a real regression, and the job
+fails.  Groups present on only one side are reported but never fatal (a
+bench gaining or losing a sweep point is a review question, not a
+regression).
+
+Exit codes: 0 clean, 1 regression found, 2 unusable input (missing file,
+no parseable rows, or no comparable groups — a guard that silently compares
+nothing would pass forever).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_bench_regression: cannot read {path}: {e.strerror}",
+              file=sys.stderr)
+        sys.exit(2)
+    rows = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(f"check_bench_regression: {path}:{lineno}: unparseable row skipped",
+                  file=sys.stderr)
+    return rows
+
+
+def group_means(rows, keys, metric):
+    acc = {}
+    for r in rows:
+        if metric not in r:
+            continue
+        key = tuple((k, r.get(k)) for k in keys)
+        acc.setdefault(key, []).append(float(r[metric]))
+    return {k: sum(v) / len(v) for k, v in acc.items()}
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--metric", default="units_per_sec")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fatal fractional drop, e.g. 0.25 = fail below 75%% of baseline")
+    ap.add_argument("--group", default="shards,threads,batch",
+                    help="comma-separated row fields that identify one configuration")
+    args = ap.parse_args()
+    keys = [k for k in args.group.split(",") if k]
+
+    base_rows = load_rows(args.baseline)
+    fresh_rows = load_rows(args.fresh)
+    if not base_rows:
+        print(f"check_bench_regression: {args.baseline} holds no rows", file=sys.stderr)
+        return 2
+    if not fresh_rows:
+        print(f"check_bench_regression: {args.fresh} holds no rows", file=sys.stderr)
+        return 2
+
+    base = group_means(base_rows, keys, args.metric)
+    fresh = group_means(fresh_rows, keys, args.metric)
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        print("check_bench_regression: no comparable groups "
+              f"(group keys: {','.join(keys)}; metric: {args.metric})", file=sys.stderr)
+        return 2
+    for key in sorted(set(base) - set(fresh)):
+        print(f"  note: group only in baseline: {fmt_key(key)}")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"  note: group only in fresh run: {fmt_key(key)}")
+
+    regressions = []
+    for key in shared:
+        b, f = base[key], fresh[key]
+        ratio = f / b if b > 0 else 1.0
+        status = "REGRESSION" if ratio < 1.0 - args.threshold else "ok"
+        print(f"  {status:>10}  {fmt_key(key)}: {args.metric} {b:,.0f} -> {f:,.0f} "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+        if status == "REGRESSION":
+            regressions.append(key)
+
+    if regressions:
+        print(f"check_bench_regression: {len(regressions)}/{len(shared)} groups dropped "
+              f">{args.threshold * 100:.0f}% on {args.metric}", file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: {len(shared)} groups within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,34 @@ int main(int argc, char** argv) {
   const std::string path = args.positional().front();
   const int pid = static_cast<int>(args.get_int("pid", -1));
 
+  // Stage the load so a missing file, a truncated/unparseable file, and a
+  // well-formed file of the wrong shape each get their own diagnostic —
+  // CI jobs grep these messages, and "cannot load" hides which step died.
+  std::string text;
+  if (!ers::obs::read_file(path, text)) {
+    std::fprintf(stderr, "trace_report: cannot open %s: no such file or not readable\n",
+                 path.c_str());
+    return 1;
+  }
+  ers::obs::JsonValue root;
+  if (!ers::obs::parse_json(text, root)) {
+    std::fprintf(stderr,
+                 "trace_report: %s is not valid JSON — truncated trace? "
+                 "(%zu bytes read; a run killed mid-write leaves an "
+                 "unterminated traceEvents array)\n",
+                 path.c_str(), text.size());
+    return 1;
+  }
+  const ers::obs::JsonValue* array = root.find("traceEvents");
+  if (array == nullptr || !array->is_array()) {
+    std::fprintf(stderr,
+                 "trace_report: %s parses but has no traceEvents array — "
+                 "not a Perfetto trace written by trace_writer\n",
+                 path.c_str());
+    return 1;
+  }
   std::vector<ers::obs::TraceEvent> events;
-  if (!ers::obs::load_trace_file(path, events, pid)) {
+  if (!ers::obs::parse_perfetto(text, events, pid)) {
     std::fprintf(stderr, "trace_report: cannot load %s\n", path.c_str());
     return 1;
   }
