@@ -116,6 +116,71 @@ BENCHMARK(BM_EngineCommitContention)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_EngineCommitDisjoint(benchmark::State& state) {
+  // Disjoint-subtree commits: the root-shard serialization probe
+  // (DESIGN.md §13).  Under kSubtreeAffinity placement root child i and its
+  // whole subtree home on shard i % S, so with threads == shards and each
+  // driver draining only its own shard (acquire_batch_shard), every
+  // concurrent commit pair is on *provably disjoint* subtrees.  With the
+  // publish frontier off (arg1 = 0) those commits still meet at shard 0,
+  // because every touch set walks the ancestor chain to the root; with it
+  // on (arg1 = 4) the touch sets truncate at the frontier and disjoint
+  // commits lock disjoint shard sets — throughput should scale with the
+  // shard count instead of flat-lining on the root's lock.  Drivers fall
+  // back to a global pop when their own shard runs dry so no subtree
+  // orphans work near the end.
+  const UniformRandomTree g(4, 6, 17, -1000, 1000);
+  core::EngineConfig cfg;
+  cfg.search_depth = 6;
+  cfg.serial_depth = 4;
+  cfg.heap_shards = static_cast<int>(state.range(0));
+  cfg.placement = core::PlacementMode::kSubtreeAffinity;
+  cfg.publish_frontier = static_cast<int>(state.range(1));
+  const int threads = cfg.heap_shards;
+  std::uint64_t units = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t publishes = 0;
+  for (auto _ : state) {
+    core::Engine<UniformRandomTree> engine(g, cfg);
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      drivers.emplace_back([&engine, t] {
+        const auto home = static_cast<std::size_t>(t);
+        std::vector<core::WorkItem> items;
+        std::vector<core::Engine<UniformRandomTree>::CommitEntry> batch;
+        while (!engine.done()) {
+          items.clear();
+          batch.clear();
+          if (engine.acquire_batch_shard(home, 1, items) == 0 &&
+              engine.acquire_batch(1, items) == 0) {
+            std::this_thread::yield();
+            continue;
+          }
+          for (const core::WorkItem& item : items)
+            batch.push_back({item, engine.compute(item)});
+          engine.commit_batch(batch);
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    units += engine.stats().units_processed;
+    const auto ls = engine.lock_stats();
+    truncated += ls.truncated_records;
+    publishes += ls.root_publishes;
+  }
+  state.counters["units/s"] = benchmark::Counter(
+      static_cast<double>(units), benchmark::Counter::kIsRate);
+  state.counters["truncated"] = benchmark::Counter(
+      static_cast<double>(truncated), benchmark::Counter::kAvgIterations);
+  state.counters["publishes"] = benchmark::Counter(
+      static_cast<double>(publishes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineCommitDisjoint)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParallelErThreads(benchmark::State& state) {
   const UniformRandomTree g(4, 7, 11, -1000, 1000);
   core::EngineConfig cfg;

@@ -61,7 +61,10 @@ SchedRun run_config(const G& game, const ers::core::EngineConfig& cfg,
     runtime::ThreadExecutor<core::Engine<G>> exec(threads);
     exec.with_batch_size(batch).with_trace(traced ? trace : nullptr);
     const auto report = exec.run(engine);
-    if (traced && reg != nullptr) obs::register_thread_report(*reg, report);
+    if (traced && reg != nullptr) {
+      obs::register_thread_report(*reg, report);
+      obs::register_engine_lock_stats(*reg, engine.lock_stats());
+    }
     ERS_CHECK(engine.root_value() == oracle &&
               "batched scheduler changed the search result");
     sum.value = engine.root_value();
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
   for (const auto& name : opt.tree_names) {
     auto base = harness::tree_by_name(name, opt.scale);
     base.engine.heap_shards = opt.shards;
+    if (opt.frontier >= 0) base.engine.publish_frontier = opt.frontier;
     const Value oracle = std::visit(
         [&](const auto& game) {
           return alpha_beta_search(game, base.engine.search_depth,
@@ -172,7 +176,7 @@ int main(int argc, char** argv) {
             ? "batching reduces contention"
             : "NO REDUCTION");
   }
-  bench::write_bench_json("scheduler", opt.reps, json);
+  bench::write_bench_json("scheduler", opt.reps, json, opt.json_out);
   bench::write_observability(opt, trace, reg, "scheduler");
   return 0;
 }

@@ -66,7 +66,10 @@ ShardRun run_config(const G& game, const ers::core::EngineConfig& cfg,
     runtime::ThreadExecutor<core::Engine<G>> exec(threads);
     exec.with_batch_size(batch).with_trace(traced ? trace : nullptr);
     const auto report = exec.run(engine);
-    if (traced && reg != nullptr) obs::register_thread_report(*reg, report);
+    if (traced && reg != nullptr) {
+      obs::register_thread_report(*reg, report);
+      obs::register_engine_lock_stats(*reg, engine.lock_stats());
+    }
     ERS_CHECK(engine.root_value() == oracle &&
               "sharded scheduler changed the search result");
     sum.value = engine.root_value();
@@ -125,6 +128,7 @@ int main(int argc, char** argv) {
   std::map<std::pair<int, int>, Share> t8;
   for (const auto& name : opt.tree_names) {
     auto base = harness::tree_by_name(name, opt.scale);
+    if (opt.frontier >= 0) base.engine.publish_frontier = opt.frontier;
     const Value oracle = std::visit(
         [&](const auto& game) {
           return alpha_beta_search(game, base.engine.search_depth,
@@ -190,7 +194,7 @@ int main(int argc, char** argv) {
     std::printf("  shards=%d batch=%d: %.4f / %.4f\n", key.first, key.second,
                 acc.wait / n, acc.hold / n);
   }
-  bench::write_bench_json("shards", opt.reps, json);
+  bench::write_bench_json("shards", opt.reps, json, opt.json_out);
   bench::write_observability(opt, trace, reg, "shards");
   return 0;
 }

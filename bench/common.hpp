@@ -10,9 +10,15 @@
 //   --shards S  problem-heap shards (1 = the paper's single heap); the
 //               simulated benches route heap-access delays per shard, the
 //               thread benches run the work-stealing scheduler
+//   --frontier F publish frontier for the thread benches (DESIGN.md §13):
+//               0 = full-lock commits (the PR 5 path), >0 = truncated
+//               touch sets + epoch publication; unset = engine default
 //   --trace F   record the bench's runs into a Perfetto trace at F
 //               (open in ui.perfetto.dev, or feed to tools/trace_report)
 //   --metrics F write the consolidated metrics snapshot (JSON) to F
+//   --json-out F write the BENCH rows to F instead of BENCH_<name>.json —
+//               what the CI bench guard uses to keep the fresh run from
+//               clobbering the committed baseline it diffs against
 
 #include <cstdio>
 #include <string>
@@ -34,9 +40,11 @@ struct FigureOptions {
   int scale = 0;
   int reps = 5;  ///< repetitions for thread-runtime (nondeterministic) benches
   int shards = 1;  ///< problem-heap shards (1 = single heap, the seed setup)
+  int frontier = -1;  ///< publish frontier; < 0 = engine default (--frontier)
   std::vector<std::string> tree_names;
   std::string trace_path;    ///< empty = untraced (--trace)
   std::string metrics_path;  ///< empty = no snapshot (--metrics)
+  std::string json_out;      ///< empty = default BENCH_<name>.json (--json-out)
 };
 
 inline FigureOptions parse_options(int argc, char** argv,
@@ -46,8 +54,10 @@ inline FigureOptions parse_options(int argc, char** argv,
   opt.scale = static_cast<int>(args.get_int("scale", 0));
   opt.reps = static_cast<int>(args.get_int("reps", 5));
   opt.shards = static_cast<int>(args.get_int("shards", 1));
+  opt.frontier = static_cast<int>(args.get_int("frontier", -1));
   opt.trace_path = args.get("trace", "");
   opt.metrics_path = args.get("metrics", "");
+  opt.json_out = args.get("json-out", "");
   std::string trees = args.get("trees", "");
   if (trees.empty()) {
     opt.tree_names = std::move(default_trees);

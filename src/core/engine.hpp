@@ -48,6 +48,24 @@
 //     untouched shards never block, and the ascending order makes the lock
 //     hierarchy (combine_mu_, then shard locks ascending) deadlock-free by
 //     construction.
+//   * Epoch publication (DESIGN.md §13): nodes at ply <
+//     EngineConfig::publish_frontier are "high".  Every (value, finished)
+//     mutation on a high node is additionally published through a
+//     versioned atomic word, so window_of/is_dead read high ancestors
+//     lock-free with epoch validation, and a commit whose node lies at or
+//     below the frontier locks only the shards of chain nodes within two
+//     plies of it (the *truncated touch set*) — shard 0, home of the root,
+//     leaves almost every touch set, and commits on disjoint subtrees
+//     never meet at a lock.  A backup that climbs past the frontier is
+//     deferred and immediately resumed as a *continuation* under the full
+//     ancestor-chain lock set, in the exact position the untruncated apply
+//     would have run it, so the committed-state sequence is bit-identical
+//     with the frontier on or off.
+//   * Shard placement is pluggable (EngineConfig::placement,
+//     core/shard_policy.hpp): parent-mod (default) or top-level-subtree
+//     affinity, which keeps a whole subtree on one shard so truncated
+//     commits on disjoint subtrees lock disjoint singleton shard sets and
+//     the runtime can pin subtree shards to NUMA nodes.
 //   * Node fields read across shard boundaries (ancestor windows, dead
 //     checks, promotion candidacy) are relaxed atomics.  Staleness is
 //     sound because node values only increase: a stale ancestor value
@@ -163,7 +181,8 @@ class Engine {
       if (cfg_.trace != nullptr) cfg_.trace->ensure_shards(shards_.size());
     }
     // Construction is single-threaded: seeding the root needs no locks.
-    nodes_.emplace(game_.root(), kNoNode, 0, NodeType::kENode, 0);
+    nodes_.emplace(game_.root(), kNoNode, 0, NodeType::kENode, 0,
+                   /*subtree_tag=*/0u);
     push_primary(0);
   }
 
@@ -430,26 +449,45 @@ class Engine {
     return shards_.size();
   }
 
-  /// The shard a node's queue entries live in: the shard owning its parent
-  /// (core/shard_policy.hpp), so the children created by one commit all
-  /// land on one shard and a worker draining it keeps the depth-first focus
-  /// of the LIFO tiebreak.  Lock-free: parent links are immutable.
+  /// The shard a node's queue entries live in, under the configured
+  /// placement (core/shard_policy.hpp): the shard owning its parent
+  /// (kParentMod, so one commit's children colocate) or its top-level
+  /// subtree's shard (kSubtreeAffinity).  Lock-free: parent links and
+  /// subtree tags are immutable.
   [[nodiscard]] std::size_t home_shard(std::uint32_t id) const noexcept {
-    return home_shard_of(nodes_[id].parent, shards_.size());
+    const Node& n = nodes_[id];
+    return cfg_.placement == PlacementMode::kSubtreeAffinity
+               ? subtree_shard_of(id, n.subtree, shards_.size())
+               : home_shard_of(n.parent, shards_.size());
   }
 
   /// Append the ascending, deduplicated set of shards a commit on `id` may
-  /// lock: every shard owning entries or children of any node on id's
-  /// ancestor chain.  Lock-free (the chain is immutable); the simulator
-  /// charges its routed contention model from exactly this set.
+  /// lock: the frontier-truncated set when the commit is eligible, else
+  /// every shard owning entries or children of any chain node.  Lock-free
+  /// (the chain is immutable); the simulator charges its routed contention
+  /// model from exactly this set.
   void commit_touch_shards(std::uint32_t id,
                            std::vector<std::uint32_t>& out) const {
     const std::size_t S = shards_.size();
     std::array<std::uint8_t, kMaxShards> seen{};
     ERS_CHECK(S <= seen.size());
-    mark_touch(id, seen.data());
+    (void)mark_touch_for_commit(id, seen.data());
     for (std::size_t s = 0; s < S; ++s)
       if (seen[s] != 0) out.push_back(static_cast<std::uint32_t>(s));
+  }
+
+  /// Chain ancestors of `id` a commit reads through the epoch-published
+  /// word instead of under a lock: ancestors above the frontier, when the
+  /// commit's touch set is truncated.  The simulator charges these as
+  /// lock-free validated reads (CostModel::per_published_read) rather than
+  /// shard occupancy.
+  [[nodiscard]] std::size_t published_ancestors(std::uint32_t id) const {
+    if (!truncation_eligible(id)) return 0;
+    std::size_t n = 0;
+    for (std::uint32_t a = nodes_[id].parent; a != kNoNode;
+         a = nodes_[a].parent)
+      if (nodes_[a].ply < cfg_.publish_frontier) ++n;
+    return n;
   }
 
  private:
@@ -471,17 +509,31 @@ class Engine {
     for (;;) {
       DeferredFinish d{};
       if (shard == kAnyShard && shards_.size() > 1) {
+        // Lock-order invariant (closes the DESIGN.md §12 caveat): the
+        // global scan acquires every shard lock in one ascending pass from
+        // an empty hold set — the same discipline as a combiner's
+        // per-record apply section, whose (possibly frontier-truncated)
+        // lock set is an ascending subset also taken from empty hands.
+        // Two ascending passes over subsets of one total order cannot
+        // cycle, so truncation changes which commits this scan waits for
+        // (those touching any shard, no longer just those touching shard
+        // 0) but can never deadlock against one.  A continuation
+        // escalation (resolve_deferred_backup) keeps the discipline by
+        // fully releasing the truncated set before taking the full one.
+        // (The matching debug assertion lives in lock_ascending, the one
+        // place combiner sections acquire shard locks.)
         const auto t0 = Clock::now();
         for (Shard& sh : shards_) sh.mu.lock();
         const auto t1 = Clock::now();
         got += acquire_under_locks(shard, out.subspan(got), d);
         const auto t2 = Clock::now();
-        // Multi-lock counters: every multi section holds shard 0 (global
-        // acquires take all locks; apply touch sets always reach the root,
-        // homed on shard 0), which is what serializes these writes.
-        multi_acquisitions_ += 1;
-        multi_wait_ns_ += delta_ns(t0, t1);
-        multi_hold_ns_ += delta_ns(t1, t2);
+        // Multi-lock counters are relaxed atomics: with truncated touch
+        // sets an apply section need not hold shard 0, so the global
+        // scan's writes are no longer serialized against the combiner's
+        // through any one fixed mutex.
+        multi_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+        multi_wait_ns_.fetch_add(delta_ns(t0, t1), std::memory_order_relaxed);
+        multi_hold_ns_.fetch_add(delta_ns(t1, t2), std::memory_order_relaxed);
         for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
           it->mu.unlock();
         trace_lock_section(t0, t1, t2, obs::kNoTraceShard);
@@ -741,18 +793,23 @@ class Engine {
       out.shard_acquisitions[s] = sh.lock_acquisitions;
       out.shard_wait_ns[s] = sh.lock_wait_ns;
       out.shard_hold_ns[s] = sh.lock_hold_ns;
-      if (s == 0) {  // multi counters live under shard 0's lock
-        out.multi_acquisitions = multi_acquisitions_;
-        out.multi_wait_ns = multi_wait_ns_;
-        out.multi_hold_ns = multi_hold_ns_;
-      }
     }
+    out.multi_acquisitions =
+        multi_acquisitions_.load(std::memory_order_relaxed);
+    out.multi_wait_ns = multi_wait_ns_.load(std::memory_order_relaxed);
+    out.multi_hold_ns = multi_hold_ns_.load(std::memory_order_relaxed);
     {
       std::scoped_lock lk(combine_mu_);
       out.combine_batches = combine_batches_;
       out.combine_records = combine_records_;
       out.combine_entries = combine_entries_;
+      out.truncated_records = truncated_records_;
+      out.frontier_continuations = frontier_continuations_;
+      out.root_publishes = root_publishes_;
+      out.root_publish_retries = root_publish_retries_;
     }
+    out.root_validate_retries =
+        validate_retries_.load(std::memory_order_relaxed);
     out.combine_peer_applied = peer_applied_.load(std::memory_order_relaxed);
     out.combine_wait_ns = publisher_wait_ns_.load(std::memory_order_relaxed);
     return out;
@@ -880,8 +937,8 @@ class Engine {
   }
 
   /// One flat-combining round; requires combine_mu_.  Snapshot every
-  /// shard's publish list, sort by publish ticket, lock the union touch
-  /// set in ascending shard order, and apply the records back to back.
+  /// shard's publish list, sort by publish ticket, and apply each record
+  /// under its own (possibly frontier-truncated) lock section.
   void drain_round() { drain_round_with(nullptr); }
 
   /// One combine round, optionally carrying the combiner's own unpublished
@@ -889,6 +946,14 @@ class Engine {
   /// applied with it, exactly as if it had been published last — the
   /// commit_batch fast path rides this to skip the pending-queue
   /// round-trip when the combine lock is free.  Caller holds combine_mu_.
+  ///
+  /// Records are applied back to back in ticket order, but each under its
+  /// *own* lock section: a record touching only deep shards never waits
+  /// for, or holds, the shards of its high ancestors (DESIGN.md §13).
+  /// Per-record sections cost one lock pass per record instead of one per
+  /// round; the sequential fast path (try_lock + drain_round_with(&rec))
+  /// carries exactly one record, so the single-threaded schedule and lock
+  /// count are unchanged.
   void drain_round_with(ApplyRecord* extra) {
     scratch_records_.clear();
     // Skip the per-shard pending-list sweep when nothing is published —
@@ -914,46 +979,55 @@ class Engine {
               [](const ApplyRecord* a, const ApplyRecord* b) {
                 return a->ticket < b->ticket;
               });
+    std::uint64_t entries = 0;
+    const std::size_t nrecords = scratch_records_.size();
+    for (ApplyRecord* r : scratch_records_) {
+      if (r->kind == ApplyRecord::Kind::kCommit) entries += r->entries.size();
+      apply_record_locked(*r);
+    }
+    combine_batches_ += 1;
+    combine_records_ += nrecords;
+    combine_entries_ += entries;
+    trace_combine_batch(nrecords);
+  }
+
+  /// Compute one record's touch set (truncated per entry where eligible),
+  /// lock it ascending, apply, unlock.  Requires combine_mu_.
+  void apply_record_locked(ApplyRecord& r) {
     const std::size_t S = shards_.size();
     scratch_touch_.assign(S, 0);
-    for (const ApplyRecord* r : scratch_records_) {
-      if (r->kind == ApplyRecord::Kind::kCommit) {
-        for (const CommitEntry& e : r->entries)
-          mark_touch(e.item.node, scratch_touch_.data());
-      } else {
-        mark_touch(r->finish_node, scratch_touch_.data());
-      }
+    bool truncated = false;
+    if (r.kind == ApplyRecord::Kind::kCommit) {
+      for (const CommitEntry& e : r.entries)
+        truncated |= mark_touch_for_commit(e.item.node, scratch_touch_.data());
+    } else {
+      truncated = mark_touch_for_commit(r.finish_node, scratch_touch_.data());
     }
     scratch_locks_.clear();
     for (std::size_t s = 0; s < S; ++s)
       if (scratch_touch_[s] != 0) scratch_locks_.push_back(s);
+    if (truncated) ++truncated_records_;
     const auto t0 = Clock::now();
-    for (const std::size_t s : scratch_locks_) shards_[s].mu.lock();
+    lock_ascending(scratch_locks_);
     const auto t1 = Clock::now();
-    std::uint64_t entries = 0;
-    for (ApplyRecord* r : scratch_records_) {
-      if (r->kind == ApplyRecord::Kind::kCommit) entries += r->entries.size();
-      apply_record(*r);
-    }
-    combine_batches_ += 1;
-    combine_records_ += scratch_records_.size();
-    combine_entries_ += entries;
-    trace_combine_batch(scratch_records_.size());
+    apply_record(r);
     const auto t2 = Clock::now();
-    // Touch sets always reach the root (homed on shard 0), so every apply
-    // round holds shard 0's mu — which is what serializes these writes
-    // with the global-acquire path's.
-    multi_acquisitions_ += 1;
-    multi_wait_ns_ += delta_ns(t0, t1);
-    multi_hold_ns_ += delta_ns(t1, t2);
-    for (auto it = scratch_locks_.rbegin(); it != scratch_locks_.rend(); ++it)
-      shards_[*it].mu.unlock();
+    multi_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    multi_wait_ns_.fetch_add(delta_ns(t0, t1), std::memory_order_relaxed);
+    multi_hold_ns_.fetch_add(delta_ns(t1, t2), std::memory_order_relaxed);
+    unlock_descending(scratch_locks_);
     trace_lock_section(t0, t1, t2, obs::kNoTraceShard);
   }
 
   void apply_record(ApplyRecord& r) {
     if (r.kind == ApplyRecord::Kind::kCommit) {
-      for (CommitEntry& e : r.entries) commit_one(e.item, std::move(e.result));
+      for (CommitEntry& e : r.entries) {
+        apply_frontier_ =
+            truncation_eligible(e.item.node) ? cfg_.publish_frontier : 0;
+        commit_one(e.item, std::move(e.result));
+        apply_frontier_ = 0;
+        resolve_deferred_backup();
+      }
     } else {
       ++stats_.cutoffs_at_pop;
       if (r.traced_cutoff)
@@ -963,20 +1037,134 @@ class Engine {
       // ancestor) since the cutoff was detected at pop time; finishing
       // twice would double-count finished_children at the parent.  The
       // cutoff itself cannot have become invalid — bounds only tighten.
-      if (!n.finished && !is_dead(r.finish_node))
+      if (!n.finished && !is_dead(r.finish_node)) {
+        apply_frontier_ =
+            truncation_eligible(r.finish_node) ? cfg_.publish_frontier : 0;
         finish_and_combine(r.finish_node);
+        apply_frontier_ = 0;
+        resolve_deferred_backup();
+      }
     }
     r.applied->store(true, std::memory_order_release);
   }
 
-  /// Mark every shard a commit/finish on `id` may touch: the shard owning
-  /// each chain node's children, fold_shard(a).  That covers each chain
-  /// node's own home shard too — home(a) == fold(parent(a)), the chain
-  /// includes every parent, and the root's home is its own fold, shard 0.
-  void mark_touch(std::uint32_t id, std::uint8_t* seen) const {
+  /// A backup deferred at the frontier (finish_and_combine stopped at
+  /// deferred_backup_, whose ply is above apply_frontier_): escalate to the
+  /// node's *full* ancestor-chain lock set and resume exactly where the
+  /// untruncated apply would have continued, before the record's next
+  /// entry.  The escalation releases the truncated set entirely first, so
+  /// every shard-lock acquisition in the engine remains one ascending pass
+  /// from an empty hold set (see the invariant note in acquire_fill).
+  /// Requires combine_mu_; the record's scratch_locks_ are held on entry
+  /// and re-held on exit.
+  void resolve_deferred_backup() {
+    while (deferred_backup_ != kNoNode) {
+      const std::uint32_t cont = deferred_backup_;
+      deferred_backup_ = kNoNode;
+      ++frontier_continuations_;
+      unlock_descending(scratch_locks_);
+      const std::size_t S = shards_.size();
+      cont_touch_.assign(S, 0);
+      mark_touch(cont, cont_touch_.data());
+      cont_locks_.clear();
+      for (std::size_t s = 0; s < S; ++s)
+        if (cont_touch_[s] != 0) cont_locks_.push_back(s);
+      const auto t0 = Clock::now();
+      lock_ascending(cont_locks_);
+      const auto t1 = Clock::now();
+      finish_and_combine(cont);  // apply_frontier_ == 0: runs to completion
+      const auto t2 = Clock::now();
+      multi_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      multi_wait_ns_.fetch_add(delta_ns(t0, t1), std::memory_order_relaxed);
+      multi_hold_ns_.fetch_add(delta_ns(t1, t2), std::memory_order_relaxed);
+      unlock_descending(cont_locks_);
+      trace_lock_section(t0, t1, t2, obs::kNoTraceShard);
+      lock_ascending(scratch_locks_);
+    }
+  }
+
+  /// Acquire the listed shard locks in ascending index order, starting
+  /// from an empty hold set — the lock-order discipline shared with the
+  /// global acquire scan (ERS_DCHECKed here; see acquire_fill).
+  void lock_ascending(const std::vector<std::size_t>& locks) {
+    ERS_DCHECK(combiner_held_shards_ == 0);
+    for (std::size_t i = 0; i < locks.size(); ++i) {
+      ERS_DCHECK(i == 0 || locks[i] > locks[i - 1]);
+      shards_[locks[i]].mu.lock();
+    }
+#ifndef NDEBUG
+    combiner_held_shards_ = locks.size();
+#endif
+  }
+
+  void unlock_descending(const std::vector<std::size_t>& locks) {
+#ifndef NDEBUG
+    ERS_DCHECK(combiner_held_shards_ == locks.size());
+    combiner_held_shards_ = 0;
+#endif
+    for (auto it = locks.rbegin(); it != locks.rend(); ++it)
+      shards_[*it].mu.unlock();
+  }
+
+  /// True when a commit/finish on `id` may run with a frontier-truncated
+  /// touch set: the frontier is enabled and the node lies at or below it,
+  /// so every chain node above the frontier is reached only through the
+  /// epoch-published word (reads) or a deferred continuation (writes).
+  [[nodiscard]] bool truncation_eligible(std::uint32_t id) const {
+    return cfg_.publish_frontier > 0 &&
+           nodes_[id].ply >= cfg_.publish_frontier;
+  }
+
+  /// Mark the home shard of `a` and of its children — the shards where a
+  /// combiner mutating `a`'s plain fields or pushing `a`/its children
+  /// needs the lock.  Under kParentMod that is fold(parent(a)) ∪ fold(a);
+  /// under kSubtreeAffinity a node and its children share one subtree
+  /// shard, except the root whose children span every shard.
+  void mark_node_and_children(std::uint32_t a, std::uint8_t* seen) const {
     const std::size_t S = shards_.size();
-    for (std::uint32_t a = id; a != kNoNode; a = nodes_[a].parent)
+    seen[home_shard(a)] = 1;
+    if (cfg_.placement == PlacementMode::kSubtreeAffinity) {
+      if (a == 0) {
+        for (std::size_t s = 0; s < S; ++s) seen[s] = 1;
+      } else {
+        seen[subtree_shard_of(a, nodes_[a].subtree, S)] = 1;
+      }
+    } else {
       seen[fold_shard(a, S)] = 1;
+    }
+  }
+
+  /// Mark every shard a commit/finish on `id` may touch — the home shards
+  /// of every chain node and of their children (the full footprint of
+  /// commit + combine + Table 2).
+  void mark_touch(std::uint32_t id, std::uint8_t* seen) const {
+    for (std::uint32_t a = id; a != kNoNode; a = nodes_[a].parent)
+      mark_node_and_children(a, seen);
+  }
+
+  /// Commit-path marks: the frontier-truncated set when eligible (returns
+  /// true), else the full set (returns false).
+  ///
+  /// Frontier-depth invariant (DESIGN.md §13): with deferral stopping
+  /// finish_and_combine at ply < F, an eligible apply touches plain fields
+  /// or queues only of chain nodes at ply >= F-2 and their children —
+  /// every backup iteration runs at ply(cur) >= F and writes its parent
+  /// (ply >= F-1); the stop case additionally writes the grandparent's
+  /// elder accounting and reconsiders it, reaching ply >= F-2 and pushes
+  /// of its children.  So marking home(a) ∪ child_homes(a) for chain nodes
+  /// with ply(a) >= F-2 covers the whole truncated footprint.
+  [[nodiscard]] bool mark_touch_for_commit(std::uint32_t id,
+                                           std::uint8_t* seen) const {
+    if (!truncation_eligible(id)) {
+      mark_touch(id, seen);
+      return false;
+    }
+    const std::int32_t floor_ply = cfg_.publish_frontier - 2;
+    for (std::uint32_t a = id;
+         a != kNoNode && nodes_[a].ply >= floor_ply;
+         a = nodes_[a].parent)
+      mark_node_and_children(a, seen);
+    return true;
   }
 
   // --- commit application (current combiner only: combine_mu_ plus every
@@ -1000,6 +1188,7 @@ class Engine {
       case WorkKind::kSerialRefute:
         ++stats_.serial_units;
         n.value = std::max<Value>(n.value, r.value);
+        publish_node(item.node);
         finish_and_combine(item.node);
         break;
       case WorkKind::kSerialEvalFirst:
@@ -1080,12 +1269,47 @@ class Engine {
       ERS_CHECK(depth < path.size());
       path[depth++] = a;
     }
-    Window w = full_window();
-    while (depth-- > 0) {
-      const Value alpha = std::max<Value>(w.alpha, nodes_[path[depth]].value);
-      w = Window{negate(w.beta), negate(alpha)};
+    const int frontier = cfg_.publish_frontier;
+    if (frontier <= 0) {
+      Window w = full_window();
+      while (depth-- > 0) {
+        const Value alpha = std::max<Value>(w.alpha, nodes_[path[depth]].value);
+        w = Window{negate(w.beta), negate(alpha)};
+      }
+      return w;
     }
-    return w;
+    // Epoch-validated read (DESIGN.md §13): ancestors above the frontier
+    // are read through their published word; if any published epoch moved
+    // while folding, retry for a consistent snapshot.  Bounded retries —
+    // an abandoned (torn) snapshot is still sound: values are monotone, so
+    // any mix of older values yields a wider (weaker) window.
+    for (int attempt = 0;; ++attempt) {
+      std::uint64_t epoch_sum = 0;
+      Window w = full_window();
+      for (std::size_t i = depth; i-- > 0;) {
+        const std::uint32_t a = path[i];
+        Value v;
+        if (nodes_[a].ply < frontier) {
+          const std::uint64_t word =
+              nodes_[a].pub.load(std::memory_order_acquire);
+          epoch_sum += pub_epoch(word);
+          v = pub_value(word);
+        } else {
+          v = nodes_[a].value;
+        }
+        const Value alpha = std::max<Value>(w.alpha, v);
+        w = Window{negate(w.beta), negate(alpha)};
+      }
+      std::uint64_t check_sum = 0;
+      for (std::size_t i = depth; i-- > 0;) {
+        const std::uint32_t a = path[i];
+        if (nodes_[a].ply >= frontier) break;  // high ancestors end rootward
+        check_sum += pub_epoch(nodes_[a].pub.load(std::memory_order_acquire));
+      }
+      if (check_sum == epoch_sum || attempt >= 2) return w;
+      validate_retries_.fetch_add(1, std::memory_order_relaxed);
+      trace_epoch_retry(id);
+    }
   }
 
   [[nodiscard]] Value beta_of(std::uint32_t id) const {
@@ -1093,12 +1317,22 @@ class Engine {
   }
 
   /// A node is dead when some proper ancestor has finished (its subtree was
-  /// abandoned: speculative loss).  Relaxed reads: a false negative only
-  /// lets a doomed unit run (its commit is discarded); a false positive is
+  /// abandoned: speculative loss).  Ancestors above the frontier are read
+  /// through their published word (no validation loop: finished is sticky,
+  /// so a stale read only delays the drop).  A false negative only lets a
+  /// doomed unit run (its commit is discarded); a false positive is
   /// impossible, finished only ever transitions false -> true.
   [[nodiscard]] bool is_dead(std::uint32_t id) const {
-    for (std::uint32_t a = nodes_[id].parent; a != kNoNode; a = nodes_[a].parent)
-      if (nodes_[a].finished) return true;
+    const int frontier = cfg_.publish_frontier;
+    for (std::uint32_t a = nodes_[id].parent; a != kNoNode;
+         a = nodes_[a].parent) {
+      const Node& n = nodes_[a];
+      const bool fin =
+          frontier > 0 && n.ply < frontier
+              ? pub_finished(n.pub.load(std::memory_order_acquire))
+              : static_cast<bool>(n.finished);
+      if (fin) return true;
+    }
     return false;
   }
 
@@ -1143,6 +1377,7 @@ class Engine {
     Node& n = nodes_[id];
     ++stats_.serial_units;
     n.value = std::max<Value>(n.value, r.value);
+    publish_node(id);
     n.partial = true;
     n.child_positions = std::move(r.child_positions);
     if (r.is_done || n.value >= beta_of(id)) {
@@ -1168,6 +1403,7 @@ class Engine {
         // Terminal position above the cutover: a true leaf of the game.
         n.expanded = true;
         n.value = std::max<Value>(n.value, r.value);
+        publish_node(id);
         finish_and_combine(id);
         return;
       }
@@ -1221,9 +1457,13 @@ class Engine {
     // Arena slots never move: growth never invalidates existing references,
     // and the id only becomes visible to other shards through the queue
     // push below (under the child's home-shard lock, held by this combiner).
+    // Subtree tag: a root child starts its own top-level subtree; every
+    // deeper node inherits its parent's (kSubtreeAffinity placement).
+    const std::uint32_t subtree =
+        parent_id == 0 ? static_cast<std::uint32_t>(index) : p.subtree;
     const std::uint32_t child_id =
         nodes_.emplace(p.child_positions[index], parent_id, p.ply + 1, type,
-                       index);
+                       index, subtree);
     p.child_nodes[index] = child_id;
     p.generated += 1;
     push_primary(child_id);
@@ -1261,9 +1501,22 @@ class Engine {
   void finish_and_combine(std::uint32_t id) {
     std::uint32_t cur = id;
     for (;;) {
+      // Frontier deferral (DESIGN.md §13): a truncated apply section holds
+      // no locks above the frontier, so a backup about to finish a high
+      // node stops here; apply_record resolves it immediately as a
+      // continuation under the full chain lock set, in exactly the
+      // position the untruncated apply would have run this iteration —
+      // the mutation sequence, and hence the committed-state sequence, is
+      // identical with the frontier on or off.
+      if (apply_frontier_ > 0 && nodes_[cur].ply < apply_frontier_) {
+        ERS_DCHECK(deferred_backup_ == kNoNode);
+        deferred_backup_ = cur;
+        return;
+      }
       Node& n = nodes_[cur];
       n.finished = true;
       n.on_spec = false;  // lazily invalidates any spec entry
+      publish_node(cur);
       if (cur == 0) {
         done_ = true;
         return;
@@ -1274,6 +1527,7 @@ class Engine {
       if (negate(n.value) > p.value) {
         p.value = negate(n.value);
         p.best_child = cur;  // strict raise: an exactly-evaluated child
+        publish_node(pid);
       }
       p.finished_children += 1;
       count_elder(pid, cur);  // cur is certainly evaluated-or-finished now
@@ -1401,6 +1655,74 @@ class Engine {
     }
   }
 
+  // --- epoch publication (DESIGN.md §13) ------------------------------------
+
+  /// The published word packs a high node's cross-shard-visible state into
+  /// one atomic: {epoch:31, finished:1, value:32}.  The epoch counts
+  /// publications, so a reader summing epochs before and after a multi-word
+  /// read can detect any intervening publication (window_of).
+  [[nodiscard]] static constexpr std::uint64_t pack_pub(
+      Value v, bool finished, std::uint64_t epoch) noexcept {
+    return (epoch << 33) |
+           (static_cast<std::uint64_t>(finished ? 1 : 0) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+  }
+  [[nodiscard]] static constexpr Value pub_value(std::uint64_t w) noexcept {
+    return static_cast<Value>(static_cast<std::uint32_t>(w));
+  }
+  [[nodiscard]] static constexpr bool pub_finished(std::uint64_t w) noexcept {
+    return ((w >> 32) & 1) != 0;
+  }
+  [[nodiscard]] static constexpr std::uint64_t pub_epoch(
+      std::uint64_t w) noexcept {
+    return w >> 33;
+  }
+
+  /// Publish a high node's (value, finished) after a mutation — the
+  /// dedicated root/near-root raise path.  A CAS loop with re-validation:
+  /// each iteration re-derives the next word from the currently published
+  /// one, keeping the published value monotone and finished sticky no
+  /// matter how the loop interleaves with future publishers (today there
+  /// is exactly one publisher at a time — the combiner — but the protocol
+  /// does not rely on that).  No-op for nodes at or below the frontier.
+  /// Called by the combiner immediately after every (value, finished)
+  /// mutation site, so the word is never behind the locked state by more
+  /// than the width of one publish.
+  void publish_node(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (cfg_.publish_frontier <= 0 || n.ply >= cfg_.publish_frontier) return;
+    const Value v = n.value;
+    const bool fin = n.finished;
+    std::uint64_t cur = n.pub.load(std::memory_order_relaxed);
+    for (;;) {
+      const Value nv = std::max<Value>(v, pub_value(cur));
+      const bool nf = fin || pub_finished(cur);
+      const std::uint64_t next = pack_pub(nv, nf, pub_epoch(cur) + 1);
+      if (n.pub.compare_exchange_weak(cur, next, std::memory_order_release,
+                                      std::memory_order_relaxed))
+        break;
+      ++root_publish_retries_;
+    }
+    ++root_publishes_;
+    trace_instant(obs::EventKind::kEpochPublish, id,
+                  static_cast<std::uint32_t>(pub_epoch(
+                      n.pub.load(std::memory_order_relaxed))));
+  }
+
+  /// Reader-side validation-retry trace hook (window_of is const and runs
+  /// on acquiring threads, so this writes the calling worker's own ring,
+  /// like trace_publish).
+  void trace_epoch_retry(std::uint32_t node) const {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)node;
+      return;
+    }
+    if (cfg_.trace == nullptr || cfg_.trace->virtual_clock()) return;
+    if (obs::Tracer* t = obs::TraceSession::thread_tracer(); t != nullptr)
+      t->instant(obs::EventKind::kEpochRetry, cfg_.trace->now_ns(), node,
+                 /*arg=*/0);
+  }
+
   // --- tracing & timing hooks ----------------------------------------------
 
   /// Combiner-side trace hook (the engine tracer); a no-op without a
@@ -1520,17 +1842,26 @@ class Engine {
 
   struct Node {
     Node(Position position, std::uint32_t parent_id, int ply_at, NodeType ty,
-         int index_in_parent)
+         int index_in_parent, std::uint32_t subtree_tag)
         : pos(std::move(position)),
           parent(parent_id),
           ply(ply_at),
           child_index(index_in_parent),
+          subtree(subtree_tag),
           type(ty) {}
 
     Position pos;
     std::uint32_t parent;      ///< immutable; lock-free chain walks rely on it
     std::int32_t ply;          ///< immutable
     std::int32_t child_index;  ///< immutable; index within the parent's child list
+    std::uint32_t subtree;     ///< immutable; root-child ancestor's child index
+                               ///< (0 for the root) — kSubtreeAffinity placement
+
+    /// Epoch-published (value, finished) word for high nodes (ply <
+    /// publish_frontier; see pack_pub).  Written by publish_node after
+    /// every mutation; read lock-free by window_of/is_dead.  Stays at its
+    /// initial state when the frontier is disabled or the node is deep.
+    std::atomic<std::uint64_t> pub{pack_pub(-kValueInf, false, 0)};
 
     // Cross-shard-readable fields (relaxed atomics, written under the
     // owner's home-shard lock; see the header's concurrency model).
@@ -1628,12 +1959,30 @@ class Engine {
   std::uint64_t combine_batches_ = 0;
   std::uint64_t combine_records_ = 0;
   std::uint64_t combine_entries_ = 0;
-  /// Multi-lock section counters; every writer holds shard 0's mu (global
-  /// acquires take all shard locks, apply touch sets always include the
-  /// root's home shard 0).
-  std::uint64_t multi_acquisitions_ = 0;
-  std::uint64_t multi_wait_ns_ = 0;
-  std::uint64_t multi_hold_ns_ = 0;
+  /// Epoch/frontier path counters (combiner-owned, guarded by combine_mu_).
+  std::uint64_t truncated_records_ = 0;
+  std::uint64_t frontier_continuations_ = 0;
+  std::uint64_t root_publishes_ = 0;
+  std::uint64_t root_publish_retries_ = 0;
+  /// Reader-side epoch validation retries (window_of runs on any thread).
+  mutable std::atomic<std::uint64_t> validate_retries_{0};
+  /// Combiner entry state for the frontier deferral (combine_mu_ held):
+  /// the deferral floor for the entry being applied (0 = no truncation)
+  /// and the high node whose backup was deferred at that floor.
+  std::int32_t apply_frontier_ = 0;
+  std::uint32_t deferred_backup_ = kNoNode;
+#ifndef NDEBUG
+  /// Shard locks the current combiner section holds (lock_ascending /
+  /// unlock_descending bookkeeping for the lock-order ERS_DCHECKs).
+  std::size_t combiner_held_shards_ = 0;
+#endif
+  /// Multi-lock section counters.  Relaxed atomics: with frontier-truncated
+  /// touch sets an apply section need not include shard 0, so the global
+  /// acquire scan and the combiner no longer serialize through any one
+  /// fixed shard mutex (see the invariant note in acquire_fill).
+  std::atomic<std::uint64_t> multi_acquisitions_{0};
+  std::atomic<std::uint64_t> multi_wait_ns_{0};
+  std::atomic<std::uint64_t> multi_hold_ns_{0};
   /// Publisher-side counters (publishers hold no engine lock).
   std::atomic<std::uint64_t> publish_ticket_{0};
   std::atomic<std::uint64_t> published_pending_{0};
@@ -1647,6 +1996,10 @@ class Engine {
   std::vector<ApplyRecord*> scratch_records_;
   std::vector<std::uint8_t> scratch_touch_;
   std::vector<std::size_t> scratch_locks_;
+  /// Continuation-escalation scratch (resolve_deferred_backup) — separate
+  /// from the record's own buffers, which must survive the escalation.
+  std::vector<std::uint8_t> cont_touch_;
+  std::vector<std::size_t> cont_locks_;
 };
 
 }  // namespace ers::core

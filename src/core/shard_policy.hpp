@@ -2,10 +2,29 @@
 // The one definition of the problem-heap routing policy (paper §8's
 // "distribute the work to reduce processor interaction").
 //
-// A node's queue entries live on the shard owning its *parent* — so the
-// children created by one commit all land on one shard and a worker
-// draining it keeps the depth-first focus of the LIFO tiebreak.  The root
-// (no parent) lives on shard 0.
+// Two pluggable placements (PlacementMode, selected per engine through
+// EngineConfig::placement):
+//
+//   * kParentMod — a node's queue entries live on the shard owning its
+//     *parent* (`parent % S`), so the children created by one commit all
+//     land on one shard and a worker draining it keeps the depth-first
+//     focus of the LIFO tiebreak.  The root (no parent) lives on shard 0.
+//     This is the default and the historical behavior.
+//
+//   * kSubtreeAffinity — a node's entries live on the shard owned by its
+//     *top-level subtree*: root child i and every descendant of it map to
+//     shard i % S.  Work below distinct root children never shares a home
+//     shard (mod S), so with frontier-truncated commit touch sets
+//     (engine.hpp, DESIGN.md §13) commits on disjoint subtrees lock
+//     disjoint shard sets, and a worker pinned to one shard keeps an
+//     entire subtree — parent-routed refills and back-steals stay on the
+//     worker's (NUMA) node when the runtime maps shards onto topology
+//     (runtime/topology.hpp).
+//
+// Placement never changes the schedule: global pops take the maximum over
+// shard tops under the global comparator, which is the single-heap maximum
+// no matter where entries live.  Only shard-local draining and lock
+// contention are affected.
 //
 // Both the engine (core::Engine::home_shard) and the simulator's routed
 // contention model (sim::SimExecutor) go through these helpers; before this
@@ -21,10 +40,19 @@
 namespace ers::core {
 
 /// Shard owning a node whose parent is `parent` (kNoNode for the root),
-/// over `shard_count` shards.
+/// over `shard_count` shards — the kParentMod placement.
 [[nodiscard]] constexpr std::size_t home_shard_of(
     std::uint32_t parent, std::size_t shard_count) noexcept {
   return parent == kNoNode ? 0 : static_cast<std::size_t>(parent) % shard_count;
+}
+
+/// Shard owning a node under kSubtreeAffinity: the root stays on shard 0;
+/// every other node lives on its top-level subtree's shard.  `subtree` is
+/// the child index of the node's root-child ancestor (the node's own index
+/// for root children), recorded immutably at node creation.
+[[nodiscard]] constexpr std::size_t subtree_shard_of(
+    std::uint32_t node, std::uint32_t subtree, std::size_t shard_count) noexcept {
+  return node == 0 ? 0 : static_cast<std::size_t>(subtree) % shard_count;
 }
 
 /// Fold a shard index onto a (possibly smaller) shard count.  The simulator

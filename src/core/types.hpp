@@ -20,6 +20,17 @@ namespace ers::core {
 /// Sentinel for "no node" in the engines' child/parent links.
 inline constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
 
+/// Problem-heap placement policy (core/shard_policy.hpp): which shard a
+/// node's queue entries are homed on.
+enum class PlacementMode : std::uint8_t {
+  /// `parent % S` — children of one commit colocate on one shard (default).
+  kParentMod,
+  /// Top-level-subtree affinity — root child i and all its descendants map
+  /// to shard i % S, so disjoint subtrees never share a home shard and
+  /// frontier-truncated commits (DESIGN.md §13) lock disjoint shard sets.
+  kSubtreeAffinity,
+};
+
 /// Node roles in the parallel tree (paper §6, Tables 1 and 2).
 enum class NodeType : std::uint8_t {
   kENode,      ///< all children generated and examined (one becomes the value)
@@ -71,6 +82,19 @@ struct EngineConfig {
   /// comparator), so sharding never changes the schedule — only which
   /// executor lock/queue serves each pop.
   int heap_shards = 1;
+  /// Epoch-publication frontier (DESIGN.md §13).  Nodes at ply <
+  /// publish_frontier are "high": every (value, finished) mutation on them
+  /// is additionally published through a versioned atomic word, so
+  /// cross-shard window/dead reads validate against the published epoch
+  /// instead of requiring the reader to hold their shard locks — and a
+  /// commit whose node sits at ply >= publish_frontier locks only the
+  /// shards of chain nodes near the frontier (the *truncated touch set*),
+  /// leaving the root's shard out of almost every commit.  0 disables both
+  /// the publication word and the truncation (the PR 5 full-lock path);
+  /// the committed-state sequence is bit-identical either way.
+  int publish_frontier = 4;
+  /// Problem-heap placement (core/shard_policy.hpp).
+  PlacementMode placement = PlacementMode::kParentMod;
   /// Move ordering applied to non-e-node children (paper §7).
   OrderingPolicy ordering;
   SpeculationConfig speculation;
@@ -126,6 +150,12 @@ struct EngineLockStats {
   std::uint64_t combine_entries = 0;       ///< commit entries inside those records
   std::uint64_t combine_peer_applied = 0;  ///< records another thread's combiner applied
   std::uint64_t combine_wait_ns = 0;       ///< publisher time blocked before combining/applied
+  /// Frontier-truncation / epoch-publication path (DESIGN.md §13).
+  std::uint64_t truncated_records = 0;      ///< apply sections run with a frontier-truncated lock set
+  std::uint64_t frontier_continuations = 0; ///< backups escalated past the frontier under full-chain locks
+  std::uint64_t root_publishes = 0;         ///< epoch publications of a high node's (value, finished)
+  std::uint64_t root_publish_retries = 0;   ///< CAS re-validation retries while publishing
+  std::uint64_t root_validate_retries = 0;  ///< reader-side epoch validation retries (window_of)
 
   [[nodiscard]] std::uint64_t total_acquisitions() const noexcept {
     std::uint64_t n = multi_acquisitions;

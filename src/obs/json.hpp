@@ -84,8 +84,10 @@ class JsonObject {
 /// repetitions each row was averaged over; 1 for deterministic benches), so
 /// a file's rows identify their producer without reading this source.
 inline void write_bench_json(const std::string& name, int reps,
-                             const std::vector<std::string>& lines) {
-  const std::string path = "BENCH_" + name + ".json";
+                             const std::vector<std::string>& lines,
+                             const std::string& path_override = "") {
+  const std::string path =
+      path_override.empty() ? "BENCH_" + name + ".json" : path_override;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());

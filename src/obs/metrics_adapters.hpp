@@ -81,6 +81,35 @@ inline void register_sim_metrics(MetricsRegistry& reg,
             m.shard_accesses[s]);
 }
 
+/// Per-shard breakdown of the engine's own lock accounting (DESIGN.md
+/// §12/§13): `engine.shard<k>.lock_wait_ns` makes root-shard serialization
+/// visible shard-by-shard in trace_report/metrics dumps, and the
+/// `engine.root.*` family counts the epoch-publication traffic that the
+/// frontier truncation substitutes for those shard-0 lock sections.
+inline void register_engine_lock_stats(MetricsRegistry& reg,
+                                       const core::EngineLockStats& ls,
+                                       const std::string& prefix = "engine.") {
+  for (std::size_t s = 0; s < ls.shard_acquisitions.size(); ++s) {
+    const std::string shard = prefix + "shard" + std::to_string(s) + ".";
+    reg.set(shard + "lock_acquisitions", ls.shard_acquisitions[s]);
+    reg.set(shard + "lock_wait_ns", ls.shard_wait_ns[s]);
+    reg.set(shard + "lock_hold_ns", ls.shard_hold_ns[s]);
+  }
+  reg.set(prefix + "multi.lock_acquisitions", ls.multi_acquisitions);
+  reg.set(prefix + "multi.lock_wait_ns", ls.multi_wait_ns);
+  reg.set(prefix + "multi.lock_hold_ns", ls.multi_hold_ns);
+  reg.set(prefix + "combine.batches", ls.combine_batches);
+  reg.set(prefix + "combine.records", ls.combine_records);
+  reg.set(prefix + "combine.entries", ls.combine_entries);
+  reg.set(prefix + "combine.peer_applied", ls.combine_peer_applied);
+  reg.set(prefix + "combine.wait_ns", ls.combine_wait_ns);
+  reg.set(prefix + "root.truncated_records", ls.truncated_records);
+  reg.set(prefix + "root.continuations", ls.frontier_continuations);
+  reg.set(prefix + "root.publishes", ls.root_publishes);
+  reg.set(prefix + "root.publish_retries", ls.root_publish_retries);
+  reg.set(prefix + "root.validate_retries", ls.root_validate_retries);
+}
+
 inline void register_engine_stats(MetricsRegistry& reg,
                                   const core::EngineStats& e,
                                   const std::string& prefix = "engine.") {

@@ -77,9 +77,12 @@ enum class EventKind : std::uint8_t {
   // --- flat-combining commit path (engine-internal locking) ---------------
   kCombinePublish,  ///< commit record published; shard = apply queue, arg = entries
   kCombineBatch,    ///< one combiner drain round; arg = records applied
+  // --- epoch publication path (DESIGN.md §13) -----------------------------
+  kEpochPublish,  ///< high-node (value, finished) published; node = id, arg = epoch
+  kEpochRetry,    ///< reader-side epoch validation retry; node = queried id
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kCombineBatch) + 1;
+    static_cast<std::size_t>(EventKind::kEpochRetry) + 1;
 
 /// Stable display/schema name of a kind (the Perfetto event `name`).
 [[nodiscard]] constexpr const char* event_name(EventKind k) noexcept {
@@ -103,6 +106,8 @@ inline constexpr std::size_t kEventKindCount =
     case EventKind::kUnitCommit: return "unit_commit";
     case EventKind::kCombinePublish: return "combine_publish";
     case EventKind::kCombineBatch: return "combine_batch";
+    case EventKind::kEpochPublish: return "epoch_publish";
+    case EventKind::kEpochRetry: return "epoch_retry";
   }
   return "unknown";
 }

@@ -55,8 +55,14 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "runtime/topology.hpp"
 #include "search/concurrent_ttable.hpp"
 #include "util/check.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace ers::runtime {
 
@@ -159,6 +165,12 @@ struct ThreadRunReport {
   std::uint64_t combine_entries = 0;       ///< commit entries in those records
   std::uint64_t combine_peer_applied = 0;  ///< records applied by a peer combiner
   std::uint64_t combine_wait_ns = 0;       ///< publisher blocked time
+  /// Frontier-truncation / epoch-publication counters (DESIGN.md §13).
+  std::uint64_t truncated_records = 0;
+  std::uint64_t frontier_continuations = 0;
+  std::uint64_t root_publishes = 0;
+  std::uint64_t root_publish_retries = 0;
+  std::uint64_t root_validate_retries = 0;
 
   [[nodiscard]] double tt_hit_rate() const noexcept {
     return tt_probes == 0
@@ -215,6 +227,23 @@ class ThreadExecutor {
   /// to ring-buffer drops.
   ThreadExecutor& with_trace(obs::TraceSession* session) noexcept {
     trace_ = session;
+    return *this;
+  }
+
+  /// Override the detected CPU topology (tests drive the placement logic
+  /// on synthetic multi-node layouts).  The default — detect() at run() —
+  /// reads sysfs and degenerates to round-robin on single-node machines.
+  ThreadExecutor& with_topology(CpuTopology topo) {
+    topology_ = std::move(topo);
+    has_topology_ = true;
+    return *this;
+  }
+
+  /// Pin each stealing worker to its planned CPU (Linux; no-op elsewhere).
+  /// Off by default: pinning helps steady-state NUMA runs but hurts when
+  /// the machine is shared, so it is an explicit opt-in.
+  ThreadExecutor& with_pin_workers(bool pin) noexcept {
+    pin_workers_ = pin;
     return *this;
   }
 
@@ -431,12 +460,49 @@ class ThreadExecutor {
     // concurrently; commits publish to the flat-combining path, where a
     // contended commit rides a peer's combine round instead of convoying on
     // a lock (counted as a flush deferral).
+    //
+    // Homes are topology-aware (runtime/topology.hpp): workers on one NUMA
+    // node draw their home shards from one contiguous group and probe
+    // same-node victims first, so parent-routed refills and back-steals
+    // stay on the node.  Single-node machines get the historical
+    // round-robin `index % S` exactly.
+    WorkerPlacement placement;
+    std::vector<std::vector<int>> node_peers;  // per worker: same-node others
+    if (S > 1) {
+      placement = plan_worker_placement(
+          threads_, S, has_topology_ ? topology_ : CpuTopology::detect());
+      node_peers.resize(static_cast<std::size_t>(threads_));
+      for (int i = 0; i < threads_; ++i)
+        for (int j = 0; j < threads_; ++j)
+          if (j != i && placement.node[static_cast<std::size_t>(j)] ==
+                            placement.node[static_cast<std::size_t>(i)])
+            node_peers[static_cast<std::size_t>(i)].push_back(j);
+    }
     auto stealing_worker = [&](int index) {
       SchedulerStats& st = stats[static_cast<std::size_t>(index)];
       obs::Tracer* tr = trace_ == nullptr ? nullptr : &trace_->worker(index);
       obs::TraceSession::set_thread_tracer(tr);
       LocalQueue& mine = *local[static_cast<std::size_t>(index)];
-      const std::size_t home = static_cast<std::size_t>(index) % S;
+      const std::size_t home =
+          S > 1 ? placement.home_shard[static_cast<std::size_t>(index)]
+                : static_cast<std::size_t>(index) % S;
+#if defined(__linux__)
+      if (pin_workers_ && S > 1 &&
+          placement.cpu[static_cast<std::size_t>(index)] >= 0) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(
+                    placement.cpu[static_cast<std::size_t>(index)]),
+                &set);
+        // Best-effort: a failed pin (cgroup mask, sandbox) just leaves the
+        // worker floating; placement homes are still correct.
+        (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+      }
+#endif
+      const std::vector<int>* peers =
+          S > 1 && !node_peers[static_cast<std::size_t>(index)].empty()
+              ? &node_peers[static_cast<std::size_t>(index)]
+              : nullptr;
       std::vector<EntryT> done_buf;
       std::vector<ItemT> refill_buf;
       done_buf.reserve(k);
@@ -561,8 +627,16 @@ class ThreadExecutor {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
+            // Topology bias: even probes pick a same-NUMA-node peer (local
+            // steals keep the stolen unit's cache lines on-node); odd probes
+            // stay uniformly random so remote queues still drain when a
+            // whole node runs dry.
             const int victim =
-                static_cast<int>(rng % static_cast<std::uint64_t>(threads_));
+                peers != nullptr && probe % 2 == 0
+                    ? (*peers)[static_cast<std::size_t>(
+                          rng % static_cast<std::uint64_t>(peers->size()))]
+                    : static_cast<int>(rng %
+                                       static_cast<std::uint64_t>(threads_));
             if (victim == index) continue;
             ++st.steal_attempts;
             if (tr != nullptr)
@@ -680,6 +754,11 @@ class ThreadExecutor {
       report.combine_entries = ls.combine_entries;
       report.combine_peer_applied = ls.combine_peer_applied;
       report.combine_wait_ns = ls.combine_wait_ns;
+      report.truncated_records = ls.truncated_records;
+      report.frontier_continuations = ls.frontier_continuations;
+      report.root_publishes = ls.root_publishes;
+      report.root_publish_retries = ls.root_publish_retries;
+      report.root_validate_retries = ls.root_validate_retries;
     }
     if constexpr (requires { engine.stats().search.tt_probes; }) {
       report.tt_probes = engine.stats().search.tt_probes;
@@ -846,6 +925,9 @@ class ThreadExecutor {
   int batch_size_ = 1;
   int per_thread_table_log2_ = -1;  ///< < 0: use the engine's configuration
   obs::TraceSession* trace_ = nullptr;  ///< not owned; null = untraced
+  CpuTopology topology_;        ///< placement input when has_topology_
+  bool has_topology_ = false;   ///< false: detect() at run() time
+  bool pin_workers_ = false;    ///< pin each worker to its planned CPU
 };
 
 }  // namespace ers::runtime

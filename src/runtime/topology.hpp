@@ -1,0 +1,189 @@
+#pragma once
+// CPU/NUMA topology detection and the worker → home-shard placement plan
+// used by the stealing scheduler (DESIGN.md §13).
+//
+// The problem-heap shards are a software partition; this header maps that
+// partition onto the machine's hardware partition so parent-routed refills
+// and back-steals stay on one NUMA node: shards are split into contiguous
+// groups proportional to each node's worker count, every worker's home
+// shard comes from its own node's group, and steal victims on the same
+// node are probed before remote ones.  On a single-node machine (or when
+// sysfs is unavailable) the plan degenerates to the historical round-robin
+// `home = worker % shards`, so topology awareness is a strict refinement,
+// never a behavior change where there is no topology to exploit.
+//
+// Detection reads /sys/devices/system/node/node*/cpulist (Linux; the
+// sched_getaffinity-era interface every multi-socket kernel exposes).
+// Everything downstream of detection is a pure function of the topology,
+// so tests exercise the placement logic on synthetic topologies without
+// needing a NUMA machine.
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ers::runtime {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids.  Malformed input
+/// yields the CPUs parsed so far (detection falls back gracefully).
+inline std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < list.size()) {
+    if (list[i] < '0' || list[i] > '9') break;
+    int lo = 0;
+    while (i < list.size() && list[i] >= '0' && list[i] <= '9')
+      lo = lo * 10 + (list[i++] - '0');
+    int hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      hi = 0;
+      while (i < list.size() && list[i] >= '0' && list[i] <= '9')
+        hi = hi * 10 + (list[i++] - '0');
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < list.size() && list[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+/// The machine's NUMA layout: CPU ids grouped by node.  Always has at
+/// least one node with at least one CPU.
+struct CpuTopology {
+  std::vector<std::vector<int>> node_cpus;
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return node_cpus.size(); }
+  [[nodiscard]] std::size_t total_cpus() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : node_cpus) n += c.size();
+    return n;
+  }
+
+  /// Synthetic topology for tests: `per_node` CPUs on each of `n` nodes.
+  [[nodiscard]] static CpuTopology uniform(std::size_t n,
+                                           std::size_t per_node) {
+    CpuTopology t;
+    int cpu = 0;
+    t.node_cpus.resize(n);
+    for (auto& node : t.node_cpus)
+      for (std::size_t c = 0; c < per_node; ++c) node.push_back(cpu++);
+    return t;
+  }
+
+  /// Read the real topology from sysfs.  Falls back to one node holding
+  /// hardware_concurrency() CPUs when sysfs is absent (non-Linux, sandbox)
+  /// or inconsistent.
+  [[nodiscard]] static CpuTopology detect() {
+    CpuTopology t;
+    for (int node = 0;; ++node) {
+      char path[128];
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/node/node%d/cpulist", node);
+      std::FILE* f = std::fopen(path, "re");
+      if (f == nullptr) break;
+      char buf[4096];
+      std::string list;
+      if (std::fgets(buf, sizeof(buf), f) != nullptr) list = buf;
+      std::fclose(f);
+      std::vector<int> cpus = parse_cpulist(list);
+      if (!cpus.empty()) t.node_cpus.push_back(std::move(cpus));
+    }
+    if (t.node_cpus.empty()) {
+      const unsigned hc = std::thread::hardware_concurrency();
+      std::vector<int> all;
+      for (unsigned c = 0; c < (hc == 0 ? 1 : hc); ++c)
+        all.push_back(static_cast<int>(c));
+      t.node_cpus.push_back(std::move(all));
+    }
+    return t;
+  }
+};
+
+/// The per-worker placement plan the stealing scheduler executes.
+struct WorkerPlacement {
+  std::vector<std::size_t> home_shard;  ///< worker -> home problem-heap shard
+  std::vector<int> node;                ///< worker -> NUMA node index
+  std::vector<int> cpu;                 ///< worker -> CPU to pin to (-1 = none)
+};
+
+/// Plan homes for `threads` workers over `shards` heap shards on `topo`.
+///
+/// Workers fill nodes in CPU order (worker i takes the i-th CPU of the
+/// flattened node-major CPU list, wrapping when oversubscribed), shards
+/// are split into contiguous groups sized proportionally to each node's
+/// worker count, and a worker's home shard round-robins within its node's
+/// group.  With one node the group is [0, shards) and the rank equals the
+/// worker index, so the plan is exactly the historical `i % shards`.
+[[nodiscard]] inline WorkerPlacement plan_worker_placement(
+    int threads, std::size_t shards, const CpuTopology& topo) {
+  ERS_CHECK(threads >= 1 && shards >= 1 && topo.nodes() >= 1);
+  WorkerPlacement plan;
+  plan.home_shard.resize(static_cast<std::size_t>(threads));
+  plan.node.resize(static_cast<std::size_t>(threads));
+  plan.cpu.resize(static_cast<std::size_t>(threads));
+
+  // Worker -> (node, cpu): node-major CPU order, wrapping.
+  struct Slot {
+    int node;
+    int cpu;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t n = 0; n < topo.nodes(); ++n)
+    for (const int c : topo.node_cpus[n])
+      slots.push_back(Slot{static_cast<int>(n), c});
+  ERS_CHECK(!slots.empty());
+  std::vector<std::size_t> node_workers(topo.nodes(), 0);
+  for (int i = 0; i < threads; ++i) {
+    const Slot& s = slots[static_cast<std::size_t>(i) % slots.size()];
+    plan.node[static_cast<std::size_t>(i)] = s.node;
+    plan.cpu[static_cast<std::size_t>(i)] = s.cpu;
+    ++node_workers[static_cast<std::size_t>(s.node)];
+  }
+
+  // Node -> contiguous shard group [start, start + len), len proportional
+  // to the node's worker count (largest-remainder rounding keeps the total
+  // exactly `shards`; workerless nodes get no group).
+  const std::size_t T = static_cast<std::size_t>(threads);
+  std::vector<std::size_t> group_start(topo.nodes(), 0);
+  std::vector<std::size_t> group_len(topo.nodes(), 0);
+  std::size_t assigned = 0;
+  std::size_t active = 0;
+  for (const std::size_t w : node_workers)
+    if (w > 0) ++active;
+  std::size_t seen_active = 0;
+  for (std::size_t n = 0; n < topo.nodes(); ++n) {
+    if (node_workers[n] == 0) continue;
+    ++seen_active;
+    std::size_t len = shards * node_workers[n] / T;
+    if (len == 0) len = 1;
+    if (seen_active == active) len = shards - assigned;  // absorb remainder
+    if (assigned + len > shards) len = shards - assigned;
+    group_start[n] = assigned;
+    group_len[n] = len;
+    assigned += len;
+  }
+  // Oversubscribed tail (more active nodes than shards): fold empty groups
+  // onto the whole range so every worker still gets a valid home.
+  for (std::size_t n = 0; n < topo.nodes(); ++n)
+    if (node_workers[n] > 0 && group_len[n] == 0) {
+      group_start[n] = 0;
+      group_len[n] = shards;
+    }
+
+  // Worker -> home shard: round-robin within its node's group, by the
+  // worker's rank among its node's workers.
+  std::vector<std::size_t> node_rank(topo.nodes(), 0);
+  for (int i = 0; i < threads; ++i) {
+    const auto n = static_cast<std::size_t>(plan.node[static_cast<std::size_t>(i)]);
+    const std::size_t rank = node_rank[n]++;
+    plan.home_shard[static_cast<std::size_t>(i)] =
+        group_start[n] + rank % group_len[n];
+  }
+  return plan;
+}
+
+}  // namespace ers::runtime

@@ -42,6 +42,15 @@ struct CostModel {
   /// the single-shard commit model — and every existing simulated figure —
   /// bit-identical; benches raise it to study cross-shard commit pressure.
   std::uint64_t per_shard_lock = 0;
+  /// Epoch-validated read of a published high ancestor (DESIGN.md §13): a
+  /// frontier-truncated commit leaves its high ancestors out of the locked
+  /// touch set and instead charges one of these per published ancestor on
+  /// the chain — to the committing processor only, since the read is
+  /// lock-free and blocks no shard.  0 (the default) keeps every existing
+  /// simulated figure bit-identical; only meaningful alongside
+  /// per_shard_lock > 0, since the figures it offsets are the cross-shard
+  /// lock sections truncation removed.
+  std::uint64_t per_published_read = 0;
   /// Transposition-table traffic.  Probes and stores are lock-free (one
   /// cache line each), so unlike queue ops they are charged to the issuing
   /// processor only — cheap, but not free, which keeps a table-heavy search

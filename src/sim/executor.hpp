@@ -242,6 +242,17 @@ class SimExecutor {
       std::size_t used_shard = 0;
       std::uint64_t commit_cost = cost_.per_heap_commit;
       std::uint64_t start;
+      // Epoch-validated reads of published high ancestors (the part of the
+      // chain a frontier-truncated commit does NOT lock) are charged to the
+      // committing processor only: they extend this worker's busy window but
+      // never the shard lock sections, mirroring the lock-free validated
+      // read in Engine::publish_node/window_of.
+      std::uint64_t pub_cost = 0;
+      if constexpr (requires { engine.published_ancestors(0u); }) {
+        if (cost_.per_published_read > 0 && cost_.per_shard_lock > 0)
+          pub_cost = cost_.per_published_read *
+                     engine.published_ancestors(ev.batch.front().item.node);
+      }
       touch_set.clear();
       if (cost_.per_shard_lock > 0)
         collect_touch_shards(engine, ev.batch.front().item, touch_set);
@@ -273,10 +284,10 @@ class SimExecutor {
         trace_->set_current_worker(ev.worker);
         trace_->set_virtual_now(start);
       }
-      const std::uint64_t freed_at = start + commit_cost;
+      const std::uint64_t freed_at = start + commit_cost + pub_cost;
       // Busy time is credited at commit so that work still in flight when
       // the root combines can be clamped to the makespan below.
-      m.busy_time += (ev.t - ev.started) + commit_cost;
+      m.busy_time += (ev.t - ev.started) + commit_cost + pub_cost;
       commit_all(engine, ev.batch);
       m.units += ev.batch.size();
       m.makespan = std::max(m.makespan, freed_at);

@@ -499,5 +499,176 @@ TEST(EngineCombine, CombinedCommitsMatchSequentialCommits) {
   }
 }
 
+// --- epoch publication + frontier truncation (DESIGN.md §13) ---------------
+
+core::EngineConfig frontier_config(int depth, int serial_depth, int shards,
+                                   int frontier,
+                                   core::PlacementMode placement =
+                                       core::PlacementMode::kParentMod) {
+  core::EngineConfig cfg = sharded_config(depth, serial_depth, shards);
+  cfg.publish_frontier = frontier;
+  cfg.placement = placement;
+  return cfg;
+}
+
+TEST(EngineFrontier, EpochPathIsByteIdenticalToFullLock) {
+  // The determinism claim of the truncated-commit path: with the publish
+  // frontier on, every commit runs through truncated touch sets, deferred
+  // backups and epoch publication — yet the *committed-state sequence*
+  // (popped node, root value, tree size, units processed, after every
+  // single commit) must be byte-identical to the PR 5 full-lock path.
+  // Twin engines, frontier 0 vs 4, driven in lockstep.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const UniformRandomTree g(4, 6, seed + 90, -90, 90);
+    using EngineT = core::Engine<UniformRandomTree>;
+    EngineT full(g, frontier_config(6, 4, 4, 0));
+    EngineT truncated(g, frontier_config(6, 4, 4, 4));
+    while (!full.done() || !truncated.done()) {
+      ASSERT_EQ(full.done(), truncated.done()) << "seed=" << seed;
+      auto a = full.acquire();
+      auto b = truncated.acquire();
+      ASSERT_EQ(a.has_value(), b.has_value()) << "seed=" << seed;
+      if (!a.has_value()) break;
+      ASSERT_EQ(a->node, b->node) << "seed=" << seed;
+      ASSERT_EQ(static_cast<int>(a->kind), static_cast<int>(b->kind));
+      full.commit(*a, full.compute(*a));
+      truncated.commit(*b, truncated.compute(*b));
+      // Committed state must coincide after *every* commit, not just at
+      // the end — truncation may not even transiently reorder backups.
+      ASSERT_EQ(full.root_value(), truncated.root_value()) << "seed=" << seed;
+      ASSERT_EQ(full.tree_size(), truncated.tree_size()) << "seed=" << seed;
+      ASSERT_EQ(full.stats().units_processed,
+                truncated.stats().units_processed);
+    }
+    ASSERT_TRUE(full.done());
+    ASSERT_TRUE(truncated.done());
+    EXPECT_EQ(full.root_value(), negmax_search(g, 6).value);
+    const core::EngineStats fs = full.stats();
+    const core::EngineStats ts = truncated.stats();
+    EXPECT_EQ(fs.search.nodes_generated(), ts.search.nodes_generated());
+    EXPECT_EQ(fs.promotions_speculative, ts.promotions_speculative);
+    EXPECT_EQ(fs.refutations_dispatched, ts.refutations_dispatched);
+    EXPECT_EQ(fs.cutoffs_at_pop, ts.cutoffs_at_pop);
+    // The truncated twin must actually have exercised the new path.
+    EXPECT_GT(truncated.lock_stats().truncated_records, 0u)
+        << "frontier 4 on a depth-6 tree must truncate some commits";
+    EXPECT_EQ(full.lock_stats().truncated_records, 0u)
+        << "frontier 0 must never truncate";
+  }
+}
+
+TEST(EngineFrontier, FrontierSweepKeepsNegmax) {
+  // Any frontier depth — including degenerate ones above the serial
+  // cutover and below every commit — must leave the result exact.
+  const UniformRandomTree g(4, 5, 23, -70, 70);
+  const Value oracle = negmax_search(g, 5).value;
+  for (const int frontier : {1, 2, 3, 5, 9}) {
+    using EngineT = core::Engine<UniformRandomTree>;
+    EngineT engine(g, frontier_config(5, 3, 4, frontier));
+    while (!engine.done()) {
+      auto item = engine.acquire();
+      if (!item) break;
+      engine.commit(*item, engine.compute(*item));
+    }
+    ASSERT_TRUE(engine.done()) << "frontier=" << frontier;
+    EXPECT_EQ(engine.root_value(), oracle) << "frontier=" << frontier;
+  }
+}
+
+TEST(EngineFrontier, TruncatedTouchSetsLeaveRootShardOut) {
+  // The point of the tentpole: under subtree-affinity placement a deep
+  // commit's truncated touch set must not contain shard 0 (the root's
+  // home), while the full-chain set of the frontier-off twin always does.
+  // Lockstep twins; the truncated set must also always be a subset of the
+  // full set (truncation only ever removes shards).
+  const UniformRandomTree g(4, 6, 31, -90, 90);
+  using EngineT = core::Engine<UniformRandomTree>;
+  const auto mode = core::PlacementMode::kSubtreeAffinity;
+  EngineT full(g, frontier_config(6, 4, 8, 0, mode));
+  EngineT truncated(g, frontier_config(6, 4, 8, 4, mode));
+  std::size_t root_free = 0;
+  std::size_t commits = 0;
+  while (!full.done()) {
+    auto a = full.acquire();
+    auto b = truncated.acquire();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    ASSERT_EQ(a->node, b->node);
+    std::vector<std::uint32_t> fset, tset;
+    full.commit_touch_shards(a->node, fset);
+    truncated.commit_touch_shards(b->node, tset);
+    for (const std::uint32_t s : tset)
+      EXPECT_NE(std::find(fset.begin(), fset.end(), s), fset.end())
+          << "truncation invented a shard";
+    const bool full_has_root =
+        std::find(fset.begin(), fset.end(), 0u) != fset.end();
+    const bool trunc_has_root =
+        std::find(tset.begin(), tset.end(), 0u) != tset.end();
+    if (full_has_root && !trunc_has_root) ++root_free;
+    ++commits;
+    full.commit(*a, full.compute(*a));
+    truncated.commit(*b, truncated.compute(*b));
+  }
+  ASSERT_TRUE(truncated.done());
+  EXPECT_EQ(full.root_value(), truncated.root_value());
+  EXPECT_GT(commits, 0u);
+  EXPECT_GT(root_free, 0u)
+      << "no commit ever dropped the root shard: truncation is not engaging";
+}
+
+TEST(EngineShards, SubtreePlacementPopOrderInvariant) {
+  // Placement moves queue entries between shards; it must never move the
+  // schedule.  The single-heap pop order is the oracle for both placement
+  // modes at every shard count.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const UniformRandomTree g(4, 4, seed + 40, -80, 80);
+    using EngineT = core::Engine<UniformRandomTree>;
+    EngineT base(g, sharded_config(4, 2, 1));
+    std::vector<std::uint32_t> base_order;
+    while (!base.done()) {
+      auto item = base.acquire();
+      if (!item) break;
+      base_order.push_back(item->node);
+      base.commit(*item, base.compute(*item));
+    }
+    for (const int shards : {2, 4, 8}) {
+      EngineT e(g, frontier_config(4, 2, shards, 4,
+                                   core::PlacementMode::kSubtreeAffinity));
+      std::vector<std::uint32_t> order;
+      while (!e.done()) {
+        auto item = e.acquire();
+        if (!item) break;
+        order.push_back(item->node);
+        e.commit(*item, e.compute(*item));
+      }
+      EXPECT_EQ(order, base_order) << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(e.root_value(), base.root_value());
+    }
+  }
+}
+
+TEST(EngineShards, SubtreeAffinityHomesFollowRootChildren) {
+  // The root's children (ids 1..degree after the root expansion) carry
+  // distinct subtree tags 0..degree-1, so with S == degree their homes are
+  // a permutation of every shard — disjoint subtrees never share a home —
+  // and the root itself stays on shard 0.
+  const UniformRandomTree g(4, 4, 7, -50, 50);
+  using EngineT = core::Engine<UniformRandomTree>;
+  EngineT engine(g, frontier_config(4, 2, 4, 4,
+                                    core::PlacementMode::kSubtreeAffinity));
+  // Expand the root so its children exist.
+  auto item = engine.acquire();
+  ASSERT_TRUE(item.has_value());
+  ASSERT_EQ(item->node, 0u);
+  engine.commit(*item, engine.compute(*item));
+  EXPECT_EQ(engine.home_shard(0), 0u);
+  std::vector<std::size_t> homes;
+  for (std::uint32_t c = 1; c <= 4; ++c)
+    homes.push_back(engine.home_shard(c));
+  std::sort(homes.begin(), homes.end());
+  EXPECT_EQ(homes, (std::vector<std::size_t>{0, 1, 2, 3}))
+      << "root subtrees must spread over all shards, one each";
+}
+
 }  // namespace
 }  // namespace ers

@@ -5,23 +5,45 @@ committed baseline and fail on a throughput regression.
     check_bench_regression.py BASELINE FRESH [--metric units_per_sec]
                               [--threshold 0.25] [--group shards,threads,batch]
 
-Both files are JSON-lines (one flat object per bench row, the schema
-obs::write_bench_json emits).  Rows are grouped by the --group key fields
-and the metric is averaged within each group — single rows on a loaded CI
-runner are too noisy to gate on, but a whole configuration's mean dropping
-by more than --threshold (default 25%) is a real regression, and the job
-fails.  Groups present on only one side are reported but never fatal (a
-bench gaining or losing a sweep point is a review question, not a
-regression).
+Both files are either JSON-lines (one flat object per bench row, the schema
+obs::write_bench_json emits) or a google-benchmark --benchmark_out file (a
+single object with a "benchmarks" array; each entry is flattened into a row
+keyed by "name", with its counters promoted to top-level fields — compare
+with --group name --metric <counter>).  Rows are grouped by the --group key
+fields and the metric is averaged within each group — single rows on a
+loaded CI runner are too noisy to gate on, but a whole configuration's mean
+dropping by more than --threshold (default 25%) is a real regression, and
+the job fails.
 
-Exit codes: 0 clean, 1 regression found, 2 unusable input (missing file,
-no parseable rows, or no comparable groups — a guard that silently compares
-nothing would pass forever).
+A group present in the fresh run but absent from the baseline is FATAL, not
+a silent skip: an unguarded sweep point would pass forever, which is
+exactly how a regression guard rots.  The failure message states the stage
+to run — regenerate the baseline from the new bench and commit it.  Groups
+only in the baseline stay non-fatal notes (a bench losing a sweep point is
+visible in review as a baseline diff).
+
+Exit codes: 0 clean, 1 regression found or baseline key missing, 2 unusable
+input (missing file, no parseable rows, or no comparable groups — a guard
+that silently compares nothing would pass forever).
 """
 
 import argparse
 import json
 import sys
+
+
+def flatten_google_benchmark(doc):
+    """Rows from a --benchmark_out file: one per entry, counters promoted."""
+    rows = []
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        row = {k: v for k, v in entry.items()
+               if isinstance(v, (str, int, float))}
+        for counter, value in entry.get("counters", {}).items():
+            row.setdefault(counter, value)
+        rows.append(row)
+    return rows
 
 
 def load_rows(path):
@@ -32,6 +54,14 @@ def load_rows(path):
         print(f"check_bench_regression: cannot read {path}: {e.strerror}",
               file=sys.stderr)
         sys.exit(2)
+    # google-benchmark emits one multi-line object holding a "benchmarks"
+    # array; everything else here is JSON-lines.
+    try:
+        doc = json.loads(text)
+        if isinstance(doc, dict) and "benchmarks" in doc:
+            return flatten_google_benchmark(doc)
+    except json.JSONDecodeError:
+        pass
     rows = []
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
@@ -86,12 +116,16 @@ def main():
     shared = sorted(set(base) & set(fresh))
     if not shared:
         print("check_bench_regression: no comparable groups "
-              f"(group keys: {','.join(keys)}; metric: {args.metric})", file=sys.stderr)
+              f"(group keys: {','.join(keys)}; metric: {args.metric}).\n"
+              f"If {args.fresh} comes from a new bench, generate its baseline "
+              f"on the reference machine and commit it as {args.baseline}.",
+              file=sys.stderr)
         return 2
     for key in sorted(set(base) - set(fresh)):
         print(f"  note: group only in baseline: {fmt_key(key)}")
-    for key in sorted(set(fresh) - set(base)):
-        print(f"  note: group only in fresh run: {fmt_key(key)}")
+    unguarded = sorted(set(fresh) - set(base))
+    for key in unguarded:
+        print(f"  MISSING BASELINE: {fmt_key(key)}", file=sys.stderr)
 
     regressions = []
     for key in shared:
@@ -106,6 +140,17 @@ def main():
     if regressions:
         print(f"check_bench_regression: {len(regressions)}/{len(shared)} groups dropped "
               f">{args.threshold * 100:.0f}% on {args.metric}", file=sys.stderr)
+        return 1
+    if unguarded:
+        print(f"check_bench_regression: {len(unguarded)} fresh group(s) have no "
+              f"baseline entry in {args.baseline} — these sweep points are "
+              "UNGUARDED and the guard refuses to pass them silently.\n"
+              "To fix, regenerate and commit the baseline:\n"
+              f"  1. build and run the bench that produced {args.fresh} on the "
+              "reference machine\n"
+              f"  2. copy its output over {args.baseline}\n"
+              "  3. commit the updated baseline together with the change that "
+              "added the sweep point", file=sys.stderr)
         return 1
     print(f"check_bench_regression: {len(shared)} groups within "
           f"{args.threshold * 100:.0f}% of baseline")
