@@ -4,9 +4,55 @@
 
 #include <optional>
 
+#include "baselines/abdada_par.hpp"
 #include "common.hpp"
+#include "search/alpha_beta.hpp"
+#include "util/check.hpp"
 
 namespace ers::bench {
+
+/// ABDADA on the same positions, threads {1, 2, 4, 8} on the real thread
+/// runtime: the modern shared-TT rival the efficiency figures are judged
+/// against (DESIGN.md §14).  Node counts relative to one-shot serial
+/// alpha-beta at the figure's depth are the portable comparison — ABDADA
+/// deepens iteratively, so a ratio slightly above 1 at one thread is the
+/// deepening overhead, and the growth with threads is the duplication the
+/// shared tables fail to suppress.  Root values are checked against serial
+/// alpha-beta on every run; full sweep data lives in BENCH_abdada.json.
+inline void print_abdada_rival(const FigureOptions& opt) {
+  std::printf("\nABDADA rival on the same positions (thread runtime):\n");
+  TextTable table({"tree", "threads", "abdada nodes", "vs alpha-beta",
+                   "deferred", "revisited", "value"});
+  for (const auto& name : opt.tree_names) {
+    const auto tree = harness::tree_by_name(name, opt.scale);
+    std::visit(
+        [&](const auto& game) {
+          const auto ab = alpha_beta_search(game, tree.engine.search_depth,
+                                            tree.engine.ordering);
+          for (const int threads : {1, 2, 4, 8}) {
+            baselines::AbdadaOptions aopt;
+            aopt.threads = threads;
+            aopt.ordering = tree.engine.ordering;
+            const auto r = baselines::abdada_parallel_search(
+                game, tree.engine.search_depth, aopt);
+            ERS_CHECK(r.value == ab.value &&
+                      "ABDADA diverged from serial alpha-beta");
+            table.add_row(
+                {tree.name, std::to_string(threads),
+                 std::to_string(r.stats.nodes_generated()),
+                 TextTable::num(
+                     static_cast<double>(r.stats.nodes_generated()) /
+                         static_cast<double>(ab.stats.nodes_generated()),
+                     2),
+                 std::to_string(r.stats.moves_deferred),
+                 std::to_string(r.stats.moves_revisited),
+                 std::to_string(r.value)});
+          }
+        },
+        tree.game);
+  }
+  table.print();
+}
 
 /// Figures 10/11: one efficiency row per processor count and tree, plus the
 /// flat "serial alpha-beta" reference line of the paper's plots (its
@@ -36,6 +82,7 @@ inline void print_efficiency_figure(const char* title,
     last = s;
   }
   table.print();
+  print_abdada_rival(opt);
   if (last.has_value()) write_sweep_observability(opt, trace, *last, title);
 }
 

@@ -176,6 +176,9 @@ class Engine {
     ERS_CHECK(cfg_.search_depth >= 0);
     ERS_CHECK(cfg_.heap_shards >= 1);
     cfg_.serial_depth = std::clamp(cfg_.serial_depth, 0, cfg_.search_depth);
+    if (cfg_.publish_frontier < 0)
+      cfg_.publish_frontier = derived_publish_frontier(
+          cfg_.search_depth, cfg_.serial_depth, cfg_.heap_shards);
     for (int s = 0; s < cfg_.heap_shards; ++s) shards_.emplace_back();
     if constexpr (obs::kTracingEnabled) {
       if (cfg_.trace != nullptr) cfg_.trace->ensure_shards(shards_.size());
@@ -447,6 +450,13 @@ class Engine {
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
+  }
+
+  /// The epoch-publication frontier this engine actually runs with: the
+  /// configured value, or — when the config was left at kAdaptiveFrontier —
+  /// the derived_publish_frontier resolution done at construction.
+  [[nodiscard]] int publish_frontier() const noexcept {
+    return cfg_.publish_frontier;
   }
 
   /// The shard a node's queue entries live in, under the configured

@@ -32,6 +32,7 @@
 // drift the tests would only catch as a shard-contention mismatch, not a
 // wrong answer.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -61,6 +62,36 @@ namespace ers::core {
 [[nodiscard]] constexpr std::size_t fold_shard(std::size_t shard,
                                                std::size_t shard_count) noexcept {
   return shard % shard_count;
+}
+
+/// Derived epoch-publication frontier (DESIGN.md §13): how many top plies
+/// get published (value, finished) words and are excluded from truncated
+/// commit touch sets when EngineConfig::publish_frontier is left at
+/// kAdaptiveFrontier.
+///
+///   * One shard: 0.  There is no cross-shard convergence to relieve, and
+///     F = 0 drops the publication CAS traffic entirely.
+///   * S >= 2 shards: 2 + floor(log2(S)).  Commits from different shards
+///     meet at the top of the tree; branching spreads them out
+///     exponentially with depth, so each doubling of shards pushes the
+///     contended region about one ply deeper and F grows logarithmically.
+///   * Capped at serial_depth - 1: the heavy commits are the serial units
+///     at ply == serial_depth, and a commit truncates only when its node
+///     sits at ply >= F — a frontier at or past the cutover would exempt
+///     nothing.  (At the standard depth-7/serial-5 trees with 4 or 8
+///     shards the derivation lands on the historical fixed default, 4.)
+///
+/// The choice of F never changes committed state or pop order (twin-tested
+/// bit-identical per commit), only which plies publish and how much of each
+/// touch set stays locked.
+[[nodiscard]] constexpr int derived_publish_frontier(int search_depth,
+                                                     int serial_depth,
+                                                     int heap_shards) noexcept {
+  if (heap_shards <= 1) return 0;
+  int log2s = 0;
+  while ((1 << (log2s + 1)) <= heap_shards) ++log2s;
+  const int cap = serial_depth > 0 ? serial_depth - 1 : 0;
+  return std::clamp(std::min(2 + log2s, cap), 0, search_depth);
 }
 
 }  // namespace ers::core

@@ -68,6 +68,11 @@ enum class SpecRankPolicy : std::uint8_t {
   kFifo,
 };
 
+/// EngineConfig::publish_frontier sentinel: derive F from the tree shape
+/// and shard count at engine construction (core/shard_policy.hpp,
+/// derived_publish_frontier).  Any value >= 0 is an explicit override.
+inline constexpr int kAdaptiveFrontier = -1;
+
 struct EngineConfig {
   int search_depth = 7;
   /// Ply at which serial ER takes over: nodes at this ply are resolved as a
@@ -91,8 +96,12 @@ struct EngineConfig {
   /// shards of chain nodes near the frontier (the *truncated touch set*),
   /// leaving the root's shard out of almost every commit.  0 disables both
   /// the publication word and the truncation (the PR 5 full-lock path);
-  /// the committed-state sequence is bit-identical either way.
-  int publish_frontier = 4;
+  /// the committed-state sequence is bit-identical either way.  The
+  /// default, kAdaptiveFrontier, resolves at engine construction to
+  /// derived_publish_frontier(search_depth, serial_depth, heap_shards) —
+  /// 0 at one shard, 2 + log2(shards) capped at serial_depth - 1 otherwise
+  /// (the historical fixed 4 at the standard 7/5 trees with 4–8 shards).
+  int publish_frontier = kAdaptiveFrontier;
   /// Problem-heap placement (core/shard_policy.hpp).
   PlacementMode placement = PlacementMode::kParentMod;
   /// Move ordering applied to non-e-node children (paper §7).

@@ -55,6 +55,12 @@ struct SearchStats {
   std::uint64_t tt_probes = 0;  ///< table lookups issued
   std::uint64_t tt_hits = 0;    ///< lookups that validated with sufficient depth
   std::uint64_t tt_stores = 0;  ///< entries written
+  // ABDADA two-phase move iteration (search/abdada.hpp): younger siblings
+  // skipped in phase one because another worker was inside them, and the
+  // deferred moves searched in phase two (a beta cutoff in phase one
+  // retires deferrals without revisits, so deferred >= revisited).
+  std::uint64_t moves_deferred = 0;   ///< phase-one exclusivity skips
+  std::uint64_t moves_revisited = 0;  ///< phase-two deferred-move searches
 
   [[nodiscard]] std::uint64_t nodes_generated() const noexcept {
     return interior_expanded + leaves_evaluated;
@@ -79,6 +85,8 @@ struct SearchStats {
     tt_probes += o.tt_probes;
     tt_hits += o.tt_hits;
     tt_stores += o.tt_stores;
+    moves_deferred += o.moves_deferred;
+    moves_revisited += o.moves_revisited;
     return *this;
   }
 };

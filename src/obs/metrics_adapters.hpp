@@ -129,4 +129,23 @@ inline void register_engine_stats(MetricsRegistry& reg,
   reg.set("tt.stores", e.search.tt_stores);
 }
 
+/// Flatten one search's SearchStats — used by the ABDADA runner
+/// (`abdada.*`), where the deferred/revisited counters carry the
+/// algorithm-specific signal, but prefix-agnostic so any searcher can
+/// publish under its own namespace.
+inline void register_search_stats(MetricsRegistry& reg, const SearchStats& s,
+                                  const std::string& prefix) {
+  reg.set(prefix + "nodes_generated", s.nodes_generated());
+  reg.set(prefix + "interior_expanded", s.interior_expanded);
+  reg.set(prefix + "leaves_evaluated", s.leaves_evaluated);
+  reg.set(prefix + "child_sorts", s.child_sorts);
+  reg.set(prefix + "sort_evals", s.sort_evals);
+  reg.set(prefix + "tt_probes", s.tt_probes);
+  reg.set(prefix + "tt_hits", s.tt_hits);
+  reg.set(prefix + "tt_hit_rate", s.tt_hit_rate());
+  reg.set(prefix + "tt_stores", s.tt_stores);
+  reg.set(prefix + "moves_deferred", s.moves_deferred);
+  reg.set(prefix + "moves_revisited", s.moves_revisited);
+}
+
 }  // namespace ers::obs

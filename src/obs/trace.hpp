@@ -80,9 +80,12 @@ enum class EventKind : std::uint8_t {
   // --- epoch publication path (DESIGN.md §13) -----------------------------
   kEpochPublish,  ///< high-node (value, finished) published; node = id, arg = epoch
   kEpochRetry,    ///< reader-side epoch validation retry; node = queried id
+  // --- ABDADA two-phase iteration (DESIGN.md §14) --------------------------
+  kAbdadaDefer,    ///< younger sibling skipped (busy elsewhere); arg = ply
+  kAbdadaRevisit,  ///< deferred move searched in phase two; arg = ply
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kEpochRetry) + 1;
+    static_cast<std::size_t>(EventKind::kAbdadaRevisit) + 1;
 
 /// Stable display/schema name of a kind (the Perfetto event `name`).
 [[nodiscard]] constexpr const char* event_name(EventKind k) noexcept {
@@ -108,6 +111,8 @@ inline constexpr std::size_t kEventKindCount =
     case EventKind::kCombineBatch: return "combine_batch";
     case EventKind::kEpochPublish: return "epoch_publish";
     case EventKind::kEpochRetry: return "epoch_retry";
+    case EventKind::kAbdadaDefer: return "abdada_defer";
+    case EventKind::kAbdadaRevisit: return "abdada_revisit";
   }
   return "unknown";
 }

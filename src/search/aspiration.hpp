@@ -4,6 +4,14 @@
 // This is the serial building block of Baudet's *parallel* aspiration search
 // (paper §4.1), where the full window is split into disjoint intervals
 // instead of being guessed.
+//
+// The window/retry protocol is independent of the searcher, so it lives in
+// aspiration_drive(): aspiration_search() instantiates it over serial
+// alpha-beta, and the ABDADA runner (baselines/abdada_par.hpp) drives its
+// own root iterations through the same function.
+
+#include <type_traits>
+#include <utility>
 
 #include "gametree/game.hpp"
 #include "search/alpha_beta.hpp"
@@ -11,6 +19,14 @@
 #include "util/value.hpp"
 
 namespace ers {
+
+/// What the aspiration protocol decided, independent of who searched.
+struct AspirationOutcome {
+  Value value = 0;
+  int searches = 1;  ///< 1 = the aspiration window held
+  bool failed_low = false;
+  bool failed_high = false;
+};
 
 struct AspirationResult {
   Value value = 0;
@@ -20,6 +36,37 @@ struct AspirationResult {
   bool failed_high = false;
 };
 
+/// Drive any *fail-hard* windowed search through the aspiration protocol:
+/// invoke `search` with the guess window (estimate-delta, estimate+delta)
+/// and, if the result fails low/high, once more with the matching half-open
+/// window.  Always resolves to the exact negmax value (given a sound
+/// searcher).  `search` is called one or two times; accumulate stats inside
+/// the callable.
+template <typename SearchFn>
+  requires std::is_invocable_r_v<Value, SearchFn&, Window>
+[[nodiscard]] AspirationOutcome aspiration_drive(SearchFn&& search,
+                                                 Value estimate, Value delta) {
+  ERS_CHECK(delta > 0);
+  AspirationOutcome out;
+
+  const Window guess{estimate - delta, estimate + delta};
+  Value v = search(guess);
+
+  if (v <= guess.alpha) {
+    // Fail low: true value <= alpha.  Re-search below.
+    out.failed_low = true;
+    ++out.searches;
+    v = search(Window{-kValueInf, guess.alpha + 1});
+  } else if (v >= guess.beta) {
+    // Fail high: true value >= beta.  Re-search above.
+    out.failed_high = true;
+    ++out.searches;
+    v = search(Window{guess.beta - 1, kValueInf});
+  }
+  out.value = v;
+  return out;
+}
+
 /// Search `game` to `depth` with window (estimate-delta, estimate+delta),
 /// re-searching with the appropriate half-open window on failure.  Always
 /// returns the exact negmax value.
@@ -27,28 +74,19 @@ template <Game G>
 [[nodiscard]] AspirationResult aspiration_search(const G& game, int depth,
                                                  Value estimate, Value delta,
                                                  OrderingPolicy ordering = {}) {
-  ERS_CHECK(delta > 0);
   AspirationResult out;
   AlphaBetaSearcher<G> searcher(game, depth, ordering);
-
-  const Window guess{estimate - delta, estimate + delta};
-  SearchResult r = searcher.run(guess);
-  out.stats += r.stats;
-
-  if (r.value <= guess.alpha) {
-    // Fail low: true value <= alpha.  Re-search below.
-    out.failed_low = true;
-    ++out.searches;
-    r = searcher.run(Window{-kValueInf, guess.alpha + 1});
-    out.stats += r.stats;
-  } else if (r.value >= guess.beta) {
-    // Fail high: true value >= beta.  Re-search above.
-    out.failed_high = true;
-    ++out.searches;
-    r = searcher.run(Window{guess.beta - 1, kValueInf});
-    out.stats += r.stats;
-  }
-  out.value = r.value;
+  const AspirationOutcome o = aspiration_drive(
+      [&](Window w) {
+        const SearchResult r = searcher.run(w);
+        out.stats += r.stats;
+        return r.value;
+      },
+      estimate, delta);
+  out.value = o.value;
+  out.searches = o.searches;
+  out.failed_low = o.failed_low;
+  out.failed_high = o.failed_high;
   return out;
 }
 

@@ -169,6 +169,14 @@ class ErSerialSearcher {
     ++stats_.interior_expanded;
     if (!is_e_node && ordering_.should_sort(ply))
       sort_children_by_static_value(game_, kids, stats_);
+    // Warm the table lines of the whole sibling set now: by the time
+    // er/eval_first descends into each child and probes it, its slot is in
+    // cache.  (The probe-site prefetch in tt_probe fires too late to hide
+    // any latency — it is immediately followed by the load.)
+    if constexpr (HashedGame<G>) {
+      if (tt_ != nullptr)
+        for (const auto& k : kids) tt_->prefetch(k.tt_key());
+    }
     r.kids.reserve(kids.size());
     for (auto& k : kids) r.kids.emplace_back(std::move(k));
     return false;

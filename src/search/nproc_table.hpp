@@ -1,0 +1,92 @@
+#pragma once
+// ABDADA's nproc side table: how many workers are currently inside each
+// position (search/abdada.hpp, DESIGN.md §14).
+//
+// ABDADA coordinates parallel search through shared search state instead of
+// a problem heap: before a worker descends into a younger sibling it asks
+// "is anyone already searching this node?" and defers the move if so.  The
+// classical formulation keeps the counter inside the transposition-table
+// entry; following MAGPIE's endgame solver, this implementation keeps a
+// *separate*, much smaller table instead — the TT is sized for capacity
+// (16 MiB default) while the nproc counters are touched on every interior
+// node of every worker, so a dedicated 256 KiB array keeps the hot counters
+// resident in cache regardless of how large the TT grows.
+//
+// The table is direct-mapped with NO keys: a slot is one 32-bit relaxed
+// atomic counter and distinct positions that hash to the same slot alias
+// each other.  Aliasing is harmless by construction — the counters are
+// purely *advisory* scheduling state.  A false "busy" defers a move that
+// would have been searched (it is revisited in ABDADA's second phase); a
+// count temporarily inflated by a colliding ancestor does the same.  No
+// value ever flows through this table, so no memory-ordering stronger than
+// relaxed is needed and a stale read costs at most a deferral.
+//
+// enter/leave are strictly paired per node visit (abdada.hpp brackets its
+// child loops with them), so counters return to zero when the search
+// quiesces; all_idle() checks exactly that and is the invariant the tsan
+// hammer test asserts under contention.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ers {
+
+class NprocTable {
+ public:
+  /// 2^size_log2 counters of 4 bytes (default 2^16 = 256 KiB, MAGPIE's
+  /// cache-friendly sizing).
+  explicit NprocTable(int size_log2 = 16)
+      : mask_((std::uint64_t{1} << size_log2) - 1),
+        slots_(std::size_t{1} << size_log2) {
+    ERS_CHECK(size_log2 >= 4 && size_log2 <= 24);
+  }
+
+  /// A worker began searching the position with this key.
+  void enter(std::uint64_t key) noexcept {
+    slots_[index(key)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The worker finished searching it.  Must pair with a prior enter().
+  void leave(std::uint64_t key) noexcept {
+    [[maybe_unused]] const std::uint32_t prev =
+        slots_[index(key)].fetch_sub(1, std::memory_order_relaxed);
+    ERS_DCHECK(prev > 0);
+  }
+
+  /// True when some worker is (or a colliding position's worker appears to
+  /// be) inside this position right now.  Advisory: the answer can be stale
+  /// by the time the caller acts on it, which only defers or duplicates
+  /// work, never corrupts it.
+  [[nodiscard]] bool busy(std::uint64_t key) const noexcept {
+    return slots_[index(key)].load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Every counter zero — no worker inside any position.  O(capacity);
+  /// meaningful only while no search is running (test invariant).
+  [[nodiscard]] bool all_idle() const noexcept {
+    for (const auto& s : slots_)
+      if (s.load(std::memory_order_relaxed) != 0) return false;
+    return true;
+  }
+
+  void clear() noexcept {
+    for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t key) const noexcept {
+    // The low TT-index bits would alias the TT's own slot pattern; fold the
+    // high half in so the two tables collide independently.
+    return static_cast<std::size_t>((key ^ (key >> 32)) & mask_);
+  }
+
+  std::uint64_t mask_;
+  std::vector<std::atomic<std::uint32_t>> slots_;
+};
+
+}  // namespace ers

@@ -616,6 +616,72 @@ TEST(EngineFrontier, TruncatedTouchSetsLeaveRootShardOut) {
       << "no commit ever dropped the root shard: truncation is not engaging";
 }
 
+TEST(EngineFrontier, AdaptiveDerivationFormula) {
+  // kAdaptiveFrontier resolution (core/shard_policy.hpp): 0 at one shard,
+  // 2 + log2(S) otherwise, capped at serial_depth - 1 and search_depth.
+  EXPECT_EQ(core::derived_publish_frontier(7, 5, 1), 0);
+  EXPECT_EQ(core::derived_publish_frontier(7, 5, 2), 3);
+  EXPECT_EQ(core::derived_publish_frontier(7, 5, 4), 4);  // historical default
+  EXPECT_EQ(core::derived_publish_frontier(7, 5, 8), 4);  // capped at serial-1
+  EXPECT_EQ(core::derived_publish_frontier(10, 7, 8), 5);
+  EXPECT_EQ(core::derived_publish_frontier(7, 5, 16), 4);
+  EXPECT_EQ(core::derived_publish_frontier(5, 0, 4), 0);  // degenerate cutover
+  EXPECT_EQ(core::derived_publish_frontier(2, 2, 64), 1);  // search_depth floor
+}
+
+TEST(EngineFrontier, AdaptiveDefaultResolvesAtConstruction) {
+  const UniformRandomTree g(4, 5, 11, -60, 60);
+  using EngineT = core::Engine<UniformRandomTree>;
+  core::EngineConfig cfg = sharded_config(5, 3, 4);
+  ASSERT_EQ(cfg.publish_frontier, core::kAdaptiveFrontier)
+      << "the config default must be the adaptive sentinel";
+  EngineT adaptive(g, cfg);
+  EXPECT_EQ(adaptive.publish_frontier(),
+            core::derived_publish_frontier(5, 3, 4));
+  // An explicit value is an override, never re-derived.
+  cfg.publish_frontier = 2;
+  EngineT pinned(g, cfg);
+  EXPECT_EQ(pinned.publish_frontier(), 2);
+}
+
+TEST(EngineFrontier, AdaptiveValuesAreByteIdenticalToFullLock) {
+  // Bit-identity twin test at each *derived* frontier value: for every
+  // shard count the adaptive default may pick, the epoch/truncation path it
+  // enables must produce the same committed-state sequence as the full-lock
+  // twin (frontier 0), commit by commit — the same guarantee
+  // EpochPathIsByteIdenticalToFullLock pins for the historical fixed 4.
+  for (const int shards : {2, 4, 8}) {
+    const UniformRandomTree g(4, 6, 57 + static_cast<std::uint64_t>(shards),
+                              -90, 90);
+    using EngineT = core::Engine<UniformRandomTree>;
+    EngineT full(g, frontier_config(6, 4, shards, 0));
+    EngineT adaptive(g, frontier_config(6, 4, shards, core::kAdaptiveFrontier));
+    EXPECT_EQ(adaptive.publish_frontier(),
+              core::derived_publish_frontier(6, 4, shards));
+    EXPECT_GT(adaptive.publish_frontier(), 0) << "shards=" << shards;
+    while (!full.done() || !adaptive.done()) {
+      ASSERT_EQ(full.done(), adaptive.done()) << "shards=" << shards;
+      auto a = full.acquire();
+      auto b = adaptive.acquire();
+      ASSERT_EQ(a.has_value(), b.has_value()) << "shards=" << shards;
+      if (!a.has_value()) break;
+      ASSERT_EQ(a->node, b->node) << "shards=" << shards;
+      full.commit(*a, full.compute(*a));
+      adaptive.commit(*b, adaptive.compute(*b));
+      ASSERT_EQ(full.root_value(), adaptive.root_value()) << "shards=" << shards;
+      ASSERT_EQ(full.tree_size(), adaptive.tree_size()) << "shards=" << shards;
+    }
+    ASSERT_TRUE(full.done());
+    ASSERT_TRUE(adaptive.done());
+    EXPECT_EQ(full.root_value(), negmax_search(g, 6).value);
+    EXPECT_EQ(full.stats().search.nodes_generated(),
+              adaptive.stats().search.nodes_generated());
+    EXPECT_GT(adaptive.lock_stats().truncated_records, 0u)
+        << "derived frontier " << adaptive.publish_frontier()
+        << " must actually truncate at " << shards << " shards";
+  }
+}
+
 TEST(EngineShards, SubtreePlacementPopOrderInvariant) {
   // Placement moves queue entries between shards; it must never move the
   // schedule.  The single-heap pop order is the oracle for both placement

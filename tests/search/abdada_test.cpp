@@ -1,0 +1,248 @@
+// ABDADA (search/abdada.hpp + baselines/abdada_par.hpp): serial identity
+// with alpha-beta, value determinism across thread counts, deferral
+// accounting, abort semantics, trace wiring, and a tsan hammer over the
+// nproc side table.
+
+#include "search/abdada.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/abdada_par.hpp"
+#include "connect4/connect4.hpp"
+#include "obs/trace.hpp"
+#include "othello/game.hpp"
+#include "othello/positions.hpp"
+#include "randomtree/random_tree.hpp"
+#include "search/alpha_beta.hpp"
+#include "search/nproc_table.hpp"
+#include "tictactoe/tictactoe.hpp"
+
+namespace ers {
+namespace {
+
+// --- nproc side table ------------------------------------------------------
+
+TEST(NprocTable, EnterLeaveBusy) {
+  NprocTable t(8);
+  EXPECT_EQ(t.capacity(), 256u);
+  EXPECT_TRUE(t.all_idle());
+  const std::uint64_t k = 0x9e3779b97f4a7c15ull;
+  EXPECT_FALSE(t.busy(k));
+  t.enter(k);
+  EXPECT_TRUE(t.busy(k));
+  EXPECT_FALSE(t.all_idle());
+  t.enter(k);
+  t.leave(k);
+  EXPECT_TRUE(t.busy(k)) << "nested visitors keep the slot busy";
+  t.leave(k);
+  EXPECT_FALSE(t.busy(k));
+  EXPECT_TRUE(t.all_idle());
+}
+
+TEST(NprocTable, AliasingIsPerSlot) {
+  NprocTable t(4);  // 16 slots: aliasing certain across 32 keys
+  for (std::uint64_t k = 0; k < 32; ++k) t.enter(k);
+  EXPECT_FALSE(t.all_idle());
+  for (std::uint64_t k = 0; k < 32; ++k) t.leave(k);
+  EXPECT_TRUE(t.all_idle()) << "enter/leave must pair through aliasing";
+}
+
+TEST(NprocTable, ClearResets) {
+  NprocTable t(6);
+  t.enter(1);
+  t.enter(2);
+  t.clear();
+  EXPECT_TRUE(t.all_idle());
+}
+
+// The tsan lane's target: raw enter/busy/leave contention over a deliberately
+// tiny table so every thread hammers every slot.
+TEST(NprocTable, ConcurrentHammerQuiescesIdle) {
+  NprocTable t(6);  // 64 slots
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 50'000;
+  std::atomic<int> busy_observed{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&t, &busy_observed, w] {
+      std::uint64_t key = 0x243f6a8885a308d3ull + static_cast<std::uint64_t>(w);
+      int seen = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        key = key * 6364136223846793005ull + 1442695040888963407ull;
+        t.enter(key);
+        // The exclusivity read ABDADA performs between other workers'
+        // enter/leave pairs.
+        if (t.busy(key ^ 0x5555)) ++seen;
+        t.leave(key);
+      }
+      busy_observed.fetch_add(seen, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_TRUE(t.all_idle())
+      << "every enter paired with a leave must quiesce to all-zero";
+}
+
+// --- 1-thread identity with serial alpha-beta ------------------------------
+
+TEST(Abdada, OneThreadMatchesAlphaBetaTicTacToe) {
+  const TicTacToe g;
+  for (const int depth : {3, 5, 9}) {
+    const Value oracle = alpha_beta_search(g, depth).value;
+    baselines::AbdadaOptions opt;
+    opt.threads = 1;
+    const auto r = baselines::abdada_parallel_search(g, depth, opt);
+    EXPECT_EQ(r.value, oracle) << "depth=" << depth;
+  }
+}
+
+TEST(Abdada, OneThreadMatchesAlphaBetaConnect4) {
+  const connect4::Connect4 g;
+  for (const int depth : {4, 6}) {
+    const Value oracle = alpha_beta_search(g, depth).value;
+    baselines::AbdadaOptions opt;
+    opt.threads = 1;
+    const auto r = baselines::abdada_parallel_search(g, depth, opt);
+    EXPECT_EQ(r.value, oracle) << "depth=" << depth;
+  }
+}
+
+TEST(Abdada, OneThreadMatchesAlphaBetaOthelloDepth5) {
+  // The HashedGame case: the shared TT is live (probes, stores, depth-exact
+  // hits) and the value must still be exactly serial alpha-beta's.
+  for (const int idx : {1, 2, 3}) {
+    const othello::OthelloGame g(othello::paper_position(idx));
+    const Value oracle = alpha_beta_search(g, 5).value;
+    baselines::AbdadaOptions opt;
+    opt.threads = 1;
+    opt.ordering.sort_by_static_value = true;
+    const auto r = baselines::abdada_parallel_search(g, 5, opt);
+    EXPECT_EQ(r.value, oracle) << "position O" << idx;
+    EXPECT_GT(r.stats.tt_stores, 0u) << "the shared table must be in use";
+  }
+}
+
+TEST(Abdada, SearcherAloneMatchesAlphaBetaOnRandomTrees) {
+  // One-shot (no iterative deepening, no tables) searcher equivalence over
+  // assorted tree shapes, full and offset windows.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const UniformRandomTree g(4, 6, seed + 300, -95, 95);
+    const Value oracle = alpha_beta_search(g, 6).value;
+    EXPECT_EQ(abdada_serial_search(g, 6).value, oracle) << "seed=" << seed;
+  }
+}
+
+TEST(Abdada, SearcherWithTablesMatchesAlphaBeta) {
+  // Same equivalence with live TT + nproc table on a single thread: the
+  // depth-exact gating must keep every cutoff value-preserving.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const UniformRandomTree g(5, 6, seed + 700, -80, 80);
+    const Value oracle = alpha_beta_search(g, 6).value;
+    ConcurrentTranspositionTable tt(14);
+    NprocTable nproc(10);
+    AbdadaSearcher<UniformRandomTree> s(g, 6);
+    s.with_shared_table(&tt).with_nproc_table(&nproc);
+    const SearchResult r = s.run();
+    EXPECT_EQ(r.value, oracle) << "seed=" << seed;
+    EXPECT_GT(r.stats.tt_probes, 0u);
+    EXPECT_TRUE(nproc.all_idle()) << "enter/leave must balance";
+  }
+}
+
+// --- multi-thread value determinism ----------------------------------------
+
+TEST(Abdada, ValueDeterministicAcrossThreadCountsRandomTree) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const UniformRandomTree g(4, 6, seed + 40, -90, 90);
+    const Value oracle = alpha_beta_search(g, 6).value;
+    for (const int threads : {2, 4, 8}) {
+      baselines::AbdadaOptions opt;
+      opt.threads = threads;
+      const auto r = baselines::abdada_parallel_search(g, 6, opt);
+      EXPECT_EQ(r.value, oracle) << "seed=" << seed << " threads=" << threads;
+      // Every depth iteration's claimed value is exact too.
+      for (const auto& d : r.per_depth)
+        EXPECT_EQ(d.value, alpha_beta_search(g, d.depth).value)
+            << "depth=" << d.depth << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Abdada, ValueDeterministicAcrossThreadCountsOthello) {
+  const othello::OthelloGame g(othello::paper_position(2));
+  const Value oracle = alpha_beta_search(g, 5).value;
+  for (const int threads : {2, 4, 8}) {
+    baselines::AbdadaOptions opt;
+    opt.threads = threads;
+    opt.ordering.sort_by_static_value = true;
+    const auto r = baselines::abdada_parallel_search(g, 5, opt);
+    EXPECT_EQ(r.value, oracle) << "threads=" << threads;
+    EXPECT_EQ(static_cast<int>(r.per_thread.size()), threads);
+    // Phase-two revisits can only come from phase-one deferrals.
+    EXPECT_LE(r.stats.moves_revisited, r.stats.moves_deferred);
+  }
+}
+
+// --- abort / stop-flag semantics -------------------------------------------
+
+TEST(Abdada, PreRaisedStopAbortsWithoutStores) {
+  const UniformRandomTree g(4, 6, 9, -50, 50);
+  ConcurrentTranspositionTable tt(12);
+  NprocTable nproc(10);
+  std::atomic<bool> stop{true};
+  AbdadaSearcher<UniformRandomTree> s(g, 6);
+  s.with_shared_table(&tt).with_nproc_table(&nproc).with_stop(&stop);
+  const SearchResult r = s.run();
+  EXPECT_TRUE(s.aborted());
+  EXPECT_EQ(r.stats.tt_stores, 0u)
+      << "an aborted search must not write the shared table";
+  EXPECT_EQ(tt.occupancy(), 0u);
+  EXPECT_TRUE(nproc.all_idle());
+}
+
+// --- trace wiring -----------------------------------------------------------
+
+TEST(Abdada, TraceInstantsAgreeWithStats) {
+  // abdada_defer / abdada_revisit instants must match the SearchStats
+  // counters exactly (no drops at this size), whatever their count is.
+  const othello::OthelloGame g(othello::paper_position(1));
+  obs::TraceSession session(4);
+  baselines::AbdadaOptions opt;
+  opt.threads = 4;
+  opt.trace = &session;
+  const auto r = baselines::abdada_parallel_search(g, 4, opt);
+  ASSERT_EQ(session.total_dropped(), 0u);
+  std::uint64_t defers = 0;
+  std::uint64_t revisits = 0;
+  for (const obs::TraceEvent& e : session.merged()) {
+    if (e.kind == obs::EventKind::kAbdadaDefer) ++defers;
+    if (e.kind == obs::EventKind::kAbdadaRevisit) ++revisits;
+  }
+  EXPECT_EQ(defers, r.stats.moves_deferred);
+  EXPECT_EQ(revisits, r.stats.moves_revisited);
+}
+
+// --- parallel hammer through the real search (tsan lane) --------------------
+
+TEST(Abdada, ParallelSearchHammerOverSharedTables) {
+  // 8 workers through one TT + one deliberately tiny nproc table (heavy
+  // slot aliasing → constant deferral traffic) on a bushy tree: the value
+  // must stay exact and the tables quiescent.  This is the tsan target for
+  // the searcher's shared-state interactions.
+  const UniformRandomTree g(6, 5, 77, -90, 90);
+  const Value oracle = alpha_beta_search(g, 5).value;
+  baselines::AbdadaOptions opt;
+  opt.threads = 8;
+  opt.nproc_log2 = 6;  // 64 slots shared by thousands of nodes
+  const auto r = baselines::abdada_parallel_search(g, 5, opt);
+  EXPECT_EQ(r.value, oracle);
+  EXPECT_LE(r.stats.moves_revisited, r.stats.moves_deferred);
+}
+
+}  // namespace
+}  // namespace ers

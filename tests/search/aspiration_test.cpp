@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "randomtree/random_tree.hpp"
 #include "search/negmax.hpp"
 
@@ -61,6 +63,50 @@ TEST(Aspiration, ExactValueOnWindowEdgeHigh) {
   const Value exact = negmax_search(g, 3).value;
   const auto r = aspiration_search(g, 3, exact - 10, 10);
   EXPECT_EQ(r.value, exact);
+}
+
+TEST(AspirationDrive, WindowsAndRetryProtocol) {
+  // The generic driver (used by aspiration_search and the ABDADA runner):
+  // verify the exact window sequence it issues against a scripted fail-hard
+  // searcher with true value 40.
+  constexpr Value kTrue = 40;
+  std::vector<Window> seen;
+  auto fake = [&seen](Window w) {
+    seen.push_back(w);
+    // Fail-hard clamp of the true value into the window.
+    if (kTrue <= w.alpha) return w.alpha;
+    if (kTrue >= w.beta) return w.beta;
+    return kTrue;
+  };
+
+  // Window holds.
+  seen.clear();
+  auto o = aspiration_drive(fake, 35, 10);
+  EXPECT_EQ(o.value, kTrue);
+  EXPECT_EQ(o.searches, 1);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].alpha, 25);
+  EXPECT_EQ(seen[0].beta, 45);
+
+  // Fail high: re-search above with (beta-1, +inf).
+  seen.clear();
+  o = aspiration_drive(fake, 10, 10);
+  EXPECT_EQ(o.value, kTrue);
+  EXPECT_EQ(o.searches, 2);
+  EXPECT_TRUE(o.failed_high);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].alpha, 19);
+  EXPECT_EQ(seen[1].beta, kValueInf);
+
+  // Fail low: re-search below with (-inf, alpha+1).
+  seen.clear();
+  o = aspiration_drive(fake, 80, 10);
+  EXPECT_EQ(o.value, kTrue);
+  EXPECT_EQ(o.searches, 2);
+  EXPECT_TRUE(o.failed_low);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].alpha, -kValueInf);
+  EXPECT_EQ(seen[1].beta, 71);
 }
 
 TEST(Aspiration, ManySeedsAlwaysExact) {
