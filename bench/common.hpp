@@ -107,6 +107,7 @@ inline void register_parallel_point(obs::MetricsRegistry& reg,
   reg.set("efficiency", p.efficiency);
   obs::register_sim_metrics(reg, p.metrics);
   obs::register_engine_stats(reg, p.engine);
+  obs::register_engine_mem_stats(reg, p.mem);
 }
 
 /// Run the serial baselines and the full processor sweep for one tree.

@@ -65,19 +65,29 @@ inline void print_efficiency_figure(const char* title,
   obs::TraceSession* trace = trace_session_for(opt, session);
   std::optional<TreeSweep> last;
   TextTable table({"tree", "procs", "speedup", "efficiency",
-                   "serial alpha-beta eff.", "utilization", "idle share"});
+                   "serial alpha-beta eff.", "utilization", "idle share",
+                   "bytes/node"});
   for (const auto& name : opt.tree_names) {
     const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards, trace);
     for (const auto& p : s.points) {
       const double idle_share =
           static_cast<double>(p.metrics.idle_time) /
           (static_cast<double>(p.metrics.makespan) * p.processors);
+      // Peak engine storage (hot arena + position arena + cold slabs)
+      // amortized over every node the search generated — the memory-side
+      // efficiency of the two-tier layout (DESIGN.md §15).
+      const double bytes_per_node =
+          p.nodes_generated > 0
+              ? static_cast<double>(p.mem.peak_bytes) /
+                    static_cast<double>(p.nodes_generated)
+              : 0.0;
       table.add_row({s.tree.name, std::to_string(p.processors),
                      TextTable::num(p.speedup, 2),
                      TextTable::num(p.efficiency, 3),
                      TextTable::num(s.serial.alpha_beta_efficiency(), 3),
                      TextTable::num(p.metrics.utilization(), 3),
-                     TextTable::num(idle_share, 3)});
+                     TextTable::num(idle_share, 3),
+                     TextTable::num(bytes_per_node, 1)});
     }
     last = s;
   }

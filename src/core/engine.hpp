@@ -72,6 +72,17 @@
 //     yields a *wider* (weaker) window, so a pop-time cutoff that fires
 //     against a stale bound is still valid against the fresh one, and a
 //     missed cutoff merely schedules work a later check cancels.
+//   * Node storage is two-tier (DESIGN.md §15): the id-stable arena holds a
+//     cacheline-sized *hot* record per node (published word, value/finished
+//     atomics, parent/ply links) next to an id-parallel position arena,
+//     while the expansion payload — frozen child positions, child-node ids,
+//     ER phase bookkeeping — lives in a *cold* record allocated from the
+//     home shard's slab at expansion and reclaimed (through per-shard
+//     size-class freelists) when the node finishes or its subtree dies.
+//     Cold records are touched only under the home shard's lock, except the
+//     lock-free compute-phase reads on a node's *own* in-flight unit, which
+//     the reclaimer's !in_flight guard keeps safe; commit_one releases the
+//     record of a unit whose node died in flight once the unit lands.
 //   * Pop order stays bit-identical at every shard count: pops use the
 //     same global comparator over shard tops as the single heap, pushes
 //     happen only inside combiner application (serialized by combine_mu_),
@@ -103,12 +114,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <queue>
 #include <span>
@@ -184,8 +197,8 @@ class Engine {
       if (cfg_.trace != nullptr) cfg_.trace->ensure_shards(shards_.size());
     }
     // Construction is single-threaded: seeding the root needs no locks.
-    nodes_.emplace(game_.root(), kNoNode, 0, NodeType::kENode, 0,
-                   /*subtree_tag=*/0u);
+    make_node(game_.root(), kNoNode, 0, NodeType::kENode, 0,
+              /*subtree=*/0u);
     push_primary(0);
   }
 
@@ -254,6 +267,77 @@ class Engine {
     bool traced = false;
   };
 
+  /// Per-shard slab allocator for cold expansion records (ColdRecord,
+  /// defined with the node storage below).  No internal lock: every call
+  /// happens while the owning shard's queue mutex is held — allocation
+  /// inside a combiner's apply section (whose touch set always includes the
+  /// expanding node's home shard) and reclamation under the same lock at
+  /// finish/dead-drop time.  Blocks are grouped into power-of-two
+  /// child-capacity size classes and recycled through per-class freelists,
+  /// so steady-state expansion after warmup performs no heap allocation;
+  /// chunk memory is never returned to the OS, which keeps every block
+  /// address stable for the magic-word poisoning reclaim writes
+  /// (use-after-reclaim detection, ERS_DCHECKed in checked_cold).
+  class ColdSlab {
+   public:
+    ColdSlab() = default;
+    ColdSlab(const ColdSlab&) = delete;
+    ColdSlab& operator=(const ColdSlab&) = delete;
+
+    static constexpr int kClasses = 8;  ///< capacities 1, 2, 4, ..., 128
+
+    /// A block for class `cls` (block_bytes = the class's fixed size, a
+    /// multiple of 16): freelist head if one is free, else carved from the
+    /// current chunk's bump pointer.
+    [[nodiscard]] void* take(int cls, std::size_t block_bytes) {
+      if (void* p = free_[static_cast<std::size_t>(cls)]; p != nullptr) {
+        free_[static_cast<std::size_t>(cls)] = next_of(p);
+        return p;
+      }
+      if (static_cast<std::size_t>(chunk_end_ - bump_) < block_bytes)
+        new_chunk(block_bytes);
+      void* p = bump_;
+      bump_ += block_bytes;
+      return p;
+    }
+
+    /// Return a block to its class freelist.  The link lives at byte
+    /// offset 8, leaving the record's leading magic word intact as the
+    /// reclaim poison (ColdRecord::kDeadMagic).
+    void put(int cls, void* p) {
+      next_of(p) = free_[static_cast<std::size_t>(cls)];
+      free_[static_cast<std::size_t>(cls)] = p;
+    }
+
+    /// Bytes of chunk memory reserved.  Monotone — freelists recycle
+    /// *inside* chunks and chunks live until the engine dies — so the
+    /// current value is also the peak.
+    [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
+      return reserved_;
+    }
+
+   private:
+    static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;  // 64 KiB
+
+    [[nodiscard]] static void*& next_of(void* p) noexcept {
+      return *reinterpret_cast<void**>(static_cast<std::byte*>(p) + 8);
+    }
+
+    void new_chunk(std::size_t min_bytes) {
+      const std::size_t n = std::max(kChunkBytes, min_bytes);
+      chunks_.push_back(std::make_unique<std::byte[]>(n));
+      bump_ = chunks_.back().get();
+      chunk_end_ = bump_ + n;
+      reserved_ += n;
+    }
+
+    std::array<void*, kClasses> free_{};
+    std::byte* bump_ = nullptr;
+    std::byte* chunk_end_ = nullptr;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::uint64_t reserved_ = 0;
+  };
+
   /// One slice of the problem heap: the primary and speculative queues for
   /// the nodes homed here, the shard's lock, and its flat-combining publish
   /// list.  Entry comparators are global (ply/keys + global seq), so within
@@ -277,12 +361,21 @@ class Engine {
     std::uint64_t lock_hold_ns = 0;
     /// ++ under mu; read lock-free when stats() folds the aggregate.
     std::atomic<std::uint64_t> dead_drops{0};
+    /// Cold-record slab for the nodes homed here, plus its occupancy
+    /// counters — all guarded by mu, like the queues (allocation happens
+    /// inside apply sections whose touch set includes this shard,
+    /// reclamation under an acquire or apply holding this lock).
+    ColdSlab slab;
+    std::uint64_t cold_allocated = 0;  ///< cold records ever allocated
+    std::uint64_t cold_live = 0;       ///< currently attached
+    std::uint64_t cold_reclaimed = 0;  ///< returned (finish / dead subtree)
   };
 
   /// Sentinel for "pop the globally best entry over every shard".
   static constexpr std::size_t kAnyShard = std::numeric_limits<std::size_t>::max();
 
-  struct Node;  // defined with the storage arena below
+  struct Node;        // defined with the storage arena below
+  struct ColdRecord;  // slab-resident expansion payload, defined with Node
 
  public:
   /// Caller-owned handle for a commit published without combining
@@ -586,6 +679,12 @@ class Engine {
         shards_[owner].dead_drops.fetch_add(1, std::memory_order_relaxed);
         trace_shard_instant(owner, obs::EventKind::kSpecCancel, e.node,
                             /*arg=*/0);
+        // The popped entry's home-shard lock is held, so a dead node's own
+        // expansion payload can be returned right here.  Only the node's
+        // record: its children live on shards this (possibly shard-local)
+        // acquire does not hold — deeper dead descendants are reclaimed
+        // lazily, at their own pops and commits.
+        reclaim_cold(e.node);
         continue;
       }
       // Pop-time cutoff: the node's tentative value may already refute it
@@ -604,23 +703,30 @@ class Engine {
           return got;
         }
         n.in_flight = true;
-        out[got++] = WorkItem{e.node, serial_kind(n), w, n.value, n.type, &n};
+        out[got++] = WorkItem{e.node,  serial_kind(n), w, n.value, n.type, &n,
+                              &positions_[e.node]};
         continue;
       }
       n.in_flight = true;
       out[got++] = WorkItem{e.node,  WorkKind::kExpand, full_window(),
-                            -kValueInf, n.type,          &n};
+                            -kValueInf, n.type,          &n,
+                            &positions_[e.node]};
     }
     while (got < out.size()) {
       auto popped = pop_spec(shard);
       if (!popped) break;
       const SpecEntry e = *popped;
       Node& n = nodes_[e.node];
-      if (!n.on_spec || e.spec_seq != n.spec_seq) continue;  // stale
-      n.on_spec = false;
-      if (n.finished || is_dead(e.node) || !spec_eligible(e.node)) continue;
+      if (!n.on_spec() || e.spec_seq != n.spec_seq()) continue;  // stale
+      n.set_on_spec(false);
+      if (n.finished || is_dead(e.node)) {
+        reclaim_cold(e.node);
+        continue;
+      }
+      if (!spec_eligible(e.node)) continue;
       out[got++] = WorkItem{e.node,  WorkKind::kPromote, full_window(),
-                            -kValueInf, n.type,           &n};
+                            -kValueInf, n.type,           &n,
+                            &positions_[e.node]};
     }
     return got;
   }
@@ -675,23 +781,46 @@ class Engine {
   /// by acquire/commit, so concurrent compute calls share it freely.
   [[nodiscard]] ComputeResult compute(const WorkItem& item,
                                       ConcurrentTranspositionTable* tt) const {
-    // Use the pointer captured under the shard lock: indexing nodes_ here
-    // would race with commits growing the arena on other threads.
-    const Node& n = *static_cast<const Node*>(item.node_ref);
     ComputeResult out;
+    compute_into(item, tt, out);
+    return out;
+  }
+
+  /// compute() into a caller-owned result, reusing its buffers: the child
+  /// vector is cleared but keeps its capacity, so an executor that recycles
+  /// ComputeResults across units makes the expansion path allocation-free
+  /// at steady state (the commit side *copies* child positions into the
+  /// cold slab, so the buffer always comes back intact).
+  void compute_into(const WorkItem& item, ComputeResult& out) const {
+    compute_into(item, cfg_.shared_table, out);
+  }
+
+  void compute_into(const WorkItem& item, ConcurrentTranspositionTable* tt,
+                    ComputeResult& out) const {
+    // Use the pointers captured under the shard lock: indexing nodes_ or
+    // positions_ here would race with commits growing the arenas on other
+    // threads.
+    const Node& n = *static_cast<const Node*>(item.node_ref);
+    const Position& pos = *static_cast<const Position*>(item.pos_ref);
+    out.child_positions.clear();
+    out.positions_computed = false;
+    out.value = 0;
+    out.is_leaf = false;
+    out.is_done = false;
+    out.stats = {};
     ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
     searcher.with_shared_table(tt);
     switch (item.kind) {
       case WorkKind::kPromote:
         break;  // nothing heavy
       case WorkKind::kSerialFull: {
-        const SearchResult r = searcher.run_from(n.pos, n.ply, item.window);
+        const SearchResult r = searcher.run_from(pos, n.ply, item.window);
         out.value = r.value;
         out.stats = r.stats;
         break;
       }
       case WorkKind::kSerialEvalFirst: {
-        auto r = searcher.eval_first_from(n.pos, n.ply, item.window);
+        auto r = searcher.eval_first_from(pos, n.ply, item.window);
         out.value = r.value;
         out.is_done = r.done || r.children.empty();
         out.child_positions = std::move(r.children);
@@ -699,20 +828,26 @@ class Engine {
         break;
       }
       case WorkKind::kSerialRefuteRest: {
+        // The frozen child order lives in the node's cold record, read
+        // lock-free here: the node is in flight for exactly this unit, and
+        // reclaim_cold never touches an in-flight node's record.
+        const ColdRecord* c = n.cold;
+        ERS_CHECK(c != nullptr);
         const SearchResult r = searcher.refute_rest_from(
-            n.pos, n.ply, item.window, item.tentative, n.child_positions);
+            pos, n.ply, item.window, item.tentative,
+            std::span<const Position>(c->positions(), c->count));
         out.value = r.value;
         out.stats = r.stats;
         break;
       }
       case WorkKind::kSerialRefute: {
-        const SearchResult r = searcher.refute_from(n.pos, n.ply, item.window);
+        const SearchResult r = searcher.refute_from(pos, n.ply, item.window);
         out.value = r.value;
         out.stats = r.stats;
         break;
       }
       case WorkKind::kExpand: {
-        if (n.expanded) break;  // positions already known (promoted e-child)
+        if (n.expanded()) break;  // positions already known (promoted e-child)
         if constexpr (HashedGame<G>) {
           // An exact entry covering the full remaining depth resolves the
           // node without expanding its subtree — this is how one worker's
@@ -720,7 +855,7 @@ class Engine {
           if (tt != nullptr) {
             ++out.stats.tt_probes;
             TtHit h;
-            if (tt->probe(n.pos.tt_key(), h) &&
+            if (tt->probe(pos.tt_key(), h) &&
                 h.depth >= cfg_.search_depth - n.ply &&
                 h.bound == BoundKind::kExact) {
               ++out.stats.tt_hits;
@@ -732,14 +867,14 @@ class Engine {
           }
         }
         out.positions_computed = true;
-        game_.generate_children(n.pos, out.child_positions);
+        game_.generate_children(pos, out.child_positions);
         if (out.child_positions.empty()) {
           out.is_leaf = true;
-          out.value = game_.evaluate(n.pos);
+          out.value = game_.evaluate(pos);
           out.stats.leaves_evaluated += 1;
           if constexpr (HashedGame<G>) {
             if (tt != nullptr) {
-              tt->store(n.pos.tt_key(), out.value, cfg_.search_depth - n.ply,
+              tt->store(pos.tt_key(), out.value, cfg_.search_depth - n.ply,
                         BoundKind::kExact);
               ++out.stats.tt_stores;
             }
@@ -755,7 +890,6 @@ class Engine {
         break;
       }
     }
-    return out;
   }
 
   // --- run observers -------------------------------------------------------
@@ -772,7 +906,7 @@ class Engine {
     std::scoped_lock lk(combine_mu_);
     const std::uint32_t b = nodes_[0].best_child;
     if (b == kNoNode) return std::nullopt;
-    return nodes_[b].pos;
+    return positions_[b];  // the position arena is never reclaimed
   }
 
   /// Aggregate engine counters.  Returns a snapshot by value: the shard-
@@ -825,6 +959,45 @@ class Engine {
     return out;
   }
 
+  /// Memory-occupancy snapshot of the two-tier node storage: hot/position
+  /// arena bytes plus the per-shard cold-record counters and slab bytes
+  /// (heap-class records — more than 128 children — count in cold_live but
+  /// not slab_bytes).  Every total is monotone (see EngineMemStats), so
+  /// peak_bytes is the current reserved sum.  Takes each shard lock briefly
+  /// (uncounted), like queued_count.
+  [[nodiscard]] EngineMemStats mem_stats() const {
+    EngineMemStats m;
+    m.live_nodes = nodes_.size();
+    m.hot_bytes = nodes_.reserved_bytes();
+    m.position_bytes = positions_.reserved_bytes();
+    for (const Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
+      m.cold_allocated += s.cold_allocated;
+      m.cold_live += s.cold_live;
+      m.cold_reclaimed += s.cold_reclaimed;
+      m.slab_bytes += s.slab.reserved_bytes();
+    }
+    m.peak_bytes = m.hot_bytes + m.position_bytes + m.slab_bytes;
+    return m;
+  }
+
+  /// Test hooks for the reclamation protocol (tests/core/engine_test.cpp).
+  /// debug_cold_ptr returns the node's current cold record — null before
+  /// expansion and again after reclamation; debug_assert_cold_live
+  /// re-checks a previously captured pointer's magic word, tripping the
+  /// same ERS_DCHECK the engine's own checked_cold accessor uses (the
+  /// use-after-reclaim death test drives exactly this path — reclaimed
+  /// blocks are poisoned, never unmapped, so the read itself is safe).
+  [[nodiscard]] const void* debug_cold_ptr(std::uint32_t id) const {
+    std::scoped_lock lk(shards_[home_shard(id)].mu);
+    return nodes_[id].cold;
+  }
+  static void debug_assert_cold_live(const void* rec) {
+    ERS_DCHECK(rec != nullptr &&
+               static_cast<const ColdRecord*>(rec)->magic ==
+                   ColdRecord::kLiveMagic);
+  }
+
   /// True if no work is queued.  An executor observing has_queued_work() ==
   /// false, done() == false and no in-flight items has found a scheduling
   /// bug.
@@ -865,11 +1038,12 @@ class Engine {
           "first_e %d e_eval %d seqref %d\n",
           id, home_shard(id), static_cast<int>(n.parent), n.ply,
           static_cast<int>(static_cast<NodeType>(n.type)),
-          static_cast<int>(static_cast<Value>(n.value)), n.generated,
-          n.finished_children, n.elder_done, child_count(n), n.e_children,
-          n.partial ? 1 : 0, n.expanded ? 1 : 0, n.in_primary ? 1 : 0,
-          n.in_flight ? 1 : 0, n.first_e_selected ? 1 : 0,
-          n.e_child_evaluated ? 1 : 0, static_cast<int>(n.seq_refuting));
+          static_cast<int>(static_cast<Value>(n.value)), n.generated(),
+          n.finished_children(), n.elder_done(), child_count(n),
+          n.e_children(), n.partial() ? 1 : 0, n.expanded() ? 1 : 0,
+          n.in_primary ? 1 : 0, n.in_flight ? 1 : 0,
+          n.first_e_selected() ? 1 : 0, n.e_child_evaluated() ? 1 : 0,
+          static_cast<int>(n.seq_refuting()));
     }
     for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
       it->mu.unlock();
@@ -1208,6 +1382,13 @@ class Engine {
         commit_expand(item.node, std::move(r));
         break;
     }
+    // A node that finished or died while this unit was in flight kept its
+    // cold record alive through the flight (compute may read it lock-free);
+    // release it now that the unit has landed.  Nodes finished by this very
+    // commit already reclaimed inside finish_and_combine unless they were
+    // still in flight then — which is exactly this unit, now landed.
+    if (n.cold != nullptr && !n.in_flight && (n.finished || is_dead(item.node)))
+      reclaim_cold(item.node);
   }
 
   /// Ranking keys for the speculative queue under the configured policy.
@@ -1216,7 +1397,7 @@ class Engine {
     const Node& n = nodes_[id];
     switch (cfg_.spec_rank) {
       case SpecRankPolicy::kFewestEChildren:
-        return {n.e_children, n.ply};
+        return {n.e_children(), n.ply};
       case SpecRankPolicy::kBestBound: {
         const std::uint32_t c = best_promotion_candidate(n);
         return {c == kNoNode ? kValueInf : static_cast<Value>(nodes_[c].value),
@@ -1239,11 +1420,12 @@ class Engine {
 
   void push_spec(std::uint32_t id) {
     Node& n = nodes_[id];
-    if (n.on_spec || n.finished) return;
-    n.on_spec = true;
-    ++n.spec_seq;
+    if (n.on_spec() || n.finished) return;
+    ColdRecord* c = checked_cold(n);  // spec-eligible nodes are expanded
+    c->on_spec = true;
+    ++c->spec_seq;
     const auto [k1, k2] = spec_keys_for(id);
-    shards_[home_shard(id)].spec.push(SpecEntry{k1, k2, seq_++, id, n.spec_seq});
+    shards_[home_shard(id)].spec.push(SpecEntry{k1, k2, seq_++, id, c->spec_seq});
   }
 
   // --- predicates ---------------------------------------------------------
@@ -1254,7 +1436,7 @@ class Engine {
   /// re-typed for refutation — exactly Figure 8's two halves.
   [[nodiscard]] WorkKind serial_kind(const Node& n) const {
     if (n.ply >= cfg_.search_depth) return WorkKind::kSerialFull;  // horizon
-    if (n.partial) return WorkKind::kSerialRefuteRest;
+    if (n.partial()) return WorkKind::kSerialRefuteRest;
     switch (static_cast<NodeType>(n.type)) {
       case NodeType::kENode: return WorkKind::kSerialFull;
       case NodeType::kUndecided: return WorkKind::kSerialEvalFirst;
@@ -1347,7 +1529,7 @@ class Engine {
   }
 
   [[nodiscard]] int child_count(const Node& n) const {
-    return static_cast<int>(n.child_positions.size());
+    return n.cold != nullptr ? static_cast<int>(n.cold->count) : 0;
   }
 
   /// Children that can still be promoted to e-child: dormant (not queued,
@@ -1360,7 +1542,10 @@ class Engine {
 
   [[nodiscard]] std::uint32_t best_promotion_candidate(const Node& p) const {
     std::uint32_t best = kNoNode;
-    for (const std::uint32_t c : p.child_nodes) {
+    if (p.cold == nullptr) return best;
+    const std::uint32_t* kids = p.cold->child_nodes();
+    for (std::uint32_t i = 0; i < p.cold->count; ++i) {
+      const std::uint32_t c = kids[i];
       if (c == kNoNode || !is_promotion_candidate(c)) continue;
       if (best == kNoNode || static_cast<Value>(nodes_[c].value) <
                                  static_cast<Value>(nodes_[best].value))
@@ -1371,11 +1556,11 @@ class Engine {
 
   [[nodiscard]] bool spec_eligible(std::uint32_t id) const {
     const Node& n = nodes_[id];
-    if (n.type != NodeType::kENode || n.finished || !n.expanded) return false;
-    if (!cfg_.speculation.multiple_e_children && n.first_e_selected) return false;
+    if (n.type != NodeType::kENode || n.finished || !n.expanded()) return false;
+    if (!cfg_.speculation.multiple_e_children && n.first_e_selected()) return false;
     const int d = child_count(n);
     const int need = cfg_.speculation.early_e_child_choice ? d - 1 : d;
-    if (n.elder_done < need) return false;
+    if (n.elder_done() < need) return false;
     return best_promotion_candidate(n) != kNoNode;
   }
 
@@ -1388,12 +1573,18 @@ class Engine {
     ++stats_.serial_units;
     n.value = std::max<Value>(n.value, r.value);
     publish_node(id);
-    n.partial = true;
-    n.child_positions = std::move(r.child_positions);
+    // Resolve-before-store: a node that is already done (or cut off against
+    // the parent's current bound) never reads its frozen child order, so
+    // the done check runs first and a cold record is allocated only for
+    // survivors — an immediately-resolved cutover node costs no slab block.
+    // (Done-path semantics are unchanged: nothing on it consults the
+    // positions, and no pushes happen either way.)
     if (r.is_done || n.value >= beta_of(id)) {
       finish_and_combine(id);
       return;
     }
+    attach_cold(id, r.child_positions);  // survivor: freeze the child order
+    n.cold->partial = true;
     if (n.parent == kNoNode || nodes_[n.parent].finished) return;
     const std::uint32_t pid = n.parent;
     count_elder(pid, id);  // n now has a tentative value (Table 2 rows 4/5)
@@ -1410,27 +1601,28 @@ class Engine {
     Node& n = nodes_[id];
     if (r.positions_computed) {
       if (r.is_leaf) {
-        // Terminal position above the cutover: a true leaf of the game.
-        n.expanded = true;
+        // Terminal position above the cutover: a true leaf of the game —
+        // no expansion payload to store (finished nodes never have their
+        // expansion state consulted).
         n.value = std::max<Value>(n.value, r.value);
         publish_node(id);
         finish_and_combine(id);
         return;
       }
-      n.expanded = true;
-      n.child_positions = std::move(r.child_positions);
-      n.child_nodes.assign(n.child_positions.size(), kNoNode);
+      attach_cold(id, r.child_positions);
+      n.cold->expanded = true;
     }
-    ERS_CHECK(n.expanded);
+    ColdRecord* c = checked_cold(n);
+    ERS_CHECK(c->expanded);
     switch (static_cast<NodeType>(n.type)) {
       case NodeType::kENode: {
         // Generate all (missing) children as undecided (Table 1 row 1).
-        const bool e_child_done =
-            n.child_nodes[0] != kNoNode && nodes_[n.child_nodes[0]].finished;
+        const bool e_child_done = c->child_nodes()[0] != kNoNode &&
+                                  nodes_[c->child_nodes()[0]].finished;
         // Create in reverse index order: the primary queue is LIFO among
         // equals, so pops then visit the children left to right.
         for (int i = child_count(n) - 1; i >= 0; --i)
-          if (n.child_nodes[i] == kNoNode)
+          if (c->child_nodes()[i] == kNoNode)
             make_child(id, i, NodeType::kUndecided);
         if (e_child_done) {
           // A promoted e-child arrives with its first child — the elder
@@ -1439,23 +1631,23 @@ class Engine {
           // applies immediately: refute the remaining children rather than
           // running a second elder-grandchild sweep (this matches serial
           // ER, where the e-child is completed by Refute_rest).
-          n.first_e_selected = true;
-          if (n.e_children == 0) n.e_children = 1;
-          n.e_child_evaluated = true;
+          c->first_e_selected = true;
+          if (c->e_children == 0) c->e_children = 1;
+          c->e_child_evaluated = true;
           reconsider_e_node(id);
         }
         break;
       }
       case NodeType::kUndecided:
         // Elder-grandchild evaluation: first child only, as an e-node.
-        if (n.child_nodes[0] == kNoNode) make_child(id, 0, NodeType::kENode);
+        if (c->child_nodes()[0] == kNoNode) make_child(id, 0, NodeType::kENode);
         break;
       case NodeType::kRNode:
-        if (n.generated == 0) {
+        if (c->generated == 0) {
           make_child(id, 0, NodeType::kENode);
-        } else if (n.generated < child_count(n)) {
+        } else if (c->generated < static_cast<std::int32_t>(c->count)) {
           // Refutation proceeds one child at a time (Table 1 row 4).
-          make_child(id, n.generated, NodeType::kRNode);
+          make_child(id, c->generated, NodeType::kRNode);
         }
         break;
     }
@@ -1463,7 +1655,8 @@ class Engine {
 
   void make_child(std::uint32_t parent_id, int index, NodeType type) {
     Node& p = nodes_[parent_id];
-    ERS_CHECK(p.child_nodes[index] == kNoNode);
+    ColdRecord* pc = checked_cold(p);
+    ERS_CHECK(pc->child_nodes()[index] == kNoNode);
     // Arena slots never move: growth never invalidates existing references,
     // and the id only becomes visible to other shards through the queue
     // push below (under the child's home-shard lock, held by this combiner).
@@ -1472,10 +1665,10 @@ class Engine {
     const std::uint32_t subtree =
         parent_id == 0 ? static_cast<std::uint32_t>(index) : p.subtree;
     const std::uint32_t child_id =
-        nodes_.emplace(p.child_positions[index], parent_id, p.ply + 1, type,
-                       index, subtree);
-    p.child_nodes[index] = child_id;
-    p.generated += 1;
+        make_node(pc->positions()[index], parent_id, p.ply + 1, type, index,
+                  subtree);
+    pc->child_nodes()[index] = child_id;
+    pc->generated += 1;
     push_primary(child_id);
   }
 
@@ -1496,8 +1689,9 @@ class Engine {
     Node& c = nodes_[child_id];
     ERS_CHECK(c.type == NodeType::kUndecided && !c.finished);
     c.type = NodeType::kENode;
-    p.e_children += 1;
-    p.first_e_selected = true;
+    ColdRecord* pc = checked_cold(p);  // promoting parents are expanded
+    pc->e_children += 1;
+    pc->first_e_selected = true;
     if (mandatory)
       ++stats_.promotions_mandatory;
     else
@@ -1525,8 +1719,15 @@ class Engine {
       }
       Node& n = nodes_[cur];
       n.finished = true;
-      n.on_spec = false;  // lazily invalidates any spec entry
+      n.set_on_spec(false);  // lazily invalidates any spec entry
       publish_node(cur);
+      // The finish kills cur's subtree: reclaim cur's own cold record and
+      // the records of its freshly dead unfinished children (their home
+      // shards are in every touch set that covers cur's —
+      // mark_node_and_children).  In-flight records are skipped; their
+      // commit_one reclaims on landing.  Deeper dead descendants are
+      // reclaimed lazily at their own pops and commits.
+      reclaim_finished(cur);
       if (cur == 0) {
         done_ = true;
         return;
@@ -1539,10 +1740,10 @@ class Engine {
         p.best_child = cur;  // strict raise: an exactly-evaluated child
         publish_node(pid);
       }
-      p.finished_children += 1;
+      p.bump_finished_children();  // no-op for a dead, already-reclaimed p
       count_elder(pid, cur);  // cur is certainly evaluated-or-finished now
       if (n.type == NodeType::kENode && p.type == NodeType::kENode)
-        p.e_child_evaluated = true;
+        p.set_e_child_evaluated();
       if (is_node_complete(pid)) {
         cur = pid;  // keep backing up
         continue;
@@ -1564,15 +1765,15 @@ class Engine {
     Node& c = nodes_[child_id];
     if (c.elder_counted) return false;
     c.elder_counted = true;
-    nodes_[parent_id].elder_done += 1;
+    nodes_[parent_id].bump_elder_done();  // no-op for a dead, reclaimed parent
     return true;
   }
 
   [[nodiscard]] bool is_node_complete(std::uint32_t id) const {
     const Node& n = nodes_[id];
     if (id != 0 && n.value >= beta_of(id)) return true;  // cut off (refuted)
-    return n.expanded && n.generated == child_count(n) &&
-           n.finished_children == child_count(n);
+    return n.expanded() && n.generated() == child_count(n) &&
+           n.finished_children() == child_count(n);
   }
 
   /// Table 2: decide what new work `id` schedules after its state changed.
@@ -1586,8 +1787,8 @@ class Engine {
       case NodeType::kRNode:
         // A child combined and the node survives: schedule the next child
         // (Table 1 row 4 runs when it is popped).
-        if (n.generated < child_count(n) &&
-            n.generated == n.finished_children)
+        if (n.generated() < child_count(n) &&
+            n.generated() == n.finished_children())
           push_primary(id);
         return;
       case NodeType::kENode:
@@ -1598,21 +1799,22 @@ class Engine {
 
   void reconsider_e_node(std::uint32_t id) {
     Node& n = nodes_[id];
-    if (!n.expanded) return;  // not yet popped; Table 1 will handle it
+    if (!n.expanded()) return;  // not yet popped; Table 1 will handle it
+    ColdRecord* c = checked_cold(n);
     const int d = child_count(n);
     // Table 2 row 2: mandatory first e-child selection once every elder
     // grandchild is evaluated.
-    if (!n.first_e_selected && n.elder_done == d) {
+    if (!c->first_e_selected && c->elder_done == d) {
       const std::uint32_t child = best_promotion_candidate(n);
       if (child != kNoNode) promote_to_e_child(id, child, /*mandatory=*/true);
     }
     // Table 2 row 3: once an e-child has been fully evaluated, refute the
     // remaining (undecided) children — all at once under parallel
     // refutation, one at a time otherwise.
-    if (n.e_child_evaluated) {
+    if (c->e_child_evaluated) {
       if (cfg_.speculation.parallel_refutation) {
-        if (!n.refutation_dispatched) {
-          n.refutation_dispatched = true;
+        if (!c->refutation_dispatched) {
+          c->refutation_dispatched = true;
           dispatch_refutations(id, /*all=*/true);
         }
       } else {
@@ -1625,15 +1827,21 @@ class Engine {
 
   void dispatch_refutations(std::uint32_t id, bool all) {
     Node& n = nodes_[id];
+    ColdRecord* rec = checked_cold(n);  // only expanded e-nodes dispatch
     if (!all) {
       // Sequential refutation: only one child under refutation at a time.
-      if (n.seq_refuting != kNoNode && !nodes_[n.seq_refuting].finished) return;
-      n.seq_refuting = kNoNode;
+      if (rec->seq_refuting != kNoNode && !nodes_[rec->seq_refuting].finished)
+        return;
+      rec->seq_refuting = kNoNode;
     }
     // Re-type in ascending tentative-value order (serial ER's refutation
-    // order after its sort).
-    std::vector<std::uint32_t> undecided;
-    for (const std::uint32_t c : n.child_nodes) {
+    // order after its sort).  Combiner-owned scratch (dispatch never
+    // re-enters itself): no per-dispatch allocation at steady state.
+    std::vector<std::uint32_t>& undecided = scratch_undecided_;
+    undecided.clear();
+    const std::uint32_t* kids = rec->child_nodes();
+    for (std::uint32_t i = 0; i < rec->count; ++i) {
+      const std::uint32_t c = kids[i];
       if (c == kNoNode) continue;
       const Node& cn = nodes_[c];
       if (!cn.finished && cn.type == NodeType::kUndecided) undecided.push_back(c);
@@ -1650,7 +1858,7 @@ class Engine {
       cn.type = NodeType::kRNode;
       ++stats_.refutations_dispatched;
       if (!cn.in_primary && !cn.in_flight) push_primary(undecided.front());
-      n.seq_refuting = undecided.front();
+      rec->seq_refuting = undecided.front();
       return;
     }
     // Parallel refutation: dispatch every candidate.  Push in reverse of
@@ -1848,78 +2056,207 @@ class Engine {
 #endif
   }
 
-  // --- node storage ---------------------------------------------------------
+  // --- node storage (two-tier; DESIGN.md §15) -------------------------------
 
+  /// Cold expansion record: everything a node needs only between its
+  /// expansion and its finish — the frozen child positions, the child-node
+  /// ids, and the ER phase bookkeeping.  Lives in the home shard's ColdSlab
+  /// (Node::cold), touched only under that shard's lock except for the
+  /// lock-free compute-phase reads on the node's *own* in-flight unit
+  /// (kExpand's expanded check, kSerialRefuteRest's frozen child order),
+  /// which the reclaimer's !in_flight guard keeps safe.  The child arrays
+  /// are laid out inline after this header, sized at expansion:
+  ///
+  ///     [ColdRecord][cap × Position][cap × child-node id]   (bytes_for)
+  struct ColdRecord {
+    static constexpr std::uint32_t kLiveMagic = 0xC01DFEEDu;
+    static constexpr std::uint32_t kDeadMagic = 0xDEADC01Du;
+
+    std::uint32_t magic = kLiveMagic;  ///< poisoned to kDeadMagic on reclaim
+    std::uint8_t size_class = 0;  ///< slab class; kHeapClass = operator new
+    bool expanded = false;        ///< child positions computed (Table 1 ran)
+    bool partial = false;         ///< cutover node: Eval_first completed
+    bool on_spec = false;         ///< a live entry exists in the spec queue
+    bool first_e_selected = false;
+    bool e_child_evaluated = false;  ///< some promoted e-child has finished
+    bool refutation_dispatched = false;
+    std::uint32_t capacity = 0;  ///< child slots allocated
+    std::uint32_t count = 0;     ///< child positions stored
+    std::int32_t generated = 0;  ///< children instantiated as nodes
+    std::int32_t finished_children = 0;
+    std::int32_t elder_done = 0;  ///< children with tentative value / finished
+    std::int32_t e_children = 0;  ///< children promoted to e-node
+    std::uint32_t seq_refuting = kNoNode;  ///< sequential-refutation cursor
+    std::uint64_t spec_seq = 0;
+
+    [[nodiscard]] Position* positions() noexcept {
+      return reinterpret_cast<Position*>(reinterpret_cast<std::byte*>(this) +
+                                         positions_offset());
+    }
+    [[nodiscard]] const Position* positions() const noexcept {
+      return reinterpret_cast<const Position*>(
+          reinterpret_cast<const std::byte*>(this) + positions_offset());
+    }
+    [[nodiscard]] std::uint32_t* child_nodes() noexcept {
+      return reinterpret_cast<std::uint32_t*>(
+          reinterpret_cast<std::byte*>(this) + nodes_offset(capacity));
+    }
+    [[nodiscard]] const std::uint32_t* child_nodes() const noexcept {
+      return reinterpret_cast<const std::uint32_t*>(
+          reinterpret_cast<const std::byte*>(this) + nodes_offset(capacity));
+    }
+
+    [[nodiscard]] static constexpr std::size_t align_up(
+        std::size_t v, std::size_t a) noexcept {
+      return (v + a - 1) & ~(a - 1);
+    }
+    [[nodiscard]] static constexpr std::size_t positions_offset() noexcept {
+      return align_up(sizeof(ColdRecord), alignof(Position));
+    }
+    [[nodiscard]] static constexpr std::size_t nodes_offset(
+        std::uint32_t cap) noexcept {
+      return align_up(positions_offset() + cap * sizeof(Position),
+                      alignof(std::uint32_t));
+    }
+    /// Total block bytes for `cap` child slots, rounded to 16 so slab bump
+    /// pointers stay aligned for any Position type.
+    [[nodiscard]] static constexpr std::size_t bytes_for(
+        std::uint32_t cap) noexcept {
+      return align_up(nodes_offset(cap) + cap * sizeof(std::uint32_t), 16);
+    }
+  };
+
+  /// Hot per-node record: one cache line.  Everything the lock-free readers
+  /// touch (window_of/is_dead epoch walks, promotion candidacy, pop
+  /// filtering) lives here; the expansion payload hangs off `cold` and is
+  /// reclaimed when the node finishes or its subtree dies (ColdRecord
+  /// above).  The game position lives in the engine's id-parallel position
+  /// arena, not in the node.
   struct Node {
-    Node(Position position, std::uint32_t parent_id, int ply_at, NodeType ty,
+    Node(std::uint32_t parent_id, int ply_at, NodeType ty,
          int index_in_parent, std::uint32_t subtree_tag)
-        : pos(std::move(position)),
-          parent(parent_id),
+        : parent(parent_id),
           ply(ply_at),
           child_index(index_in_parent),
           subtree(subtree_tag),
           type(ty) {}
-
-    Position pos;
-    std::uint32_t parent;      ///< immutable; lock-free chain walks rely on it
-    std::int32_t ply;          ///< immutable
-    std::int32_t child_index;  ///< immutable; index within the parent's child list
-    std::uint32_t subtree;     ///< immutable; root-child ancestor's child index
-                               ///< (0 for the root) — kSubtreeAffinity placement
 
     /// Epoch-published (value, finished) word for high nodes (ply <
     /// publish_frontier; see pack_pub).  Written by publish_node after
     /// every mutation; read lock-free by window_of/is_dead.  Stays at its
     /// initial state when the frontier is disabled or the node is deep.
     std::atomic<std::uint64_t> pub{pack_pub(-kValueInf, false, 0)};
+    /// Cold expansion record in the home shard's slab — null before
+    /// expansion and again after reclamation.  Written under the home
+    /// shard's lock; the only lock-free readers are compute() calls on this
+    /// node's own in-flight unit, which exclude every writer (attach and
+    /// reclaim both refuse in-flight nodes).
+    ColdRecord* cold = nullptr;
+
+    std::uint32_t parent;      ///< immutable; lock-free chain walks rely on it
+    std::int32_t ply;          ///< immutable
+    std::int32_t child_index;  ///< immutable; index within the parent's child list
+    std::uint32_t subtree;     ///< immutable; root-child ancestor's child index
+                               ///< (0 for the root) — kSubtreeAffinity placement
+    std::uint32_t best_child = kNoNode;  ///< child that last raised value
 
     // Cross-shard-readable fields (relaxed atomics, written under the
     // owner's home-shard lock; see the header's concurrency model).
-    Shared<NodeType> type;
     Shared<Value> value{-kValueInf};  ///< monotone tentative value, own perspective
+    Shared<NodeType> type;
     Shared<bool> finished{false};     ///< subtree resolved (evaluated or refuted)
     Shared<bool> in_primary{false};   ///< a live entry exists in the primary queue
     Shared<bool> in_flight{false};    ///< a worker holds this node
     Shared<bool> elder_counted{false};///< contributed to parent's elder_done
 
-    // Plain fields: only ever accessed under home_shard(id)'s lock — by an
-    // acquire on that shard or a combiner whose touch set includes it.
-    bool expanded = false;      ///< child_positions computed
-    bool partial = false;       ///< cutover node: Eval_first unit completed
-    bool on_spec = false;       ///< a live entry exists in the spec queue
-    bool first_e_selected = false;
-    bool e_child_evaluated = false;   ///< some promoted e-child has finished
-    bool refutation_dispatched = false;
-    std::vector<Position> child_positions;
-    std::vector<std::uint32_t> child_nodes;  ///< kNoNode until generated
-    std::int32_t generated = 0;          ///< children instantiated as nodes
-    std::int32_t finished_children = 0;
-    std::int32_t elder_done = 0;  ///< children with tentative value / finished
-    std::int32_t e_children = 0;  ///< children promoted to e-node
-    std::uint32_t seq_refuting = kNoNode;  ///< sequential-refutation cursor
-    std::uint32_t best_child = kNoNode;    ///< child that last raised value
-    std::uint64_t spec_seq = 0;
-  };
-
-  /// Chunked stable-address node storage.  One writer — the current
-  /// combiner — appends; concurrent readers index nodes they learned about
-  /// through a shard lock, which is what publishes both the chunk pointer
-  /// and the constructed node (ids only escape via queue entries pushed
-  /// under shard locks after construction, and parents are constructed
-  /// before children).  A deque would be the natural container, but its
-  /// internal chunk map reallocates on growth and a concurrent operator[]
-  /// would race; here the chunk-pointer table is preallocated and never
-  /// moves.  Nodes hold atomics, so slots are placement-new constructed in
-  /// place and never moved or copied.
-  class NodeArena {
-   public:
-    NodeArena() : chunks_(kMaxChunks) {}
-    ~NodeArena() {
-      const std::size_t n = size_.load(std::memory_order_relaxed);
-      for (std::size_t i = 0; i < n; ++i) slot(i)->~Node();
+    // Cold-state readers, tolerant of a reclaimed (null) record: they
+    // answer as a node with no expansion state — exactly what a dead or
+    // finished node should look like to the scheduling predicates.
+    [[nodiscard]] bool expanded() const noexcept {
+      return cold != nullptr && cold->expanded;
     }
-    NodeArena(const NodeArena&) = delete;
-    NodeArena& operator=(const NodeArena&) = delete;
+    [[nodiscard]] bool partial() const noexcept {
+      return cold != nullptr && cold->partial;
+    }
+    [[nodiscard]] bool on_spec() const noexcept {
+      return cold != nullptr && cold->on_spec;
+    }
+    [[nodiscard]] bool first_e_selected() const noexcept {
+      return cold != nullptr && cold->first_e_selected;
+    }
+    [[nodiscard]] bool e_child_evaluated() const noexcept {
+      return cold != nullptr && cold->e_child_evaluated;
+    }
+    [[nodiscard]] std::int32_t generated() const noexcept {
+      return cold != nullptr ? cold->generated : 0;
+    }
+    [[nodiscard]] std::int32_t finished_children() const noexcept {
+      return cold != nullptr ? cold->finished_children : 0;
+    }
+    [[nodiscard]] std::int32_t elder_done() const noexcept {
+      return cold != nullptr ? cold->elder_done : 0;
+    }
+    [[nodiscard]] std::int32_t e_children() const noexcept {
+      return cold != nullptr ? cold->e_children : 0;
+    }
+    [[nodiscard]] std::uint32_t seq_refuting() const noexcept {
+      return cold != nullptr ? cold->seq_refuting : kNoNode;
+    }
+    [[nodiscard]] std::uint64_t spec_seq() const noexcept {
+      return cold != nullptr ? cold->spec_seq : 0;
+    }
+    // Writers that can legitimately run after the record died with the
+    // subtree (a finish clearing spec membership, a dead parent's child
+    // accounting) degrade to no-ops on null.
+    void set_on_spec(bool v) noexcept {
+      if (cold != nullptr) cold->on_spec = v;
+    }
+    void set_e_child_evaluated() noexcept {
+      if (cold != nullptr) cold->e_child_evaluated = true;
+    }
+    void bump_elder_done() noexcept {
+      if (cold != nullptr) cold->elder_done += 1;
+    }
+    void bump_finished_children() noexcept {
+      if (cold != nullptr) cold->finished_children += 1;
+    }
+  };
+  static_assert(sizeof(Node) <= 64,
+                "hot node record must fit one cache line — move anything "
+                "bigger into ColdRecord");
+
+  /// The node's cold record, which must be live: the accessor for commit
+  /// paths only reachable while the record exists (expanded nodes that are
+  /// neither finished nor dead).  The magic re-check turns a
+  /// use-after-reclaim into an immediate ERS_DCHECK failure instead of a
+  /// silent read of recycled memory.
+  [[nodiscard]] static ColdRecord* checked_cold(const Node& n) {
+    ColdRecord* c = n.cold;
+    ERS_DCHECK(c != nullptr && c->magic == ColdRecord::kLiveMagic);
+    return c;
+  }
+
+  /// Chunked stable-address storage, shared by the hot node records and the
+  /// id-parallel position arena.  One writer — the current combiner —
+  /// appends; concurrent readers index slots they learned about through a
+  /// shard lock, which is what publishes both the chunk pointer and the
+  /// constructed element (ids only escape via queue entries pushed under
+  /// shard locks after construction, and parents are constructed before
+  /// children).  A deque would be the natural container, but its internal
+  /// chunk map reallocates on growth and a concurrent operator[] would
+  /// race; here the chunk-pointer table is preallocated and never moves.
+  /// Nodes hold atomics, so slots are placement-new constructed in place
+  /// and never moved or copied.
+  template <typename T>
+  class StableArena {
+   public:
+    StableArena() : chunks_(kMaxChunks) {}
+    ~StableArena() {
+      const std::size_t n = size_.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < n; ++i) slot(i)->~T();
+    }
+    StableArena(const StableArena&) = delete;
+    StableArena& operator=(const StableArena&) = delete;
 
     template <typename... Args>
     std::uint32_t emplace(Args&&... args) {
@@ -1927,37 +2264,162 @@ class Engine {
       const std::size_t c = i >> kChunkShift;
       ERS_CHECK(c < chunks_.size());
       if (chunks_[c] == nullptr) chunks_[c] = std::make_unique<Chunk>();
-      ::new (static_cast<void*>(slot(i))) Node(std::forward<Args>(args)...);
+      ::new (static_cast<void*>(slot(i))) T(std::forward<Args>(args)...);
       size_.store(i + 1, std::memory_order_relaxed);
       return static_cast<std::uint32_t>(i);
     }
 
-    [[nodiscard]] Node& operator[](std::size_t i) const { return *slot(i); }
+    [[nodiscard]] T& operator[](std::size_t i) const { return *slot(i); }
     [[nodiscard]] std::size_t size() const noexcept {
       return size_.load(std::memory_order_relaxed);
     }
+    /// Chunk bytes reserved so far — monotone (chunks are never freed
+    /// before destruction), so current == peak.
+    [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
+      const std::size_t n = size_.load(std::memory_order_relaxed);
+      const std::size_t chunks = (n + kChunkSlots - 1) >> kChunkShift;
+      return static_cast<std::uint64_t>(chunks) * sizeof(Chunk);
+    }
 
    private:
-    static constexpr std::size_t kChunkShift = 10;  // 1024 nodes per chunk
-    static constexpr std::size_t kChunkNodes = std::size_t{1} << kChunkShift;
-    static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;  // 16.7M nodes
+    static constexpr std::size_t kChunkShift = 10;  // 1024 slots per chunk
+    static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;  // 16.7M slots
     struct Chunk {
-      alignas(Node) std::byte raw[sizeof(Node) * kChunkNodes];
+      alignas(T) std::byte raw[sizeof(T) * kChunkSlots];
     };
-    [[nodiscard]] Node* slot(std::size_t i) const {
-      return reinterpret_cast<Node*>(chunks_[i >> kChunkShift]->raw) +
-             (i & (kChunkNodes - 1));
+    [[nodiscard]] T* slot(std::size_t i) const {
+      return reinterpret_cast<T*>(chunks_[i >> kChunkShift]->raw) +
+             (i & (kChunkSlots - 1));
     }
     std::vector<std::unique_ptr<Chunk>> chunks_;
     std::atomic<std::size_t> size_{0};
   };
 
+  /// Create a node: the hot record and its id-parallel position slot, in
+  /// sync (the two arenas always have equal size).
+  std::uint32_t make_node(const Position& pos, std::uint32_t parent, int ply,
+                          NodeType ty, int index_in_parent,
+                          std::uint32_t subtree) {
+    const std::uint32_t id =
+        nodes_.emplace(parent, ply, ty, index_in_parent, subtree);
+    const std::uint32_t pid = positions_.emplace(pos);
+    ERS_CHECK(pid == id);
+    return id;
+  }
+
+  // --- cold-record allocation / reclamation ---------------------------------
+
+  /// ColdRecord::size_class sentinel: more children than the largest slab
+  /// class — the block comes straight from operator new/delete.
+  static constexpr std::uint8_t kHeapClass = 0xFF;
+
+  /// Smallest power-of-two slab class holding `cap` children, or kHeapClass.
+  [[nodiscard]] static std::uint8_t size_class_for(std::uint32_t cap) noexcept {
+    std::uint8_t cls = 0;
+    std::uint32_t c = 1;
+    while (c < cap) {
+      c <<= 1;
+      ++cls;
+    }
+    return cls < ColdSlab::kClasses ? cls : kHeapClass;
+  }
+
+  /// Allocate (and placement-construct) a cold record with room for
+  /// `children` child slots from the node's home-shard slab.  Requires the
+  /// home shard's lock — every caller is inside an apply section whose
+  /// touch set includes it.
+  [[nodiscard]] ColdRecord* alloc_cold(std::uint32_t id, std::size_t children) {
+    static_assert(alignof(Position) <= alignof(std::max_align_t),
+                  "slab chunks only guarantee fundamental alignment");
+    static_assert(std::is_trivially_destructible_v<ColdRecord>);
+    ERS_DCHECK(children >= 1);
+    const auto need = static_cast<std::uint32_t>(children);
+    const std::uint8_t cls = size_class_for(need);
+    const std::uint32_t cap = cls == kHeapClass ? need : (1u << cls);
+    const std::size_t bytes = ColdRecord::bytes_for(cap);
+    Shard& sh = shards_[home_shard(id)];
+    void* mem =
+        cls == kHeapClass ? ::operator new(bytes) : sh.slab.take(cls, bytes);
+    auto* rec = ::new (mem) ColdRecord();
+    rec->size_class = cls;
+    rec->capacity = cap;
+    ++sh.cold_allocated;
+    ++sh.cold_live;
+    return rec;
+  }
+
+  /// Freeze `kids` as `id`'s child order in a fresh cold record.  The
+  /// positions are *copied* — the compute buffer keeps its capacity and is
+  /// recycled by the executor (compute_into).
+  void attach_cold(std::uint32_t id, std::vector<Position>& kids) {
+    Node& n = nodes_[id];
+    ERS_DCHECK(n.cold == nullptr);
+    ColdRecord* c = alloc_cold(id, kids.size());
+    Position* ps = c->positions();
+    std::uint32_t* cn = c->child_nodes();
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      ::new (static_cast<void*>(ps + i)) Position(kids[i]);
+      cn[i] = kNoNode;
+    }
+    c->count = static_cast<std::uint32_t>(kids.size());
+    n.cold = c;
+  }
+
+  /// Return `id`'s cold record to its home-shard slab: destroy the stored
+  /// positions, poison the magic word (use-after-reclaim detection), and
+  /// push the block onto its size-class freelist.  Requires the home
+  /// shard's lock.  Refuses in-flight nodes — their compute phase may be
+  /// reading the record lock-free — and commit_one re-runs the reclaim
+  /// once the unit lands.  No-op when there is nothing attached.
+  void reclaim_cold(std::uint32_t id) {
+    Node& n = nodes_[id];
+    ColdRecord* c = n.cold;
+    if (c == nullptr || n.in_flight) return;
+    ERS_DCHECK(c->magic == ColdRecord::kLiveMagic);
+    n.cold = nullptr;
+    Shard& sh = shards_[home_shard(id)];
+    const std::uint8_t cls = c->size_class;
+    Position* ps = c->positions();
+    for (std::uint32_t i = 0; i < c->count; ++i) ps[i].~Position();
+    c->magic = ColdRecord::kDeadMagic;  // poison survives in the freelist
+    if (cls == kHeapClass)
+      ::operator delete(c);
+    else
+      sh.slab.put(cls, c);
+    --sh.cold_live;
+    ++sh.cold_reclaimed;
+  }
+
+  /// Reclaim what a freshly finished node no longer needs: its own cold
+  /// record and the records of the unfinished children its finish just
+  /// killed (finished children already reclaimed at their own finish).
+  /// Caller holds the finishing node's touch-set locks, which cover every
+  /// child's home shard (mark_node_and_children).
+  void reclaim_finished(std::uint32_t id) {
+    const ColdRecord* c = nodes_[id].cold;
+    if (c == nullptr) return;
+    const std::uint32_t* kids = c->child_nodes();
+    const std::uint32_t cnt = c->count;
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const std::uint32_t ch = kids[i];
+      if (ch != kNoNode && !nodes_[ch].finished) reclaim_cold(ch);
+    }
+    reclaim_cold(id);
+  }
+
   // --- members --------------------------------------------------------------
 
   const G& game_;
   EngineConfig cfg_;
-  NodeArena nodes_;           ///< stable slots: children are created while
-                              ///< parent references are live
+  StableArena<Node> nodes_;  ///< stable slots: children are created while
+                             ///< parent references are live
+  /// Id-parallel position arena: positions_[id] is node id's game position.
+  /// Never reclaimed — best_root_position() reads the winning child after
+  /// the search and compute() reads in-flight positions lock-free — which
+  /// keeps hot records pointer-light and spares the reclamation protocol
+  /// from ever proving a position unreachable.
+  StableArena<Position> positions_;
   std::deque<Shard> shards_;  ///< deque: Shard is immovable (owns mutexes)
   /// Global push sequence for the LIFO/FIFO tiebreaks.  Plain on purpose:
   /// pushes only happen during single-threaded construction and inside
@@ -2006,6 +2468,9 @@ class Engine {
   std::vector<ApplyRecord*> scratch_records_;
   std::vector<std::uint8_t> scratch_touch_;
   std::vector<std::size_t> scratch_locks_;
+  /// dispatch_refutations' undecided-children list (combiner-owned):
+  /// reused across commits so refutation dispatch never allocates.
+  std::vector<std::uint32_t> scratch_undecided_;
   /// Continuation-escalation scratch (resolve_deferred_backup) — separate
   /// from the record's own buffers, which must survive the escalation.
   std::vector<std::uint8_t> cont_touch_;

@@ -38,6 +38,10 @@ struct SimulatedSearchResult {
   Value value = 0;
   core::EngineStats engine;
   sim::SimMetrics metrics;
+  /// Node-storage occupancy at completion (DESIGN.md §15) — the
+  /// bytes-per-node figures read peak_bytes from here.  (The thread path
+  /// carries the same snapshot inside report.mem.)
+  core::EngineMemStats mem;
   std::optional<Position> best_move;
 };
 
@@ -97,7 +101,8 @@ template <Game G>
   exec.with_trace(trace);
   const sim::SimMetrics m = exec.run(engine);
   return SimulatedSearchResult<typename G::Position>{
-      engine.root_value(), engine.stats(), m, engine.best_root_position()};
+      engine.root_value(), engine.stats(), m, engine.mem_stats(),
+      engine.best_root_position()};
 }
 
 }  // namespace ers

@@ -183,6 +183,24 @@ struct EngineLockStats {
   }
 };
 
+/// Memory-occupancy snapshot of the engine's two-tier node storage
+/// (DESIGN.md §15): the id-stable hot arena, the id-parallel position
+/// arena, and the per-shard cold-record slabs.  Every byte total is
+/// monotone — arena chunks and slab chunks are never returned before the
+/// engine is destroyed, and freelists recycle *inside* chunks — so
+/// peak_bytes is simply the current reserved total.  Exported through
+/// obs::register_engine_mem_stats as the engine.mem.* gauges.
+struct EngineMemStats {
+  std::uint64_t live_nodes = 0;      ///< nodes in the hot arena (never freed)
+  std::uint64_t hot_bytes = 0;       ///< hot-record arena chunk bytes
+  std::uint64_t position_bytes = 0;  ///< position arena chunk bytes
+  std::uint64_t cold_allocated = 0;  ///< cold records ever allocated
+  std::uint64_t cold_live = 0;       ///< cold records currently attached
+  std::uint64_t cold_reclaimed = 0;  ///< cold records returned (finish/dead)
+  std::uint64_t slab_bytes = 0;      ///< cold-slab chunk bytes across shards
+  std::uint64_t peak_bytes = 0;      ///< hot + position + slab (monotone)
+};
+
 /// What a worker should do with an acquired node.  Nodes at or below the
 /// serial-depth cutover become serial work units whose semantics depend on
 /// the node's role, mirroring Figure 8 exactly: a full ER evaluation for
@@ -216,6 +234,11 @@ struct WorkItem {
   /// growing it; arena slots never move, so the pointer is safe while the
   /// item is in flight.
   const void* node_ref = nullptr;
+  /// Stable pointer to the node's game position in the engine's id-parallel
+  /// position arena (never reclaimed), captured at acquire time for the
+  /// same reason as node_ref: the hot node record does not carry the
+  /// position, and compute() runs lockless.
+  const void* pos_ref = nullptr;
 };
 
 }  // namespace ers::core

@@ -31,6 +31,22 @@ concept Game = requires(const G& g, const typename G::Position& p,
   { g.evaluate(p) } -> std::convertible_to<Value>;
 };
 
+/// Games that can report a typical branching factor, used only to size
+/// scratch buffers (reserve hints), never for correctness.
+template <typename G>
+concept BranchingHinted = Game<G> && requires(const G& g) {
+  { g.branching_hint() } -> std::convertible_to<std::size_t>;
+};
+
+/// The game's branching hint, or a generic default when it has none.
+template <Game G>
+[[nodiscard]] constexpr std::size_t branching_hint_of(const G& game) noexcept {
+  if constexpr (BranchingHinted<G>)
+    return game.branching_hint();
+  else
+    return 32;
+}
+
 /// Games whose positions carry a cheap 64-bit transposition key (maintained
 /// incrementally, so reading it is free on the search hot path).  Positions
 /// that compare equal must have equal keys; distinct positions collide with

@@ -46,6 +46,7 @@ ParallelPoint run_parallel_point(const ExperimentTree& tree, int processors,
         p.value = r.value;
         p.engine = r.engine;
         p.metrics = r.metrics;
+        p.mem = r.mem;
       },
       tree.game);
   ERS_CHECK(p.value == serial.value);

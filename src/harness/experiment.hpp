@@ -42,6 +42,7 @@ struct ParallelPoint {
   double efficiency = 0.0;  ///< speedup / processors
   sim::SimMetrics metrics;
   core::EngineStats engine;
+  core::EngineMemStats mem;  ///< node-storage occupancy (DESIGN.md §15)
 };
 
 [[nodiscard]] SerialBaseline run_serial_baselines(const ExperimentTree& tree,

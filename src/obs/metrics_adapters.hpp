@@ -38,6 +38,23 @@ inline void register_scheduler_stats(MetricsRegistry& reg,
   reg.set(prefix + "global_refills", s.global_refills);
 }
 
+/// Node-storage occupancy gauges (DESIGN.md §15): arena/slab footprint and
+/// cold-record reclamation totals, as `engine.mem.*`.  `cold_reclaimed > 0`
+/// on a speculative workload is the observable proof that dead-subtree
+/// reclamation is running.
+inline void register_engine_mem_stats(MetricsRegistry& reg,
+                                      const core::EngineMemStats& m,
+                                      const std::string& prefix = "engine.") {
+  reg.set(prefix + "mem.live_nodes", m.live_nodes);
+  reg.set(prefix + "mem.hot_bytes", m.hot_bytes);
+  reg.set(prefix + "mem.position_bytes", m.position_bytes);
+  reg.set(prefix + "mem.cold_allocated", m.cold_allocated);
+  reg.set(prefix + "mem.cold_live", m.cold_live);
+  reg.set(prefix + "mem.cold_reclaimed", m.cold_reclaimed);
+  reg.set(prefix + "mem.slab_bytes", m.slab_bytes);
+  reg.set(prefix + "mem.peak_bytes", m.peak_bytes);
+}
+
 inline void register_thread_report(MetricsRegistry& reg,
                                    const runtime::ThreadRunReport& r,
                                    const std::string& prefix = "run.") {
@@ -63,6 +80,7 @@ inline void register_thread_report(MetricsRegistry& reg,
   reg.set("tt.hits", r.tt_hits);
   reg.set("tt.hit_rate", r.tt_hit_rate());
   register_scheduler_stats(reg, r.sched);
+  register_engine_mem_stats(reg, r.mem);
 }
 
 inline void register_sim_metrics(MetricsRegistry& reg,

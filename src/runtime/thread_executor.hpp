@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/types.hpp"
 #include "obs/trace.hpp"
 #include "runtime/topology.hpp"
 #include "search/concurrent_ttable.hpp"
@@ -171,6 +172,10 @@ struct ThreadRunReport {
   std::uint64_t root_publishes = 0;
   std::uint64_t root_publish_retries = 0;
   std::uint64_t root_validate_retries = 0;
+  /// Node-storage occupancy at the end of the run (engines exposing
+  /// mem_stats(); zero otherwise) — arena/slab bytes and cold-record
+  /// reclamation totals (DESIGN.md §15).
+  core::EngineMemStats mem;
 
   [[nodiscard]] double tt_hit_rate() const noexcept {
     return tt_probes == 0
@@ -377,6 +382,23 @@ class ThreadExecutor {
       std::vector<EntryT> done_buf;
       run_buf.reserve(k);
       done_buf.reserve(k);
+      // Recycled compute-result buffers: committed entries donate their
+      // results (whose child vectors keep capacity — the engine copies
+      // positions out, never moves the buffers) back to a spare pool, so
+      // steady-state expansion computes into warm vectors instead of
+      // allocating fresh ones per unit.
+      std::vector<ResultT> spare;
+      spare.reserve(kSpareResults);
+      auto take_spare = [&]() -> ResultT {
+        if (spare.empty()) return ResultT{};
+        ResultT r = std::move(spare.back());
+        spare.pop_back();
+        return r;
+      };
+      auto harvest = [&](std::vector<EntryT>& buf) {
+        for (EntryT& e : buf)
+          if (spare.size() < kSpareResults) spare.push_back(std::move(e.result));
+      };
       int spins = 0;
 
       for (;;) {
@@ -391,6 +413,7 @@ class ThreadExecutor {
           (void)commit_all(engine, done_buf);
           st.units += done_buf.size();
           in_flight.fetch_sub(static_cast<int>(done_buf.size()));
+          harvest(done_buf);
           done_buf.clear();
         }
         if (engine.done() || failed.load()) return broadcast_exit();
@@ -432,13 +455,14 @@ class ThreadExecutor {
 
         // --- parallel section: compute the whole batch, no locks held -----
         for (ItemT& item : run_buf) {
+          ResultT result = take_spare();
           if (tr == nullptr) {
-            done_buf.push_back(
-                EntryT{item, compute_item(engine, item, index, tables)});
+            compute_item_into(engine, item, index, tables, result);
+            done_buf.push_back(EntryT{item, std::move(result)});
             continue;
           }
           const auto c0 = Clock::now();
-          auto result = compute_item(engine, item, index, tables);
+          compute_item_into(engine, item, index, tables, result);
           const auto c1 = Clock::now();
           st.compute_ns += ns(c0, c1);
           tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
@@ -507,6 +531,21 @@ class ThreadExecutor {
       std::vector<ItemT> refill_buf;
       done_buf.reserve(k);
       refill_buf.reserve(k);
+      // Recycled compute-result buffers (see the single-heap worker): the
+      // stealing path harvests from both the in-place commit and the
+      // flat-combining reap, so deferred flushes recycle too.
+      std::vector<ResultT> spare;
+      spare.reserve(kSpareResults);
+      auto take_spare = [&]() -> ResultT {
+        if (spare.empty()) return ResultT{};
+        ResultT r = std::move(spare.back());
+        spare.pop_back();
+        return r;
+      };
+      auto harvest = [&](std::vector<EntryT>& buf) {
+        for (EntryT& e : buf)
+          if (spare.size() < kSpareResults) spare.push_back(std::move(e.result));
+      };
       std::uint64_t rng =
           (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)) | 1;
       int spins = 0;
@@ -535,6 +574,7 @@ class ThreadExecutor {
           if ((*it)->pc.applied.load(std::memory_order_acquire)) {
             st.units += (*it)->entries.size();
             in_flight.fetch_sub(static_cast<int>((*it)->entries.size()));
+            harvest((*it)->entries);
             it = pending.erase(it);
           } else {
             ++it;
@@ -566,6 +606,7 @@ class ThreadExecutor {
         if (engine.try_commit_batch(std::span<EntryT>(done_buf))) {
           st.units += done_buf.size();
           in_flight.fetch_sub(static_cast<int>(done_buf.size()));
+          harvest(done_buf);
           done_buf.clear();
           reap();  // our drain round may have applied earlier publishes
           return;
@@ -661,12 +702,13 @@ class ThreadExecutor {
           }
         }
         if (item) {
+          ResultT result = take_spare();
           if (tr == nullptr) {
-            done_buf.push_back(
-                EntryT{*item, compute_item(engine, *item, index, tables)});
+            compute_item_into(engine, *item, index, tables, result);
+            done_buf.push_back(EntryT{*item, std::move(result)});
           } else {
             const auto c0 = Clock::now();
-            auto result = compute_item(engine, *item, index, tables);
+            compute_item_into(engine, *item, index, tables, result);
             const auto c1 = Clock::now();
             st.compute_ns += ns(c0, c1);
             tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
@@ -764,6 +806,9 @@ class ThreadExecutor {
       report.tt_probes = engine.stats().search.tt_probes;
       report.tt_hits = engine.stats().search.tt_hits;
     }
+    // Node-storage occupancy snapshot (engines with two-tier storage).
+    if constexpr (requires { engine.mem_stats(); })
+      report.mem = engine.mem_stats();
     return report;
   }
 
@@ -794,6 +839,9 @@ class ThreadExecutor {
   /// Victim probes per steal round; bounded so a starving worker falls
   /// through to the (blocking) refill path quickly when all queues are dry.
   static constexpr int kStealProbes = 4;
+  /// Cap on a worker's recycled compute-result pool.  Bounds the warm
+  /// capacity a worker retains to a small multiple of its batch size.
+  static constexpr std::size_t kSpareResults = 64;
 
   [[nodiscard]] static std::uint64_t ns(
       std::chrono::steady_clock::time_point a,
@@ -919,6 +967,30 @@ class ThreadExecutor {
         return engine.compute(item, tables[static_cast<std::size_t>(index)].get());
     }
     return engine.compute(item);
+  }
+
+  /// In-place variant: compute into a recycled result so engines exposing
+  /// compute_into reuse the buffer's child-vector capacity (zero
+  /// allocations on the steady-state expansion path).  Engines without it
+  /// fall back to the by-value compute.
+  template <typename Item, typename Tables, typename Result>
+  static void compute_item_into(EngineT& engine, const Item& item, int index,
+                                Tables& tables, Result& out) {
+    if constexpr (requires {
+                    engine.compute_into(
+                        item, static_cast<ConcurrentTranspositionTable*>(nullptr),
+                        out);
+                  }) {
+      if (!tables.empty()) {
+        engine.compute_into(item, tables[static_cast<std::size_t>(index)].get(),
+                            out);
+        return;
+      }
+    }
+    if constexpr (requires { engine.compute_into(item, out); })
+      engine.compute_into(item, out);
+    else
+      out = compute_item(engine, item, index, tables);
   }
 
   int threads_;

@@ -40,6 +40,7 @@
 // recursion degenerates to plain fail-hard alpha-beta — exclusivity and
 // deferral are TT-keyed and compile out.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <optional>
@@ -113,6 +114,15 @@ class AbdadaSearcher {
     best_root_.reset();
     aborted_ = false;
     root_ply_ = start_ply;
+    // Size the per-ply child-buffer pool up front: visit() keeps references
+    // into its level's buffer across the recursive calls, so the outer
+    // vector must never reallocate mid-recursion.  One buffer per level in
+    // [start_ply, depth_]; each keeps its capacity across iterative-
+    // deepening re-runs, making steady-state child generation heap-free.
+    const std::size_t levels =
+        static_cast<std::size_t>(std::max(0, depth_ - start_ply)) + 1;
+    if (kids_pool_.size() < levels) kids_pool_.resize(levels);
+    for (auto& buf : kids_pool_) buf.reserve(branching_hint_of(game_));
     const Value v = visit(pos, w.alpha, w.beta, start_ply, /*exclusive=*/false);
     ERS_DCHECK(v != kAbdadaOnEvaluation);
     return SearchResult{v, stats_};
@@ -179,7 +189,10 @@ class AbdadaSearcher {
       }
     }
 
-    std::vector<typename G::Position> kids;
+    const std::size_t level = static_cast<std::size_t>(ply - root_ply_);
+    ERS_DCHECK(level < kids_pool_.size());  // pool sized in run_from
+    std::vector<typename G::Position>& kids = kids_pool_[level];
+    kids.clear();
     if (ply < depth_) game_.generate_children(p, kids);
     if (kids.empty()) {
       ++stats_.leaves_evaluated;
@@ -272,6 +285,8 @@ class AbdadaSearcher {
   obs::Tracer* tracer_ = nullptr;
   SearchStats stats_;
   std::optional<typename G::Position> best_root_;
+  /// Per-level child buffers, indexed by ply - root_ply_ (see run_from).
+  std::vector<std::vector<typename G::Position>> kids_pool_;
   int root_ply_ = 0;
   bool aborted_ = false;
 };

@@ -40,6 +40,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -117,9 +118,11 @@ class ErSerialSearcher {
   /// Figure 8's Refute_rest applied at (pos, start_ply): finish a node whose
   /// first child already contributed `tentative`; `children` must be the
   /// exact list returned by eval_first_from (the expansion is not recounted).
+  /// Takes a span so the parallel engine can pass its slab-frozen child
+  /// array without materializing a vector.
   [[nodiscard]] SearchResult refute_rest_from(
       typename G::Position pos, int start_ply, Window w, Value tentative,
-      const std::vector<typename G::Position>& children) {
+      std::span<const typename G::Position> children) {
     stats_ = {};
     ERS_CHECK(!children.empty());
     Rec root(std::move(pos));
@@ -160,7 +163,13 @@ class ErSerialSearcher {
   bool expand(Rec& r, int ply, bool is_e_node) {
     if (r.expanded) return r.kids.empty();
     r.expanded = true;
-    std::vector<typename G::Position> kids;
+    // Reused scratch: every element is moved out into r.kids below before
+    // expand can be re-entered (the recursion happens after this returns),
+    // so one buffer per thread suffices and steady-state expansion does not
+    // touch the heap.
+    static thread_local std::vector<typename G::Position> kids;
+    kids.clear();
+    kids.reserve(branching_hint_of(game_));
     if (ply < depth_) game_.generate_children(r.pos, kids);
     if (kids.empty()) {
       ++stats_.leaves_evaluated;

@@ -24,25 +24,50 @@ struct OrderingPolicy {
   }
 };
 
+/// Reusable buffers for sort_children_by_static_value, so steady-state
+/// sorting performs no heap allocations: both vectors keep their capacity
+/// across calls.  One instance per worker (or thread_local).
+template <Game G>
+struct OrderingScratch {
+  std::vector<std::pair<Value, std::size_t>> keyed;
+  std::vector<typename G::Position> sorted;
+};
+
 /// Sort `children` ascending by static value; charges one sort and one
-/// static evaluation per child to `stats`.
+/// static evaluation per child to `stats`.  Allocation-free once the
+/// scratch buffers have grown to the branching factor.
 template <Game G>
 void sort_children_by_static_value(const G& game,
                                    std::vector<typename G::Position>& children,
-                                   SearchStats& stats) {
+                                   SearchStats& stats,
+                                   OrderingScratch<G>& scratch) {
   if (children.size() < 2) return;
   stats.child_sorts += 1;
   stats.sort_evals += children.size();
-  std::vector<std::pair<Value, std::size_t>> keyed;
+  auto& keyed = scratch.keyed;
+  keyed.clear();
   keyed.reserve(children.size());
   for (std::size_t i = 0; i < children.size(); ++i)
     keyed.emplace_back(game.evaluate(children[i]), i);
   std::stable_sort(keyed.begin(), keyed.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<typename G::Position> sorted;
+  auto& sorted = scratch.sorted;
+  sorted.clear();
   sorted.reserve(children.size());
-  for (const auto& [v, i] : keyed) sorted.push_back(children[i]);
-  children = std::move(sorted);
+  for (const auto& [v, i] : keyed) sorted.push_back(std::move(children[i]));
+  // Swap (not move-assign) so children's old buffer becomes the next call's
+  // sorted scratch — both capacities stay in rotation.
+  std::swap(children, sorted);
+}
+
+/// Convenience overload with per-thread scratch, for call sites without a
+/// worker-owned OrderingScratch.
+template <Game G>
+void sort_children_by_static_value(const G& game,
+                                   std::vector<typename G::Position>& children,
+                                   SearchStats& stats) {
+  static thread_local OrderingScratch<G> scratch;
+  sort_children_by_static_value(game, children, stats, scratch);
 }
 
 }  // namespace ers

@@ -4,6 +4,7 @@ committed baseline and fail on a throughput regression.
 
     check_bench_regression.py BASELINE FRESH [--metric units_per_sec]
                               [--threshold 0.25] [--group shards,threads,batch]
+                              [--direction min|max]
 
 Both files are either JSON-lines (one flat object per bench row, the schema
 obs::write_bench_json emits) or a google-benchmark --benchmark_out file (a
@@ -13,7 +14,9 @@ with --group name --metric <counter>).  Rows are grouped by the --group key
 fields and the metric is averaged within each group — single rows on a
 loaded CI runner are too noisy to gate on, but a whole configuration's mean
 dropping by more than --threshold (default 25%) is a real regression, and
-the job fails.
+the job fails.  --direction picks the bad side: "min" (default) fails when
+the fresh mean falls below baseline (throughput metrics), "max" fails when
+it rises above (cost metrics such as peak_rss_kb or bytes_per_node).
 
 A group present in the fresh run but absent from the baseline is FATAL, not
 a silent skip: an unguarded sweep point would pass forever, which is
@@ -99,6 +102,9 @@ def main():
                     help="fatal fractional drop, e.g. 0.25 = fail below 75%% of baseline")
     ap.add_argument("--group", default="shards,threads,batch",
                     help="comma-separated row fields that identify one configuration")
+    ap.add_argument("--direction", choices=("min", "max"), default="min",
+                    help="min: lower-is-worse (throughput); "
+                         "max: higher-is-worse (memory/cost metrics)")
     args = ap.parse_args()
     keys = [k for k in args.group.split(",") if k]
 
@@ -131,14 +137,19 @@ def main():
     for key in shared:
         b, f = base[key], fresh[key]
         ratio = f / b if b > 0 else 1.0
-        status = "REGRESSION" if ratio < 1.0 - args.threshold else "ok"
+        if args.direction == "min":
+            bad = ratio < 1.0 - args.threshold
+        else:
+            bad = ratio > 1.0 + args.threshold
+        status = "REGRESSION" if bad else "ok"
         print(f"  {status:>10}  {fmt_key(key)}: {args.metric} {b:,.0f} -> {f:,.0f} "
               f"({(ratio - 1.0) * 100:+.1f}%)")
         if status == "REGRESSION":
             regressions.append(key)
 
     if regressions:
-        print(f"check_bench_regression: {len(regressions)}/{len(shared)} groups dropped "
+        moved = "dropped" if args.direction == "min" else "grew"
+        print(f"check_bench_regression: {len(regressions)}/{len(shared)} groups {moved} "
               f">{args.threshold * 100:.0f}% on {args.metric}", file=sys.stderr)
         return 1
     if unguarded:

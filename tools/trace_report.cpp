@@ -1,13 +1,16 @@
 // trace_report: offline analyzer for Perfetto traces written by the search
 // executors (DESIGN.md §11, EXPERIMENTS.md "tracing a run").
 //
-//   trace_report <trace.json> [--pid N]
+//   trace_report <trace.json> [--pid N] [--metrics metrics.json]
 //
 // Prints per-worker busy/starve/lock timelines, the steal-migration
 // matrix, scheduling event counts, and the critical path through the unit
 // dependency graph.  --pid selects one session of a multi-session file
 // (e.g. the simulated half of a sim-vs-threads diff trace); the default is
-// the first session in the file.
+// the first session in the file.  --metrics points at the consolidated
+// metrics snapshot the same run wrote (bench --metrics F); when given, the
+// report appends a memory section with the engine.mem.* node-storage
+// gauges (DESIGN.md §15) so trace and occupancy read side by side.
 
 #include <cstdio>
 #include <string>
@@ -16,14 +19,62 @@
 #include "obs/trace_analysis.hpp"
 #include "util/cli.hpp"
 
+namespace {
+
+/// Append the node-storage gauges from a metrics snapshot (obs::MetricsRegistry
+/// JSON: one flat object of name -> value).  Non-fatal on absent keys — older
+/// snapshots predate the memory section — but a file that exists yet cannot be
+/// read or parsed is an error, matching the trace staging below.
+int print_memory_section(const std::string& path) {
+  std::string text;
+  if (!ers::obs::read_file(path, text)) {
+    std::fprintf(stderr,
+                 "trace_report: cannot open metrics file %s: no such file or "
+                 "not readable\n",
+                 path.c_str());
+    return 1;
+  }
+  ers::obs::JsonValue root;
+  if (!ers::obs::parse_json(text, root) || !root.is_object()) {
+    std::fprintf(stderr,
+                 "trace_report: %s is not a JSON object — not a metrics "
+                 "snapshot written by MetricsRegistry\n",
+                 path.c_str());
+    return 1;
+  }
+  static constexpr const char* kMemKeys[] = {
+      "engine.mem.live_nodes",     "engine.mem.hot_bytes",
+      "engine.mem.position_bytes", "engine.mem.cold_allocated",
+      "engine.mem.cold_live",      "engine.mem.cold_reclaimed",
+      "engine.mem.slab_bytes",     "engine.mem.peak_bytes",
+  };
+  std::printf("\nmemory (engine node storage, %s):\n", path.c_str());
+  bool any = false;
+  for (const char* key : kMemKeys) {
+    const ers::obs::JsonValue* v = root.find(key);
+    if (v == nullptr || !v->is_number()) continue;
+    std::printf("  %-28s %.0f\n", key + 7 /* drop "engine." */, v->as_double());
+    any = true;
+  }
+  if (!any)
+    std::printf("  (no engine.mem.* gauges — snapshot from a pre-§15 build "
+                "or a bench that runs no engine)\n");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ers::CliArgs args(argc, argv);
   if (args.positional().size() != 1 || args.has("help")) {
-    std::fprintf(stderr, "usage: trace_report <trace.json> [--pid N]\n");
+    std::fprintf(stderr,
+                 "usage: trace_report <trace.json> [--pid N] "
+                 "[--metrics metrics.json]\n");
     return args.has("help") ? 0 : 2;
   }
   const std::string path = args.positional().front();
   const int pid = static_cast<int>(args.get_int("pid", -1));
+  const std::string metrics_path = args.get("metrics", "");
 
   // Stage the load so a missing file, a truncated/unparseable file, and a
   // well-formed file of the wrong shape each get their own diagnostic —
@@ -65,5 +116,6 @@ int main(int argc, char** argv) {
   std::printf("%s: %zu events\n\n", path.c_str(), events.size());
   const ers::obs::TraceReport rep = ers::obs::analyze_trace(events);
   std::fputs(ers::obs::render_report(rep).c_str(), stdout);
+  if (!metrics_path.empty()) return print_memory_section(metrics_path);
   return 0;
 }
