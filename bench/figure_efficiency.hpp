@@ -66,13 +66,19 @@ inline void print_efficiency_figure(const char* title,
   std::optional<TreeSweep> last;
   TextTable table({"tree", "procs", "speedup", "efficiency",
                    "serial alpha-beta eff.", "utilization", "idle share",
-                   "bytes/node"});
+                   "waste share", "bytes/node"});
   for (const auto& name : opt.tree_names) {
     const TreeSweep s = run_sweep(name, opt.scale, nullptr, opt.shards, trace);
     for (const auto& p : s.points) {
+      const double cap =
+          static_cast<double>(p.metrics.makespan) * p.processors;
       const double idle_share =
-          static_cast<double>(p.metrics.idle_time) /
-          (static_cast<double>(p.metrics.makespan) * p.processors);
+          static_cast<double>(p.metrics.idle_time) / cap;
+      // Waste share (DESIGN.md §16): compute charged to cancelled subtrees
+      // over total processor-time.  idle + waste + useful-compute +
+      // serialization shares decompose the figure's 1 - efficiency — the
+      // waste ledger turns the efficiency gap into named causes.
+      const double waste_share = static_cast<double>(p.waste.total_ns()) / cap;
       // Peak engine storage (hot arena + position arena + cold slabs)
       // amortized over every node the search generated — the memory-side
       // efficiency of the two-tier layout (DESIGN.md §15).
@@ -87,6 +93,7 @@ inline void print_efficiency_figure(const char* title,
                      TextTable::num(s.serial.alpha_beta_efficiency(), 3),
                      TextTable::num(p.metrics.utilization(), 3),
                      TextTable::num(idle_share, 3),
+                     TextTable::num(waste_share, 3),
                      TextTable::num(bytes_per_node, 1)});
     }
     last = s;

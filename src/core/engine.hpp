@@ -182,6 +182,12 @@ class Engine {
     bool is_done = false;
     /// Work performed, for engine totals and the simulator's cost model.
     SearchStats stats;
+    /// Compute-phase duration the executor measured (virtual ns under the
+    /// simulator, steady-clock ns under the thread runtime; 0 when the
+    /// executor does not time units).  The waste ledger charges exactly
+    /// this on cancellation, and commit_one mirrors it onto the unit's
+    /// kUnitCommit trace event so ledger and trace reconcile bit for bit.
+    std::uint64_t compute_ns = 0;
   };
 
   Engine(const G&&, EngineConfig) = delete;  // the game must outlive the engine
@@ -361,6 +367,11 @@ class Engine {
     std::uint64_t lock_hold_ns = 0;
     /// ++ under mu; read lock-free when stats() folds the aggregate.
     std::atomic<std::uint64_t> dead_drops{0};
+    /// Waste-ledger kDeadDrop cancels by ply band: queue entries (primary
+    /// and speculative) discarded at acquire time because the node's
+    /// subtree had already died.  ++ under mu like dead_drops; folded
+    /// lock-free by waste_stats().
+    std::array<std::atomic<std::uint64_t>, kWastePlyBands> waste_drops{};
     /// Cold-record slab for the nodes homed here, plus its occupancy
     /// counters — all guarded by mu, like the queues (allocation happens
     /// inside apply sections whose touch set includes this shard,
@@ -677,6 +688,7 @@ class Engine {
       if (n.finished || is_dead(e.node)) {
         const std::size_t owner = home_shard(e.node);
         shards_[owner].dead_drops.fetch_add(1, std::memory_order_relaxed);
+        note_dead_drop(owner, e.node);
         trace_shard_instant(owner, obs::EventKind::kSpecCancel, e.node,
                             /*arg=*/0);
         // The popped entry's home-shard lock is held, so a dead node's own
@@ -720,6 +732,13 @@ class Engine {
       if (!n.on_spec() || e.spec_seq != n.spec_seq()) continue;  // stale
       n.set_on_spec(false);
       if (n.finished || is_dead(e.node)) {
+        // A dead speculative entry is a dropped queue item exactly like the
+        // primary case above: count and trace it so the waste ledger and
+        // trace_report see every discarded entry, not just primary ones.
+        const std::size_t owner = home_shard(e.node);
+        note_dead_drop(owner, e.node);
+        trace_shard_instant(owner, obs::EventKind::kSpecCancel, e.node,
+                            /*arg=*/0);
         reclaim_cold(e.node);
         continue;
       }
@@ -808,6 +827,7 @@ class Engine {
     out.is_leaf = false;
     out.is_done = false;
     out.stats = {};
+    out.compute_ns = 0;
     ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
     searcher.with_shared_table(tt);
     switch (item.kind) {
@@ -920,6 +940,23 @@ class Engine {
     }
     for (const Shard& s : shards_)
       out.dead_items_dropped += s.dead_drops.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Snapshot of the wasted-work attribution ledger (DESIGN.md §16): the
+  /// combiner-owned kill cells read under combine_mu_, with the shard-side
+  /// dead-drop tallies folded into the kDeadDrop cancel row.  Cheap enough
+  /// for the sampler to call every tick.
+  [[nodiscard]] EngineWasteStats waste_stats() const {
+    EngineWasteStats out;
+    {
+      std::scoped_lock lk(combine_mu_);
+      out = waste_;
+    }
+    const auto dd = static_cast<std::size_t>(WasteCause::kDeadDrop);
+    for (const Shard& s : shards_)
+      for (std::size_t b = 0; b < kWastePlyBands; ++b)
+        out.cancels[dd][b] += s.waste_drops[b].load(std::memory_order_relaxed);
     return out;
   }
 
@@ -1224,7 +1261,7 @@ class Engine {
       if (!n.finished && !is_dead(r.finish_node)) {
         apply_frontier_ =
             truncation_eligible(r.finish_node) ? cfg_.publish_frontier : 0;
-        finish_and_combine(r.finish_node);
+        finish_and_combine(r.finish_node, WasteCause::kBoundChange);
         apply_frontier_ = 0;
         resolve_deferred_backup();
       }
@@ -1256,7 +1293,9 @@ class Engine {
       const auto t0 = Clock::now();
       lock_ascending(cont_locks_);
       const auto t1 = Clock::now();
-      finish_and_combine(cont);  // apply_frontier_ == 0: runs to completion
+      // apply_frontier_ == 0: runs to completion, keeping the cause of the
+      // finish whose backup was deferred.
+      finish_and_combine(cont, deferred_backup_cause_);
       const auto t2 = Clock::now();
       multi_acquisitions_.fetch_add(1, std::memory_order_relaxed);
       multi_wait_ns_.fetch_add(delta_ns(t0, t1), std::memory_order_relaxed);
@@ -1359,10 +1398,32 @@ class Engine {
     n.in_flight = false;
     stats_.search += r.stats;
     ++stats_.units_processed;
+    // Waste ledger (DESIGN.md §16).  A unit landing in a live subtree adds
+    // itself to the uncharged-subtree tallies of the node and every
+    // ancestor, so a future kill can charge the whole subtree in O(1).  A
+    // unit landing after its subtree died is charged immediately to the
+    // (cause, band) cell of the nearest cancelled subtree root — and stays
+    // out of the running tallies, which only ever hold uncharged work.
+    const std::uint32_t wr = nearest_waste_root(item.node);
+    if (wr == kNoNode) {
+      for (std::uint32_t a = item.node; a != kNoNode; a = nodes_[a].parent) {
+        sub_units_[a] += 1;
+        sub_ns_[a] += r.compute_ns;
+      }
+    } else {
+      const auto ci = static_cast<std::size_t>(waste_state_[wr] - 1);
+      const std::size_t b = waste_band_of(
+          static_cast<std::uint32_t>(nodes_[wr].ply));
+      waste_.units[ci][b] += 1;
+      waste_.compute_ns[ci][b] += r.compute_ns;
+    }
     // Commit record with the parent link: trace_report rebuilds the unit
     // dependency graph (and its critical path) from exactly these events.
-    trace_instant(obs::EventKind::kUnitCommit, item.node,
-                  n.parent == kNoNode ? obs::kNoTraceNode : n.parent);
+    // The event carries the executor-measured compute duration, so the
+    // trace-side waste reconciliation sums exactly what the ledger charged.
+    trace_commit(item.node,
+                 n.parent == kNoNode ? obs::kNoTraceNode : n.parent,
+                 r.compute_ns);
     switch (item.kind) {
       case WorkKind::kPromote:
         commit_promotion(item.node);
@@ -1373,7 +1434,7 @@ class Engine {
         ++stats_.serial_units;
         n.value = std::max<Value>(n.value, r.value);
         publish_node(item.node);
-        finish_and_combine(item.node);
+        finish_and_combine(item.node, WasteCause::kSiblingResolution);
         break;
       case WorkKind::kSerialEvalFirst:
         commit_eval_first(item.node, std::move(r));
@@ -1580,7 +1641,7 @@ class Engine {
     // (Done-path semantics are unchanged: nothing on it consults the
     // positions, and no pushes happen either way.)
     if (r.is_done || n.value >= beta_of(id)) {
-      finish_and_combine(id);
+      finish_and_combine(id, WasteCause::kSiblingResolution);
       return;
     }
     attach_cold(id, r.child_positions);  // survivor: freeze the child order
@@ -1606,7 +1667,7 @@ class Engine {
         // expansion state consulted).
         n.value = std::max<Value>(n.value, r.value);
         publish_node(id);
-        finish_and_combine(id);
+        finish_and_combine(id, WasteCause::kSiblingResolution);
         return;
       }
       attach_cold(id, r.child_positions);
@@ -1702,7 +1763,11 @@ class Engine {
 
   // --- combine (paper §6) ---------------------------------------------------
 
-  void finish_and_combine(std::uint32_t id) {
+  /// `cause` labels the waste ledger's charge for every subtree this finish
+  /// (and its backup chain) kills: kBoundChange when the finish originated
+  /// in a pop-time cutoff, kSiblingResolution when a committed result
+  /// resolved the node.
+  void finish_and_combine(std::uint32_t id, WasteCause cause) {
     std::uint32_t cur = id;
     for (;;) {
       // Frontier deferral (DESIGN.md §13): a truncated apply section holds
@@ -1715,6 +1780,7 @@ class Engine {
       if (apply_frontier_ > 0 && nodes_[cur].ply < apply_frontier_) {
         ERS_DCHECK(deferred_backup_ == kNoNode);
         deferred_backup_ = cur;
+        deferred_backup_cause_ = cause;
         return;
       }
       Node& n = nodes_[cur];
@@ -1727,7 +1793,7 @@ class Engine {
       // mark_node_and_children).  In-flight records are skipped; their
       // commit_one reclaims on landing.  Deeper dead descendants are
       // reclaimed lazily at their own pops and commits.
-      reclaim_finished(cur);
+      reclaim_finished(cur, cause);
       if (cur == 0) {
         done_ = true;
         return;
@@ -1958,6 +2024,28 @@ class Engine {
     if (cfg_.trace == nullptr) return;
     cfg_.trace->engine_tracer().instant(
         kind, cfg_.trace->now_ns(), node, arg,
+        static_cast<std::uint16_t>(home_shard(node)));
+  }
+
+  /// Ledger side of a dead queue-entry drop (primary or speculative);
+  /// caller holds `owner`'s shard lock, like dead_drops.
+  void note_dead_drop(std::size_t owner, std::uint32_t node) {
+    const std::size_t b =
+        waste_band_of(static_cast<std::uint32_t>(nodes_[node].ply));
+    shards_[owner].waste_drops[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// kUnitCommit with the executor-measured compute duration in `dur`
+  /// (trace-side waste reconciliation sums these; see commit_one).
+  /// Combiner-side like trace_instant.
+  void trace_commit(std::uint32_t node, std::uint32_t arg, std::uint64_t dur) {
+    if constexpr (!obs::kTracingEnabled) {
+      (void)node; (void)arg; (void)dur;
+      return;
+    }
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->engine_tracer().record(
+        obs::EventKind::kUnitCommit, cfg_.trace->now_ns(), dur, node, arg,
         static_cast<std::uint16_t>(home_shard(node)));
   }
 
@@ -2305,6 +2393,13 @@ class Engine {
         nodes_.emplace(parent, ply, ty, index_in_parent, subtree);
     const std::uint32_t pid = positions_.emplace(pos);
     ERS_CHECK(pid == id);
+    // Waste-ledger side arrays stay id-parallel with the arenas.  Callers
+    // are the single-threaded constructor and combiner commits, the same
+    // writers the arenas have; the arrays are only ever read by the
+    // combiner (commit_one / reclaim_finished, under combine_mu_).
+    sub_units_.push_back(0);
+    sub_ns_.push_back(0);
+    waste_state_.push_back(0);
     return id;
   }
 
@@ -2396,16 +2491,65 @@ class Engine {
   /// killed (finished children already reclaimed at their own finish).
   /// Caller holds the finishing node's touch-set locks, which cover every
   /// child's home shard (mark_node_and_children).
-  void reclaim_finished(std::uint32_t id) {
+  ///
+  /// Waste ledger (DESIGN.md §16): each killed unfinished child is a
+  /// cancelled subtree root, charged here — once — with its accumulated
+  /// uncharged subtree work and marked in waste_state_ so post-death
+  /// commits route to the same (cause, band) cell.  The charge is skipped
+  /// entirely when the finishing node already lies inside a cancelled
+  /// subtree (nearest_waste_root hit): everything below was attributed
+  /// when that subtree died.  Charging a child subtracts its tallies from
+  /// every ancestor's, so a later kill higher up charges strictly
+  /// never-before-charged work — no unit is attributed twice.
+  void reclaim_finished(std::uint32_t id, WasteCause cause) {
     const ColdRecord* c = nodes_[id].cold;
     if (c == nullptr) return;
+    const bool already_charged = nearest_waste_root(id) != kNoNode;
     const std::uint32_t* kids = c->child_nodes();
     const std::uint32_t cnt = c->count;
     for (std::uint32_t i = 0; i < cnt; ++i) {
       const std::uint32_t ch = kids[i];
-      if (ch != kNoNode && !nodes_[ch].finished) reclaim_cold(ch);
+      if (ch == kNoNode || nodes_[ch].finished) continue;
+      if (!already_charged && waste_state_[ch] == 0) charge_waste(ch, cause);
+      reclaim_cold(ch);
     }
     reclaim_cold(id);
+  }
+
+  /// Charge cancelled subtree root `ch` to the ledger and mark it.  The
+  /// matching trace event is kSpecCancel with arg 2 (bound change) or 3
+  /// (sibling resolution) — trace_report's speculation-waste section
+  /// reconciles against exactly these.  Requires combine_mu_ (the side
+  /// tallies are combiner-owned).
+  void charge_waste(std::uint32_t ch, WasteCause cause) {
+    const auto ci = static_cast<std::size_t>(cause);
+    const std::size_t b =
+        waste_band_of(static_cast<std::uint32_t>(nodes_[ch].ply));
+    const std::uint64_t u = sub_units_[ch];
+    const std::uint64_t ns = sub_ns_[ch];
+    waste_.cancels[ci][b] += 1;
+    waste_.units[ci][b] += u;
+    waste_.compute_ns[ci][b] += ns;
+    waste_state_[ch] = static_cast<std::uint8_t>(ci + 1);
+    // The subtree's work is now attributed; remove it from every ancestor's
+    // uncharged tally so an enclosing kill cannot charge it again.
+    for (std::uint32_t a = nodes_[ch].parent; a != kNoNode;
+         a = nodes_[a].parent) {
+      sub_units_[a] -= u;
+      sub_ns_[a] -= ns;
+    }
+    trace_instant(obs::EventKind::kSpecCancel, ch,
+                  cause == WasteCause::kBoundChange ? 2u : 3u);
+  }
+
+  /// Deepest cancelled-subtree root on `id`'s ancestor chain (self
+  /// included), or kNoNode when the node's subtree is live.  Every dead
+  /// node has one: the first kill on any root-to-node path marked the
+  /// boundary child it crossed.
+  [[nodiscard]] std::uint32_t nearest_waste_root(std::uint32_t id) const {
+    for (std::uint32_t a = id; a != kNoNode; a = nodes_[a].parent)
+      if (waste_state_[a] != 0) return a;
+    return kNoNode;
   }
 
   // --- members --------------------------------------------------------------
@@ -2428,6 +2572,16 @@ class Engine {
   Shared<bool> done_{false};
   /// Combiner-owned aggregates (guarded by combine_mu_).
   EngineStats stats_;
+  /// Wasted-work attribution ledger (DESIGN.md §16): the kill-cause cells
+  /// are combiner-owned; waste_stats() folds the shard-side dead-drop
+  /// tallies in on snapshot.
+  EngineWasteStats waste_;
+  /// Id-parallel ledger side arrays (combiner-owned, like the arenas'
+  /// writes): per-node *uncharged* committed subtree work, and the
+  /// cancelled-subtree mark (0 = live, else WasteCause + 1).
+  std::vector<std::uint64_t> sub_units_;
+  std::vector<std::uint64_t> sub_ns_;
+  std::vector<std::uint8_t> waste_state_;
   std::uint64_t combine_batches_ = 0;
   std::uint64_t combine_records_ = 0;
   std::uint64_t combine_entries_ = 0;
@@ -2443,6 +2597,8 @@ class Engine {
   /// and the high node whose backup was deferred at that floor.
   std::int32_t apply_frontier_ = 0;
   std::uint32_t deferred_backup_ = kNoNode;
+  /// Kill cause of the finish whose backup sits in deferred_backup_.
+  WasteCause deferred_backup_cause_ = WasteCause::kSiblingResolution;
 #ifndef NDEBUG
   /// Shard locks the current combiner section holds (lock_ascending /
   /// unlock_descending bookkeeping for the lock-order ERS_DCHECKs).

@@ -13,6 +13,7 @@
 #include "core/engine.hpp"
 #include "core/types.hpp"
 #include "gametree/game.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_executor.hpp"
 #include "search/concurrent_ttable.hpp"
@@ -31,6 +32,10 @@ struct ParallelSearchResult {
   /// The root child achieving the value (the move to play); empty when the
   /// whole search ran as one serial unit or the root is a leaf.
   std::optional<Position> best_move;
+  /// Wasted-work attribution: committed units/ns later cancelled, by cause
+  /// and ply band (DESIGN.md §16; duplicate of report.waste for symmetry
+  /// with the sim result).
+  core::EngineWasteStats waste;
 };
 
 template <typename Position>
@@ -43,6 +48,9 @@ struct SimulatedSearchResult {
   /// carries the same snapshot inside report.mem.)
   core::EngineMemStats mem;
   std::optional<Position> best_move;
+  /// Wasted-work attribution ledger (DESIGN.md §16).  Under the simulator
+  /// compute_ns is exact — every unit carries its cost-model duration.
+  core::EngineWasteStats waste;
 };
 
 /// Search `game` to cfg.search_depth with parallel ER on `threads` OS
@@ -72,7 +80,7 @@ template <Game G>
   runtime::ThreadRunReport report = exec.run(engine);
   return ParallelSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), std::move(report),
-      engine.best_root_position()};
+      engine.best_root_position(), engine.waste_stats()};
 }
 
 /// Search `game` with parallel ER on `processors` simulated processors;
@@ -83,11 +91,14 @@ template <Game G>
 /// `trace` (optional) records the simulated schedule on the virtual clock
 /// in the same event schema as the thread runtime — same seed + config
 /// produce an identical event stream (tested).
+/// `sampler` (optional) is polled on the virtual clock at each retired
+/// event, yielding a deterministic health time series (DESIGN.md §16);
+/// the caller installs the probe and reads the ring afterwards.
 template <Game G>
 [[nodiscard]] SimulatedSearchResult<typename G::Position> parallel_er_sim(
     const G& game, const core::EngineConfig& cfg, int processors,
     sim::CostModel cost = {}, int queue_shards = 1, int batch = 1,
-    obs::TraceSession* trace = nullptr) {
+    obs::TraceSession* trace = nullptr, obs::Sampler* sampler = nullptr) {
   // The engine's heap partition and the simulator's shard locks must
   // coincide for the routed contention model to mean anything; the engine's
   // global pop order is shard-count-invariant, so this never changes the
@@ -98,11 +109,11 @@ template <Game G>
   if (c.shared_table != nullptr) c.shared_table->new_search();
   core::Engine<G> engine(game, c);
   sim::SimExecutor<core::Engine<G>> exec(processors, cost, c.heap_shards, batch);
-  exec.with_trace(trace);
+  exec.with_trace(trace).with_sampler(sampler);
   const sim::SimMetrics m = exec.run(engine);
   return SimulatedSearchResult<typename G::Position>{
       engine.root_value(), engine.stats(), m, engine.mem_stats(),
-      engine.best_root_position()};
+      engine.best_root_position(), engine.waste_stats()};
 }
 
 }  // namespace ers

@@ -47,6 +47,7 @@ ParallelPoint run_parallel_point(const ExperimentTree& tree, int processors,
         p.engine = r.engine;
         p.metrics = r.metrics;
         p.mem = r.mem;
+        p.waste = r.waste;
       },
       tree.game);
   ERS_CHECK(p.value == serial.value);

@@ -43,6 +43,10 @@ struct ParallelPoint {
   sim::SimMetrics metrics;
   core::EngineStats engine;
   core::EngineMemStats mem;  ///< node-storage occupancy (DESIGN.md §15)
+  /// Wasted-work attribution (DESIGN.md §16): the waste share
+  /// total_ns / (P * makespan) decomposes the efficiency loss the figures
+  /// report as 1 - efficiency.
+  core::EngineWasteStats waste;
 };
 
 [[nodiscard]] SerialBaseline run_serial_baselines(const ExperimentTree& tree,

@@ -5,24 +5,35 @@
 // SchedulerStats, SimMetrics, ThreadRunReport, EngineStats and the TT
 // counters each kept growing their own ad-hoc emitters in the benches; the
 // registry replaces that with a flat, insertion-ordered map of named values
-// (counters as uint64, ratios as double, labels as strings) that serializes
-// through the single JsonObject emitter.  Adapters that flatten the
-// existing structs live in metrics_adapters.hpp, so this header stays free
-// of runtime/sim dependencies.
+// (counters as uint64, signed deltas as int64, ratios as double, labels as
+// strings) that serializes through the single JsonObject emitter.  Adapters
+// that flatten the existing structs live in metrics_adapters.hpp, so this
+// header stays free of runtime/sim dependencies.
+//
+// Registries now carry hundreds of entries per bench, so lookups go through
+// a name→index hash map; `entries_` keeps insertion order and remains the
+// single serialization source, so snapshot bytes are unchanged.
+//
+// Histograms (obs/histogram.hpp) register whole: the JSON snapshot flattens
+// each one to <name>.count/.sum/.p50/.p90/.p99 (appended after the scalar
+// entries, in histogram insertion order), while the Prometheus exposition
+// (obs/prometheus.hpp) renders the full cumulative `le` bucket series.
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace ers::obs {
 
 class MetricsRegistry {
  public:
-  using Value = std::variant<std::uint64_t, double, std::string>;
+  using Value = std::variant<std::uint64_t, std::int64_t, double, std::string>;
 
   /// Set (or overwrite) one named value; insertion order is preserved so
   /// snapshots diff cleanly run to run.
@@ -34,50 +45,82 @@ class MetricsRegistry {
   void set(const std::string& name, const char* v) {
     put(name, Value{std::string(v)});
   }
+  /// Non-negative ints store as uint64 (snapshot bytes unchanged); negative
+  /// ints round-trip as a signed entry instead of silently clamping to 0.
   void set(const std::string& name, int v) {
-    put(name, Value{static_cast<std::uint64_t>(v < 0 ? 0 : v)});
+    if (v < 0)
+      put(name, Value{static_cast<std::int64_t>(v)});
+    else
+      put(name, Value{static_cast<std::uint64_t>(v)});
   }
 
   /// Add to a uint64 counter (creating it at 0).
   void add(const std::string& name, std::uint64_t delta) {
-    for (auto& [k, v] : entries_)
-      if (k == name) {
-        std::get<std::uint64_t>(v) += delta;
-        return;
-      }
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      std::get<std::uint64_t>(entries_[it->second].second) += delta;
+      return;
+    }
+    index_.emplace(name, entries_.size());
     entries_.emplace_back(name, Value{delta});
   }
 
   [[nodiscard]] bool has(const std::string& name) const {
-    for (const auto& [k, v] : entries_)
-      if (k == name) return true;
-    return false;
+    return index_.find(name) != index_.end();
   }
 
   [[nodiscard]] std::uint64_t counter(const std::string& name) const {
-    for (const auto& [k, v] : entries_)
-      if (k == name) return std::get<std::uint64_t>(v);
-    return 0;
+    const auto it = index_.find(name);
+    if (it == index_.end()) return 0;
+    return std::get<std::uint64_t>(entries_[it->second].second);
   }
 
   [[nodiscard]] double gauge(const std::string& name) const {
-    for (const auto& [k, v] : entries_)
-      if (k == name) return std::get<double>(v);
-    return 0.0;
+    const auto it = index_.find(name);
+    if (it == index_.end()) return 0.0;
+    return std::get<double>(entries_[it->second].second);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  /// One flat JSON object over every entry, in insertion order.
+  /// Register (or overwrite) a whole histogram under `name`.  Stored by
+  /// value: the scheduler's per-worker instances are merged and gone by the
+  /// time a bench snapshots them.
+  void put_histogram(const std::string& name, const Histogram& h) {
+    const auto it = hist_index_.find(name);
+    if (it != hist_index_.end()) {
+      histograms_[it->second].second = h;
+      return;
+    }
+    hist_index_.emplace(name, histograms_.size());
+    histograms_.emplace_back(name, h);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Histogram>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// One flat JSON object: every scalar entry in insertion order, then each
+  /// histogram's count/sum/percentile summary.
   [[nodiscard]] std::string to_json() const {
     JsonObject o;
     for (const auto& [k, v] : entries_) {
       if (std::holds_alternative<std::uint64_t>(v))
         o.field(k.c_str(), std::get<std::uint64_t>(v));
+      else if (std::holds_alternative<std::int64_t>(v))
+        o.raw(k.c_str(), std::to_string(std::get<std::int64_t>(v)));
       else if (std::holds_alternative<double>(v))
         o.field(k.c_str(), std::get<double>(v));
       else
         o.field(k.c_str(), std::get<std::string>(v));
+    }
+    for (const auto& [k, h] : histograms_) {
+      o.field((k + ".count").c_str(), h.count());
+      o.field((k + ".sum").c_str(), h.sum());
+      o.field((k + ".p50").c_str(), h.p50());
+      o.field((k + ".p90").c_str(), h.p90());
+      o.field((k + ".p99").c_str(), h.p99());
     }
     return o.str();
   }
@@ -104,15 +147,19 @@ class MetricsRegistry {
 
  private:
   void put(const std::string& name, Value v) {
-    for (auto& [k, old] : entries_)
-      if (k == name) {
-        old = std::move(v);
-        return;
-      }
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      entries_[it->second].second = std::move(v);
+      return;
+    }
+    index_.emplace(name, entries_.size());
     entries_.emplace_back(name, std::move(v));
   }
 
   std::vector<std::pair<std::string, Value>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+  std::unordered_map<std::string, std::size_t> hist_index_;
 };
 
 }  // namespace ers::obs

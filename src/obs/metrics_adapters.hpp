@@ -36,6 +36,14 @@ inline void register_scheduler_stats(MetricsRegistry& reg,
   reg.set(prefix + "steal_misses", s.steal_misses());
   reg.set(prefix + "flush_deferrals", s.flush_deferrals);
   reg.set(prefix + "global_refills", s.global_refills);
+  // Streaming histograms (DESIGN.md §16): batch sizes always; compute-span
+  // and commit latencies only on traced runs (the untraced hot path never
+  // reads the clock).
+  reg.put_histogram(prefix + "batch_size", s.batch_hist);
+  if (s.compute_hist.count() > 0)
+    reg.put_histogram(prefix + "compute_span_ns", s.compute_hist);
+  if (s.commit_hist.count() > 0)
+    reg.put_histogram(prefix + "commit_latency_ns", s.commit_hist);
 }
 
 /// Node-storage occupancy gauges (DESIGN.md §15): arena/slab footprint and
@@ -53,6 +61,33 @@ inline void register_engine_mem_stats(MetricsRegistry& reg,
   reg.set(prefix + "mem.cold_reclaimed", m.cold_reclaimed);
   reg.set(prefix + "mem.slab_bytes", m.slab_bytes);
   reg.set(prefix + "mem.peak_bytes", m.peak_bytes);
+}
+
+/// Wasted-work attribution ledger (DESIGN.md §16): per-(cause, ply-band)
+/// cancel / unit / compute-ns grids plus the per-cause and grand totals the
+/// benches print.  Cells are emitted only when a cause row is non-empty so
+/// a speculation-free run contributes three zero totals, not 36 zeros.
+inline void register_engine_waste_stats(MetricsRegistry& reg,
+                                        const core::EngineWasteStats& w,
+                                        const std::string& prefix = "engine.") {
+  for (std::size_t c = 0; c < core::kWasteCauseCount; ++c) {
+    const auto cause = static_cast<core::WasteCause>(c);
+    const std::string base =
+        prefix + "waste." + core::waste_cause_name(cause) + ".";
+    reg.set(base + "cancels", w.cause_cancels(cause));
+    reg.set(base + "units", w.cause_units(cause));
+    reg.set(base + "compute_ns", w.cause_ns(cause));
+    if (w.cause_cancels(cause) == 0) continue;
+    for (std::size_t b = 0; b < core::kWastePlyBands; ++b) {
+      const std::string band = ".ply" + std::to_string(b);
+      reg.set(base + "cancels" + band, w.cancels[c][b]);
+      reg.set(base + "units" + band, w.units[c][b]);
+      reg.set(base + "compute_ns" + band, w.compute_ns[c][b]);
+    }
+  }
+  reg.set(prefix + "waste.total_cancels", w.total_cancels());
+  reg.set(prefix + "waste.total_units", w.total_units());
+  reg.set(prefix + "waste.total_ns", w.total_ns());
 }
 
 inline void register_thread_report(MetricsRegistry& reg,
@@ -81,6 +116,7 @@ inline void register_thread_report(MetricsRegistry& reg,
   reg.set("tt.hit_rate", r.tt_hit_rate());
   register_scheduler_stats(reg, r.sched);
   register_engine_mem_stats(reg, r.mem);
+  register_engine_waste_stats(reg, r.waste);
 }
 
 inline void register_sim_metrics(MetricsRegistry& reg,
@@ -97,6 +133,11 @@ inline void register_sim_metrics(MetricsRegistry& reg,
   for (std::size_t s = 0; s < m.shard_accesses.size(); ++s)
     reg.set(prefix + "shard_accesses." + std::to_string(s),
             m.shard_accesses[s]);
+  // Simulated runs always carry exact per-unit durations, so all three
+  // histograms are populated (virtual-clock units).
+  reg.put_histogram(prefix + "batch_size", m.batch_hist);
+  reg.put_histogram(prefix + "compute_span_ns", m.compute_hist);
+  reg.put_histogram(prefix + "commit_latency_ns", m.commit_hist);
 }
 
 /// Per-shard breakdown of the engine's own lock accounting (DESIGN.md

@@ -1,0 +1,132 @@
+#pragma once
+// Prometheus text exposition (format version 0.0.4) of a MetricsRegistry
+// snapshot (DESIGN.md §16).
+//
+// This is the building block the future search-service `/metrics` endpoint
+// plugs into; today every bench wires it as `--prom-out F`.  The naming
+// scheme is mechanical so the registry stays the single source of truth:
+// every metric name gains the `ers_` namespace prefix and has its dots
+// (the registry's hierarchy separator) folded to underscores —
+// `engine.waste.total_ns` exposes as `ers_engine_waste_total_ns`.  Scalar
+// entries expose as gauges (the registry cannot promise monotonicity, and
+// Prometheus treats a mislabeled counter worse than a conservative gauge);
+// string entries fold into one `ers_run_info{key="value",...} 1` info
+// metric, the convention for run-identifying labels; histograms expose the
+// full cumulative `le` series straight from Histogram::bucket_upper(),
+// trimmed after the last non-empty bucket.  tools/check_prom_format.py
+// lints the emitted bytes in CI.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <variant>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace ers::obs {
+
+/// Exposition name of a registry entry: `ers_` prefix, every character
+/// outside [a-zA-Z0-9_] folded to '_'.
+[[nodiscard]] inline std::string prom_name(const std::string& name) {
+  std::string out = "ers_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Escape a label value: backslash, double quote, and newline, per the
+/// exposition-format spec.
+[[nodiscard]] inline std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace detail {
+inline std::string prom_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+}  // namespace detail
+
+/// Render the whole registry in exposition format.  Deterministic: the
+/// run-info metric first, then every numeric entry in insertion order,
+/// then every histogram in insertion order.
+[[nodiscard]] inline std::string prometheus_text(const MetricsRegistry& reg) {
+  std::string out;
+  // Pass 1: string entries become labels on one info metric.
+  std::string info;
+  for (const auto& [k, v] : reg.entries()) {
+    if (!std::holds_alternative<std::string>(v)) continue;
+    if (!info.empty()) info += ",";
+    info += prom_name(k).substr(4) + "=\"" +
+            prom_label_escape(std::get<std::string>(v)) + "\"";
+  }
+  if (!info.empty()) {
+    out += "# HELP ers_run_info string-valued registry entries as labels\n";
+    out += "# TYPE ers_run_info gauge\n";
+    out += "ers_run_info{" + info + "} 1\n";
+  }
+  // Pass 2: numeric entries, insertion order.
+  for (const auto& [k, v] : reg.entries()) {
+    if (std::holds_alternative<std::string>(v)) continue;
+    const std::string name = prom_name(k);
+    out += "# HELP " + name + " registry entry " + k + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    if (std::holds_alternative<std::uint64_t>(v))
+      out += name + " " + std::to_string(std::get<std::uint64_t>(v)) + "\n";
+    else if (std::holds_alternative<std::int64_t>(v))
+      out += name + " " + std::to_string(std::get<std::int64_t>(v)) + "\n";
+    else
+      out += name + " " + detail::prom_number(std::get<double>(v)) + "\n";
+  }
+  // Pass 3: histograms — cumulative le buckets, sum, count.
+  for (const auto& [k, h] : reg.histograms()) {
+    const std::string name = prom_name(k);
+    out += "# HELP " + name + " registry histogram " + k + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    const std::size_t last = h.max_bucket();
+    for (std::size_t b = 0; b <= last; ++b) {
+      cum += h.bucket(b);
+      out += name + "_bucket{le=\"" +
+             std::to_string(Histogram::bucket_upper(b)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+    out += name + "_sum " + std::to_string(h.sum()) + "\n";
+    out += name + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+/// Write the exposition to `path`, echoing where it went (the same contract
+/// as MetricsRegistry::write_json).
+inline bool write_prometheus(const std::string& path,
+                             const MetricsRegistry& reg) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write prometheus %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = prometheus_text(reg);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu metrics, %zu histograms)\n", path.c_str(),
+              reg.size(), reg.histograms().size());
+  return true;
+}
+
+}  // namespace ers::obs

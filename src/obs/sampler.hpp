@@ -1,0 +1,196 @@
+#pragma once
+// Live search-health sampling (DESIGN.md §16).
+//
+// A Sampler snapshots a small fixed row of engine/executor counters into a
+// timestamped ring every `interval_ns`, so a run's health (heap occupancy,
+// waste rate, TT hit rate) is visible *while it happens* instead of only in
+// the end-of-run report.  Two drive modes share one ring and one probe:
+//
+//   * start()/stop() — a background OS thread fires every interval of
+//     steady-clock time (the thread-runtime benches; `--sample-ms`);
+//   * poll(now_ns) — the caller advances a virtual clock and the sampler
+//     fires every due tick synchronously.  SimExecutor polls at each event
+//     it retires, which makes a simulated run's time series deterministic:
+//     same schedule, same rows, bit for bit (tested in sampler_test.cpp).
+//
+// Memory model: the probe runs on whichever thread drives the sampler and
+// may take the engine's own snapshot locks (stats() / mem_stats() /
+// waste_stats() hold them briefly); the ring is single-writer by
+// construction and is read only after stop() / run end, so rows need no
+// atomics.  A full ring drops new rows and counts the drops — the series
+// stays a prefix of the truth, the same contract as the trace rings.
+//
+// Rows carry cumulative counters, not rates: consumers difference adjacent
+// rows, so a dropped sample skews no downstream math.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ers::obs {
+
+/// One sample: cumulative counters as of the row's timestamp.  ts_ns is the
+/// scheduled due time (k * interval), not the observation time — virtual
+/// and real series share one x-axis semantics.
+struct SampleRow {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t units = 0;        ///< work units committed so far
+  std::uint64_t nodes = 0;        ///< nodes generated so far
+  std::uint64_t live_nodes = 0;   ///< node-storage occupancy (heap residency)
+  std::uint64_t queued = 0;       ///< problem-heap entries outstanding
+  std::uint64_t waste_units = 0;  ///< committed units attributed to waste
+  std::uint64_t waste_ns = 0;     ///< committed compute ns attributed to waste
+  std::uint64_t tt_probes = 0;
+  std::uint64_t tt_hits = 0;
+
+  friend bool operator==(const SampleRow&, const SampleRow&) = default;
+};
+
+class Sampler {
+ public:
+  using Probe = std::function<SampleRow()>;
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+  Sampler(Probe probe, std::uint64_t interval_ns,
+          std::size_t capacity = kDefaultCapacity)
+      : probe_(std::move(probe)),
+        interval_ns_(interval_ns == 0 ? 1 : interval_ns),
+        capacity_(capacity),
+        next_due_(interval_ns_) {
+    rows_.reserve(capacity < 1024 ? capacity : 1024);
+  }
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // --- virtual-clock mode --------------------------------------------------
+
+  /// Fire every tick due at or before `now_ns`.  The caller is the single
+  /// writer; do not mix with start().
+  void poll(std::uint64_t now_ns) {
+    while (next_due_ <= now_ns) {
+      fire(next_due_);
+      next_due_ += interval_ns_;
+    }
+  }
+
+  // --- thread mode ---------------------------------------------------------
+
+  /// Spawn the background sampling thread; ticks count from here.
+  void start() {
+    if (thread_.joinable()) return;
+    stop_requested_ = false;
+    epoch_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  /// Stop and join the sampling thread (no-op if not started).  The ring
+  /// is safe to read once this returns.
+  void stop() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  // --- consumption ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<SampleRow>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t interval_ns() const noexcept {
+    return interval_ns_;
+  }
+
+  /// The time-series document: {"interval_ns":N,"dropped":N,"samples":[...]}
+  /// with one flat object per row (schema checked by
+  /// tools/check_prom_format.py --samples).
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"interval_ns\":" + std::to_string(interval_ns_) +
+                      ",\"dropped\":" + std::to_string(dropped_) +
+                      ",\"samples\":[";
+    bool first = true;
+    for (const SampleRow& r : rows_) {
+      if (!first) out += ",";
+      first = false;
+      out += JsonObject()
+                 .field("ts_ns", r.ts_ns)
+                 .field("units", r.units)
+                 .field("nodes", r.nodes)
+                 .field("live_nodes", r.live_nodes)
+                 .field("queued", r.queued)
+                 .field("waste_units", r.waste_units)
+                 .field("waste_ns", r.waste_ns)
+                 .field("tt_probes", r.tt_probes)
+                 .field("tt_hits", r.tt_hits)
+                 .str();
+    }
+    out += "]}";
+    return out;
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write samples %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu samples)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  void fire(std::uint64_t ts) {
+    if (rows_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    SampleRow row = probe_();
+    row.ts_ns = ts;
+    rows_.push_back(row);
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      const auto due = epoch_ + std::chrono::nanoseconds(next_due_);
+      if (cv_.wait_until(lk, due, [this] { return stop_requested_; })) return;
+      lk.unlock();
+      fire(next_due_);
+      lk.lock();
+      next_due_ += interval_ns_;
+    }
+  }
+
+  Probe probe_;
+  std::uint64_t interval_ns_;
+  std::size_t capacity_;
+  std::uint64_t next_due_;
+  std::vector<SampleRow> rows_;
+  std::uint64_t dropped_ = 0;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ers::obs

@@ -72,8 +72,13 @@ enum class EventKind : std::uint8_t {
   kTtHit,         ///< arg = validated table hits in one unit's compute
   // --- engine instants (combiner-serialized, or per-shard rings) ----------
   kSpecSpawn,   ///< speculative/mandatory promotion; node = child, arg = parent
-  kSpecCancel,  ///< queued work cancelled; arg: 0 = dead subtree, 1 = cutoff
-  kUnitCommit,  ///< unit committed; node = node id, arg = parent node id
+  kSpecCancel,  ///< queued work cancelled; arg: 0 = dead queue-entry drop,
+                ///< 1 = pop-time cutoff on the node itself, 2 = subtree
+                ///< killed by a bound change, 3 = subtree killed by sibling
+                ///< resolution (2/3: node = the cancelled subtree's root,
+                ///< matching the engine waste ledger's kill charges)
+  kUnitCommit,  ///< unit committed; node = node id, arg = parent node id,
+                ///< dur = executor-measured compute ns (waste reconciliation)
   // --- flat-combining commit path (engine-internal locking) ---------------
   kCombinePublish,  ///< commit record published; shard = apply queue, arg = entries
   kCombineBatch,    ///< one combiner drain round; arg = records applied

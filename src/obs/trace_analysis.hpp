@@ -85,6 +85,9 @@ inline bool parse_perfetto(const std::string& json,
         ev.arg = static_cast<std::uint32_t>(a->as_uint64());
       if (const JsonValue* s = args->find("shard"); s != nullptr)
         ev.shard = static_cast<std::uint16_t>(s->as_uint64());
+      // Instant payload duration (exact ns; see trace_writer.hpp).
+      if (const JsonValue* d = args->find("dur_ns"); d != nullptr)
+        ev.dur = d->as_uint64();
     }
     out.push_back(ev);
   }
@@ -126,6 +129,40 @@ struct CriticalHop {
   std::uint64_t compute_ns = 0;
 };
 
+/// Waste attributed to one cancel cause, rebuilt from the event stream.
+struct WasteCauseTotal {
+  std::uint64_t cancels = 0;     ///< cancelled subtree roots (kSpecCancel)
+  std::uint64_t units = 0;       ///< commits attributed inside those subtrees
+  std::uint64_t compute_ns = 0;  ///< their executor-measured compute time
+};
+
+/// Speculation-waste section (DESIGN.md §16): the trace-side replay of the
+/// engine's waste ledger.  Each kUnitCommit carries the unit's measured
+/// compute duration; each kSpecCancel (arg 2 = bound change, arg 3 =
+/// sibling resolution) marks a cancelled subtree root.  A commit is wasted
+/// iff some ancestor (self included) was cancelled, and it is charged to
+/// the *nearest* such ancestor — exactly the ledger's charge rule — so
+/// these totals reconcile bit-for-bit with Engine::waste_stats() unit
+/// counts (and with its ns totals wherever the executor stamps real
+/// durations).  Event order never matters: attribution only consults the
+/// commit-parent tree and the cancel set.
+struct SpeculationWaste {
+  WasteCauseTotal bound_change;        ///< kSpecCancel arg = 2
+  WasteCauseTotal sibling_resolution;  ///< kSpecCancel arg = 3
+  std::uint64_t dead_drops = 0;   ///< arg = 0: dead queue entries (no compute)
+  std::uint64_t pop_cutoffs = 0;  ///< arg = 1: pop-time cutoffs (not waste)
+
+  [[nodiscard]] std::uint64_t total_cancels() const noexcept {
+    return bound_change.cancels + sibling_resolution.cancels + dead_drops;
+  }
+  [[nodiscard]] std::uint64_t total_units() const noexcept {
+    return bound_change.units + sibling_resolution.units;
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return bound_change.compute_ns + sibling_resolution.compute_ns;
+  }
+};
+
 struct TraceReport {
   std::vector<WorkerTimeline> workers;  ///< real worker tracks, id order
   /// steal_matrix[thief][victim] = units migrated by successful steals.
@@ -143,6 +180,7 @@ struct TraceReport {
     return span_end > span_begin ? span_end - span_begin : 0;
   }
   std::uint64_t units = 0;      ///< kUnitCommit count
+  SpeculationWaste waste;       ///< replayed waste ledger (see above)
   // Critical path through the unit dependency graph.
   std::uint64_t critical_path_ns = 0;
   std::vector<CriticalHop> critical_path;  ///< root-first
@@ -168,13 +206,22 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
   std::unordered_map<std::uint32_t, std::uint64_t> node_cost;
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> children;
   std::unordered_map<std::uint32_t, bool> is_child;
+  // Commit-parent edges (node -> parent) and cancelled subtree roots
+  // (node -> cause arg) for the waste replay.  kUnitCommit edges alone
+  // close the ancestor chains: a node acquires children only through its
+  // own expand commit, so every ancestor of a committed node committed.
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  std::unordered_map<std::uint32_t, std::uint32_t> cancelled;
   int max_worker = -1;
   bool first_event = true;
   for (const TraceEvent& e : events) {
     ++rep.counts[static_cast<std::size_t>(e.kind)];
     rep.span_begin = first_event ? e.ts : std::min(rep.span_begin, e.ts);
     first_event = false;
-    rep.span_end = std::max(rep.span_end, e.ts + e.dur);
+    // Instants' dur is payload (kUnitCommit compute ns), not timeline
+    // extent — only genuine spans can push the end of the trace out.
+    rep.span_end =
+        std::max(rep.span_end, e.ts + (is_span(e.kind) ? e.dur : 0));
     const bool engine_track = e.worker == TraceSession::kEngineWorker;
     if (!engine_track) {
       max_worker = std::max(max_worker, static_cast<int>(e.worker));
@@ -210,9 +257,47 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
             e.node != e.arg) {
           children[e.arg].push_back(e.node);
           is_child[e.node] = true;
+          parent[e.node] = e.arg;
+        }
+        break;
+      case EventKind::kSpecCancel:
+        switch (e.arg) {
+          case 0: ++rep.waste.dead_drops; break;
+          case 1: ++rep.waste.pop_cutoffs; break;
+          case 2:
+            if (cancelled.emplace(e.node, e.arg).second)
+              ++rep.waste.bound_change.cancels;
+            break;
+          case 3:
+            if (cancelled.emplace(e.node, e.arg).second)
+              ++rep.waste.sibling_resolution.cancels;
+            break;
+          default: break;
         }
         break;
       default: break;
+    }
+  }
+
+  // --- waste attribution ---------------------------------------------------
+  // Second scan (the maps above must be complete first — cancels can land
+  // in the stream after the commits they retroactively waste): charge each
+  // commit to its nearest cancelled ancestor, self included.
+  if (!cancelled.empty()) {
+    for (const TraceEvent& e : events) {
+      if (e.kind != EventKind::kUnitCommit || e.node == kNoTraceNode) continue;
+      for (std::uint32_t a = e.node; a != kNoTraceNode;) {
+        if (auto c = cancelled.find(a); c != cancelled.end()) {
+          WasteCauseTotal& t = c->second == 2
+                                   ? rep.waste.bound_change
+                                   : rep.waste.sibling_resolution;
+          ++t.units;
+          t.compute_ns += e.dur;
+          break;
+        }
+        auto p = parent.find(a);
+        a = p == parent.end() ? kNoTraceNode : p->second;
+      }
     }
   }
 
@@ -348,6 +433,23 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
       counts.add_row({event_name(static_cast<EventKind>(k)),
                       std::to_string(rep.counts[k])});
   counts.print(os);
+
+  if (rep.waste.total_cancels() + rep.waste.pop_cutoffs > 0) {
+    os << "\n== speculation waste ==\n";
+    TextTable waste({"cause", "cancels", "units", "compute"});
+    auto row = [&waste](const char* name, const WasteCauseTotal& t) {
+      waste.add_row({name, std::to_string(t.cancels), std::to_string(t.units),
+                     format_ns(t.compute_ns)});
+    };
+    row("bound_change", rep.waste.bound_change);
+    row("sibling_resolution", rep.waste.sibling_resolution);
+    waste.add_row({"dead_drop", std::to_string(rep.waste.dead_drops), "0",
+                   format_ns(0)});
+    waste.print(os);
+    os << "wasted " << rep.waste.total_units() << " of " << rep.units
+       << " committed units (" << format_ns(rep.waste.total_ns())
+       << " compute); pop-time cutoffs " << rep.waste.pop_cutoffs << "\n";
+  }
 
   os << "\n== critical path ==\n";
   os << "trace extent      " << format_ns(rep.extent()) << "\n";

@@ -67,6 +67,12 @@ inline void append_trace_events(std::string& out, const TraceSession& session,
     args.field("arg", static_cast<std::uint64_t>(e.arg));
     if (e.shard != kNoTraceShard)
       args.field("shard", static_cast<int>(e.shard));
+    // Instants can carry a payload duration (kUnitCommit: the unit's
+    // measured compute ns, read back by the waste replay).  It rides in
+    // args — a ph "i" event with a top-level dur is not valid trace-event
+    // JSON — and parse_perfetto restores it into TraceEvent::dur.
+    if (!is_span(e.kind) && e.dur != 0)
+      args.field("dur_ns", static_cast<std::uint64_t>(e.dur));
     JsonObject o;
     o.field("ph", is_span(e.kind) ? "X" : "i")
         .raw("ts", us(e.ts))

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "runtime/topology.hpp"
 #include "search/concurrent_ttable.hpp"
@@ -109,15 +110,21 @@ struct SchedulerStats {
   [[nodiscard]] std::uint64_t steal_misses() const noexcept {
     return steal_hits > steal_attempts ? 0 : steal_attempts - steal_hits;
   }
-  /// Histogram of acquired batch sizes: bucket i counts batches of size
-  /// i+1, the last bucket collecting everything >= kBatchBuckets.
-  static constexpr std::size_t kBatchBuckets = 8;
-  std::array<std::uint64_t, kBatchBuckets> batch_size_hist{};
+  /// Distribution views (obs/histogram.hpp), per-worker single-writer and
+  /// merged exactly like the scalar counters.  batch_hist records every
+  /// acquired batch's size (its count equals `batches`, so the scalar
+  /// totals the benches read are untouched by the histogram migration).
+  /// compute_hist records per-unit compute-span ns and commit_hist
+  /// per-flush commit latency ns — both filled only while a trace session
+  /// is attached, from the same clock readings the spans and compute_ns
+  /// use, keeping the untraced hot path free of per-unit clock reads.
+  obs::Histogram batch_hist;
+  obs::Histogram compute_hist;
+  obs::Histogram commit_hist;
 
   void record_batch(std::size_t size) {
     ++batches;
-    const std::size_t b = size >= kBatchBuckets ? kBatchBuckets - 1 : size - 1;
-    ++batch_size_hist[b];
+    batch_hist.record(size);
   }
 
   /// The one way per-worker blocks fold into an aggregate (the executor and
@@ -135,8 +142,9 @@ struct SchedulerStats {
     steal_hits += o.steal_hits;
     flush_deferrals += o.flush_deferrals;
     global_refills += o.global_refills;
-    for (std::size_t i = 0; i < batch_size_hist.size(); ++i)
-      batch_size_hist[i] += o.batch_size_hist[i];
+    batch_hist.merge(o.batch_hist);
+    compute_hist.merge(o.compute_hist);
+    commit_hist.merge(o.commit_hist);
   }
 
   [[nodiscard]] double mean_batch_size() const noexcept {
@@ -176,6 +184,11 @@ struct ThreadRunReport {
   /// mem_stats(); zero otherwise) — arena/slab bytes and cold-record
   /// reclamation totals (DESIGN.md §15).
   core::EngineMemStats mem;
+  /// Wasted-work attribution ledger (engines exposing waste_stats(); zero
+  /// otherwise).  Unit counts are always exact; compute_ns is populated
+  /// only on traced runs — untraced thread workers never read the clock,
+  /// so they stamp 0 ns per unit (DESIGN.md §16).
+  core::EngineWasteStats waste;
 
   [[nodiscard]] double tt_hit_rate() const noexcept {
     return tt_probes == 0
@@ -404,13 +417,18 @@ class ThreadExecutor {
       for (;;) {
         // --- flush completions (engine combines internally) ---------------
         if (!done_buf.empty()) {
-          if (tr != nullptr)
+          if (tr != nullptr) {
             tr->instant(obs::EventKind::kCommitBatch, trace_->now_ns(),
                         obs::kNoTraceNode,
                         static_cast<std::uint32_t>(done_buf.size()));
-          // The peer-applied signal is a stealing-path statistic; the
-          // single-heap path keeps its steal-family counters at zero.
-          (void)commit_all(engine, done_buf);
+            const auto f0 = Clock::now();
+            // The peer-applied signal is a stealing-path statistic; the
+            // single-heap path keeps its steal-family counters at zero.
+            (void)commit_all(engine, done_buf);
+            st.commit_hist.record(ns(f0, Clock::now()));
+          } else {
+            (void)commit_all(engine, done_buf);
+          }
           st.units += done_buf.size();
           in_flight.fetch_sub(static_cast<int>(done_buf.size()));
           harvest(done_buf);
@@ -464,7 +482,10 @@ class ThreadExecutor {
           const auto c0 = Clock::now();
           compute_item_into(engine, item, index, tables, result);
           const auto c1 = Clock::now();
-          st.compute_ns += ns(c0, c1);
+          const std::uint64_t cns = ns(c0, c1);
+          st.compute_ns += cns;
+          st.compute_hist.record(cns);
+          stamp_compute_ns(result, cns);
           tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
                    trace_->to_ns(c1), node_of(item));
           trace_tt(*tr, trace_->to_ns(c1), node_of(item), result);
@@ -603,7 +624,13 @@ class ThreadExecutor {
           tr->instant(obs::EventKind::kCommitBatch, trace_->now_ns(),
                       obs::kNoTraceNode,
                       static_cast<std::uint32_t>(done_buf.size()));
+        // Traced runs record the in-place commit latency (lock wait +
+        // combine round).  Deferred publishes are excluded: their apply
+        // rides a peer's drain, so there is no local latency to observe —
+        // flush_deferrals already counts them.
+        const auto f0 = tr != nullptr ? Clock::now() : Clock::time_point{};
         if (engine.try_commit_batch(std::span<EntryT>(done_buf))) {
+          if (tr != nullptr) st.commit_hist.record(ns(f0, Clock::now()));
           st.units += done_buf.size();
           in_flight.fetch_sub(static_cast<int>(done_buf.size()));
           harvest(done_buf);
@@ -710,7 +737,10 @@ class ThreadExecutor {
             const auto c0 = Clock::now();
             compute_item_into(engine, *item, index, tables, result);
             const auto c1 = Clock::now();
-            st.compute_ns += ns(c0, c1);
+            const std::uint64_t cns = ns(c0, c1);
+            st.compute_ns += cns;
+            st.compute_hist.record(cns);
+            stamp_compute_ns(result, cns);
             tr->span(obs::EventKind::kComputeSpan, trace_->to_ns(c0),
                      trace_->to_ns(c1), node_of(*item));
             trace_tt(*tr, trace_->to_ns(c1), node_of(*item), result);
@@ -809,6 +839,8 @@ class ThreadExecutor {
     // Node-storage occupancy snapshot (engines with two-tier storage).
     if constexpr (requires { engine.mem_stats(); })
       report.mem = engine.mem_stats();
+    if constexpr (requires { engine.waste_stats(); })
+      report.waste = engine.waste_stats();
     return report;
   }
 
@@ -848,6 +880,15 @@ class ThreadExecutor {
       std::chrono::steady_clock::time_point b) noexcept {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  }
+
+  /// Stamp the executor-measured compute duration onto results that carry
+  /// one (core::ComputeResult::compute_ns); the waste ledger charges this
+  /// exact figure when the unit's subtree is later cancelled.  No-op for
+  /// engines whose result type has no such field.
+  template <typename Result>
+  static void stamp_compute_ns(Result& r, std::uint64_t v) noexcept {
+    if constexpr (requires { r.compute_ns; }) r.compute_ns = v;
   }
 
   static void spin_pause() noexcept {

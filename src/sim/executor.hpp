@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "core/shard_policy.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "util/check.hpp"
@@ -59,6 +61,13 @@ struct SimMetrics {
   /// shard-contention profile, comparable with the thread runtime's
   /// per-shard lock counters.
   std::vector<std::uint64_t> shard_accesses;
+  /// Distribution views of the run (obs/histogram.hpp), mirroring the
+  /// thread scheduler's triple: per-unit compute cost, per-batch commit
+  /// latency (completion to processor freed: lock wait + apply), and
+  /// acquired batch sizes.  Deterministic under the virtual clock.
+  obs::Histogram compute_hist;
+  obs::Histogram commit_hist;
+  obs::Histogram batch_hist;
   int processors = 0;
 
   /// Fraction of processor-time that did useful work.
@@ -103,6 +112,16 @@ class SimExecutor {
   /// trace hooks.  Deterministic: same engine + config ⇒ identical events.
   SimExecutor& with_trace(obs::TraceSession* session) noexcept {
     trace_ = obs::kTracingEnabled ? session : nullptr;
+    return *this;
+  }
+
+  /// Attach a sampler driven in virtual-clock mode: the executor polls it at
+  /// every event it retires (and once at the makespan), so the time series
+  /// is a pure function of the schedule — deterministic, bit for bit
+  /// (sampler_test.cpp).  The probe runs synchronously on the simulator
+  /// thread at the poll points; do not start() the sampler's own thread.
+  SimExecutor& with_sampler(obs::Sampler* sampler) noexcept {
+    sampler_ = sampler;
     return *this;
   }
 
@@ -208,10 +227,16 @@ class SimExecutor {
         batch.reserve(items.size());
         std::uint64_t compute_cost = 0;
         std::uint64_t t = start + cost_.per_heap_acquire;
+        m.batch_hist.record(items.size());
         for (ItemT& item : items) {
           auto result = engine.compute(item);
           const std::uint64_t c = cost_.of(result.stats);
           compute_cost += c;
+          m.compute_hist.record(c);
+          // The unit's virtual compute duration rides the result into
+          // commit_one: the engine's waste ledger charges exactly this on
+          // cancellation, making sim-side waste ns exact (not sampled).
+          if constexpr (requires { result.compute_ns; }) result.compute_ns = c;
           if (tr != nullptr) {
             tr->span(obs::EventKind::kComputeSpan, t, t + c, node_of(item));
             trace_tt(*tr, t + c, node_of(item), result);
@@ -290,11 +315,16 @@ class SimExecutor {
       m.busy_time += (ev.t - ev.started) + commit_cost + pub_cost;
       commit_all(engine, ev.batch);
       m.units += ev.batch.size();
+      m.commit_hist.record(freed_at - ev.t);
       m.makespan = std::max(m.makespan, freed_at);
       idle.push(IdleWorker{freed_at, ev.worker});
       now = freed_at;
+      // Sample after the commit landed: a tick due at virtual time T sees
+      // the engine exactly as of the last event retired at or before T.
+      if (sampler_ != nullptr) sampler_->poll(now);
       dispatch();
     }
+    if (sampler_ != nullptr) sampler_->poll(m.makespan);
 
     // Work still in flight when the search completed is abandoned
     // speculative work: it kept its processor busy only until the makespan.
@@ -417,6 +447,7 @@ class SimExecutor {
   int shards_;
   int batch_;
   obs::TraceSession* trace_ = nullptr;  ///< not owned; null = untraced
+  obs::Sampler* sampler_ = nullptr;     ///< not owned; polled in virtual mode
 };
 
 }  // namespace ers::sim

@@ -1,0 +1,120 @@
+// The mergeable log-bucketed histogram (obs/histogram.hpp, DESIGN.md §16):
+// bucket placement, merge additivity, and the percentile goldens the
+// scheduler summaries and the Prometheus exposition both build on.
+
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ers::obs {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max_bucket(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketUpperIsInclusiveBound) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+  // Every value's bucket bound covers the value: v <= upper(bucket_of(v)).
+  for (const std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 1000ull, 123456789ull})
+    EXPECT_GE(Histogram::bucket_upper(Histogram::bucket_of(v)), v);
+}
+
+TEST(Histogram, RecordFillsCountSumAndBucket) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(300);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 310u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(5)), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(300)), 1u);
+  EXPECT_EQ(h.max_bucket(), Histogram::bucket_of(300));
+  EXPECT_DOUBLE_EQ(h.mean(), 77.5);
+}
+
+TEST(Histogram, PercentileGoldens) {
+  // 100 samples: 50 ones, 40 tens, 10 thousands.  Ranks: p50 -> sample 50
+  // (a one), p90 -> sample 90 (a ten), p99 -> sample 99 (a thousand).  The
+  // reported value is the holding bucket's inclusive upper bound.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 40; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  EXPECT_EQ(h.p50(), Histogram::bucket_upper(Histogram::bucket_of(1)));   // 1
+  EXPECT_EQ(h.p90(), Histogram::bucket_upper(Histogram::bucket_of(10)));  // 15
+  EXPECT_EQ(h.p99(),
+            Histogram::bucket_upper(Histogram::bucket_of(1000)));  // 1023
+  EXPECT_EQ(h.p50(), 1u);
+  EXPECT_EQ(h.p90(), 15u);
+  EXPECT_EQ(h.p99(), 1023u);
+}
+
+TEST(Histogram, PercentileEdgeQuantiles) {
+  Histogram h;
+  h.record(4);
+  h.record(1000);
+  EXPECT_EQ(h.percentile(0.0), 7u);      // first non-empty bucket's bound
+  EXPECT_EQ(h.percentile(1.0), 1023u);   // last
+  EXPECT_EQ(h.percentile(-1.0), 7u);     // clamped
+  EXPECT_EQ(h.percentile(2.0), 1023u);   // clamped
+}
+
+TEST(Histogram, MergeIsElementwiseAndEquivalentToUnionFill) {
+  // merge(a, b) must be indistinguishable from recording both streams into
+  // one histogram — the property the per-worker single-writer scheme rests
+  // on (SchedulerStats::merge after the pool joins).
+  Histogram a, b, u;
+  for (const std::uint64_t v : {1ull, 2ull, 64ull, 0ull}) {
+    a.record(v);
+    u.record(v);
+  }
+  for (const std::uint64_t v : {3ull, 900ull, 900ull}) {
+    b.record(v);
+    u.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, u);
+  EXPECT_EQ(a.count(), 7u);
+  EXPECT_EQ(a.sum(), 1870u);
+  EXPECT_EQ(a.p99(), u.p99());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.record(42);
+  const Histogram before = a;
+  a.merge(Histogram{});
+  EXPECT_EQ(a, before);
+  Histogram e;
+  e.merge(a);
+  EXPECT_EQ(e, before);
+}
+
+}  // namespace
+}  // namespace ers::obs

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -82,10 +83,18 @@ TEST(MetricsRegistry, AddAccumulatesFromZero) {
   EXPECT_EQ(reg.counter("tt.probes"), 12u);
 }
 
-TEST(MetricsRegistry, NegativeIntClampsToZero) {
+TEST(MetricsRegistry, NegativeIntRoundTripsSigned) {
+  // Regression: set(int) used to cast straight to uint64, so -3 serialized
+  // as 18446744073709551613.  Negative ints now store as a signed entry and
+  // survive the JSON round trip.
   MetricsRegistry reg;
-  reg.set("shards", -3);
-  EXPECT_EQ(reg.counter("shards"), 0u);
+  reg.set("frontier", -3);
+  reg.set("shards", 4);
+  EXPECT_EQ(reg.to_json(), "{\"frontier\":-3,\"shards\":4}");
+  JsonValue v;
+  ASSERT_TRUE(parse_json(reg.to_json(), v));
+  EXPECT_EQ(static_cast<std::int64_t>(v.find("frontier")->as_double()), -3);
+  EXPECT_EQ(v.find("shards")->as_uint64(), 4u);
 }
 
 TEST(MetricsRegistry, SnapshotRoundTripsThroughTheReader) {
@@ -109,7 +118,7 @@ TEST(MetricsAdapters, SchedulerStatsFlattensUnderPrefix) {
   s.lock_wait_ns = 100;
   s.units = 12;
   s.record_batch(3);
-  s.record_batch(9);  // overflows into the last histogram bucket
+  s.record_batch(9);
   s.steal_attempts = 5;
   s.steal_hits = 2;
   MetricsRegistry reg;
@@ -146,7 +155,8 @@ TEST(SchedulerStats, MergeFoldsEveryField) {
   EXPECT_EQ(a.lock_wait_ns, 12u);
   EXPECT_EQ(a.compute_ns, 300u);
   EXPECT_EQ(a.batches, 2u);
-  EXPECT_EQ(a.batch_size_hist[0], 2u);
+  EXPECT_EQ(a.batch_hist.count(), 2u);
+  EXPECT_EQ(a.batch_hist.bucket(obs::Histogram::bucket_of(1)), 2u);
   EXPECT_EQ(a.steal_attempts, 3u);
   EXPECT_EQ(a.global_refills, 1u);
 }

@@ -150,9 +150,8 @@ TEST(ThreadExecutor, SchedulerStatsAreCoherent) {
   EXPECT_LE(s.units, s.batches * 4) << "batches hold at most k units";
   EXPECT_GE(s.mean_batch_size(), 1.0);
   EXPECT_LE(s.mean_batch_size(), 4.0);
-  std::uint64_t hist_total = 0;
-  for (const std::uint64_t b : s.batch_size_hist) hist_total += b;
-  EXPECT_EQ(hist_total, s.batches) << "every batch lands in one bucket";
+  EXPECT_EQ(s.batch_hist.count(), s.batches)
+      << "every batch lands in one bucket";
   EXPECT_GT(report.elapsed_ns, 0u);
   EXPECT_GE(report.lock_wait_share(), 0.0);
   EXPECT_LE(report.lock_wait_share(), 1.0);
@@ -228,9 +227,7 @@ TEST(ThreadExecutor, StealCountersCoherent) {
   const auto& s = report.sched;
   EXPECT_GE(s.steal_attempts, s.steal_hits);
   EXPECT_EQ(s.steal_misses(), s.steal_attempts - s.steal_hits);
-  std::uint64_t hist_total = 0;
-  for (const std::uint64_t b : s.batch_size_hist) hist_total += b;
-  EXPECT_EQ(hist_total, s.batches);
+  EXPECT_EQ(s.batch_hist.count(), s.batches);
 }
 
 TEST(ThreadExecutor, LegacyPathKeepsStealCountersZero) {

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Lint the telemetry outputs the benches emit (DESIGN.md §16).
+
+    check_prom_format.py EXPOSITION.prom [...]
+    check_prom_format.py --samples SAMPLES.json [...]
+
+Default mode checks Prometheus text exposition files (obs/prometheus.hpp,
+written by --prom-out) against the subset of the format the scrapers and
+the golden test rely on:
+
+  * every series line parses as  name[{labels}] value  with a valid metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a finite value;
+  * each distinct metric is introduced by # HELP then # TYPE before its
+    first series, and only once;
+  * histogram families are complete and consistent: their `le` buckets are
+    cumulative (monotone non-decreasing), end with le="+Inf", and the +Inf
+    count equals the _count series — the invariant scrape-side aggregation
+    (rate() over le vectors) silently miscomputes without;
+  * no duplicate series (same name + label set twice).
+
+--samples mode instead validates sampler JSON (obs/sampler.hpp, written by
+--sample-out): top-level keys interval_ns/dropped/samples, every row holds
+the nine schema fields as non-negative integers, timestamps are strictly
+increasing multiples of interval_ns, and cumulative fields never decrease.
+
+Exit codes: 0 clean, 1 lint errors, 2 unusable input (missing/unreadable
+file or unparseable JSON).  Errors print one line each, prefixed with
+file:line where the format makes a line meaningful.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One exposition series line: name, optional {labels}, value.  Labels are
+# matched coarsely here and split by parse_labels below.
+SERIES_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+SAMPLE_FIELDS = ("ts_ns", "units", "nodes", "live_nodes", "queued",
+                 "waste_units", "waste_ns", "tt_probes", "tt_hits")
+
+
+class Lint:
+    def __init__(self, path):
+        self.path = path
+        self.errors = 0
+
+    def error(self, msg, line=None):
+        where = f"{self.path}:{line}" if line is not None else self.path
+        print(f"{where}: {msg}", file=sys.stderr)
+        self.errors += 1
+
+
+def parse_labels(text):
+    """{k="v",...} -> dict, or None if the block has trailing junk."""
+    if not text:
+        return {}
+    body = text[1:-1]
+    labels = dict(LABEL_RE.findall(body))
+    # Rebuild to verify the block was only well-formed pairs.
+    rebuilt = ",".join(f'{k}="{v}"' for k, v in LABEL_RE.findall(body))
+    return labels if rebuilt == body else None
+
+
+def base_family(name):
+    """Histogram family name for a _bucket/_sum/_count series, else name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check_exposition(path):
+    lint = Lint(path)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_prom_format: cannot read {path}: {e.strerror}",
+              file=sys.stderr)
+        return 2
+
+    helped, typed = {}, {}          # metric -> first line seen
+    types = {}                      # metric -> declared TYPE
+    seen_series = set()             # (name, sorted labels) for dup detection
+    buckets = {}                    # family -> list of (lineno, le, value)
+    counts, sums = {}, {}           # family -> _count/_sum value
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$",
+                         line)
+            if m is None:
+                lint.error("malformed comment line (expected '# HELP name "
+                           "text' or '# TYPE name type')", lineno)
+                continue
+            kind, metric = m.group(1), m.group(2)
+            reg = helped if kind == "HELP" else typed
+            if metric in reg:
+                lint.error(f"duplicate # {kind} for {metric} "
+                           f"(first at line {reg[metric]})", lineno)
+            reg.setdefault(metric, lineno)
+            if kind == "TYPE":
+                if metric in seen_series_names(seen_series):
+                    lint.error(f"# TYPE {metric} after its first series",
+                               lineno)
+                types[metric] = m.group(3)
+            continue
+
+        m = SERIES_RE.match(line)
+        if m is None:
+            lint.error("unparseable series line", lineno)
+            continue
+        name, label_text, value_text = m.groups()
+        labels = parse_labels(label_text)
+        if labels is None:
+            lint.error(f"malformed label block on {name}", lineno)
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            lint.error(f"non-numeric value {value_text!r} on {name}", lineno)
+            continue
+        if math.isnan(value) or math.isinf(value):
+            lint.error(f"non-finite value on {name}", lineno)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_series:
+            lint.error(f"duplicate series {name}{label_text or ''}", lineno)
+        seen_series.add(key)
+
+        family, suffix = base_family(name)
+        meta_name = family if suffix and types.get(family) == "histogram" \
+            else name
+        if meta_name not in helped:
+            lint.error(f"series {name} has no preceding # HELP {meta_name}",
+                       lineno)
+            helped.setdefault(meta_name, lineno)  # report once per metric
+        if meta_name not in typed:
+            lint.error(f"series {name} has no preceding # TYPE {meta_name}",
+                       lineno)
+            typed.setdefault(meta_name, lineno)
+
+        if suffix == "_bucket" and types.get(family) == "histogram":
+            le = labels.get("le")
+            if le is None:
+                lint.error(f"{name} bucket without an le label", lineno)
+            else:
+                buckets.setdefault(family, []).append((lineno, le, value))
+        elif suffix == "_count" and types.get(family) == "histogram":
+            counts[family] = (lineno, value)
+        elif suffix == "_sum" and types.get(family) == "histogram":
+            sums[family] = (lineno, value)
+
+    for family, series in buckets.items():
+        prev = -1.0
+        for lineno, le, value in series:
+            if value < prev:
+                lint.error(f"{family}_bucket le=\"{le}\" = {value:g} below "
+                           f"previous bucket {prev:g} (le series must be "
+                           "cumulative)", lineno)
+            prev = value
+        last_lineno, last_le, last_value = series[-1]
+        if last_le != "+Inf":
+            lint.error(f"{family}_bucket series does not end at le=\"+Inf\"",
+                       last_lineno)
+        if family not in counts:
+            lint.error(f"histogram {family} has buckets but no _count series")
+        elif counts[family][1] != last_value:
+            lint.error(f"{family}_bucket{{le=\"+Inf\"}} = {last_value:g} but "
+                       f"_count = {counts[family][1]:g}", counts[family][0])
+        if family not in sums:
+            lint.error(f"histogram {family} has buckets but no _sum series")
+
+    if lint.errors == 0:
+        print(f"{path}: {len(seen_series)} series, "
+              f"{len(buckets)} histogram(s): ok")
+    return 1 if lint.errors else 0
+
+
+def seen_series_names(seen_series):
+    return {name for name, _ in seen_series}
+
+
+def check_samples(path):
+    lint = Lint(path)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_prom_format: cannot read {path}: {e.strerror}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"check_prom_format: {path}: unparseable JSON: {e}",
+              file=sys.stderr)
+        return 2
+
+    for key in ("interval_ns", "dropped", "samples"):
+        if key not in doc:
+            lint.error(f"missing top-level key {key!r}")
+    if lint.errors:
+        return 1
+    interval = doc["interval_ns"]
+    if not isinstance(interval, int) or interval <= 0:
+        lint.error(f"interval_ns must be a positive integer, got {interval!r}")
+        return 1
+    if not isinstance(doc["samples"], list):
+        lint.error("samples must be an array")
+        return 1
+
+    prev = None
+    for i, row in enumerate(doc["samples"]):
+        if not isinstance(row, dict):
+            lint.error(f"samples[{i}] is not an object")
+            continue
+        for field in SAMPLE_FIELDS:
+            v = row.get(field)
+            if not isinstance(v, int) or v < 0:
+                lint.error(f"samples[{i}].{field} must be a non-negative "
+                           f"integer, got {v!r}")
+        ts = row.get("ts_ns")
+        if isinstance(ts, int):
+            if ts % interval != 0:
+                lint.error(f"samples[{i}].ts_ns = {ts} is not a multiple of "
+                           f"interval_ns = {interval}")
+            if prev is not None and isinstance(prev.get("ts_ns"), int) \
+                    and ts <= prev["ts_ns"]:
+                lint.error(f"samples[{i}].ts_ns = {ts} does not increase "
+                           f"past {prev['ts_ns']}")
+        if prev is not None:
+            # Counters are cumulative snapshots; queued/live_nodes are gauges.
+            for field in ("units", "nodes", "waste_units", "waste_ns",
+                          "tt_probes", "tt_hits"):
+                a, b = prev.get(field), row.get(field)
+                if isinstance(a, int) and isinstance(b, int) and b < a:
+                    lint.error(f"samples[{i}].{field} = {b} decreased from "
+                               f"{a} (cumulative field)")
+        prev = row
+
+    if lint.errors == 0:
+        print(f"{path}: {len(doc['samples'])} sample(s), "
+              f"{doc['dropped']} dropped: ok")
+    return 1 if lint.errors else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--samples", action="store_true",
+                    help="validate sampler JSON instead of exposition text")
+    args = ap.parse_args()
+    check = check_samples if args.samples else check_exposition
+    rc = 0
+    for path in args.files:
+        rc = max(rc, check(path))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

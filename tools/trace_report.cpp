@@ -59,6 +59,33 @@ int print_memory_section(const std::string& path) {
   if (!any)
     std::printf("  (no engine.mem.* gauges — snapshot from a pre-§15 build "
                 "or a bench that runs no engine)\n");
+
+  // Waste ledger totals (DESIGN.md §16), printed beside the trace's own
+  // speculation-waste replay so the two attributions read side by side.
+  static constexpr const char* kWasteKeys[] = {
+      "engine.waste.total_cancels",
+      "engine.waste.total_units",
+      "engine.waste.total_ns",
+      "engine.waste.bound_change.cancels",
+      "engine.waste.bound_change.units",
+      "engine.waste.bound_change.compute_ns",
+      "engine.waste.sibling_resolution.cancels",
+      "engine.waste.sibling_resolution.units",
+      "engine.waste.sibling_resolution.compute_ns",
+      "engine.waste.dead_drop.cancels",
+  };
+  std::printf("\nwaste ledger (engine attribution, %s):\n", path.c_str());
+  any = false;
+  for (const char* key : kWasteKeys) {
+    const ers::obs::JsonValue* v = root.find(key);
+    if (v == nullptr || !v->is_number()) continue;
+    std::printf("  %-38s %.0f\n", key + 7 /* drop "engine." */,
+                v->as_double());
+    any = true;
+  }
+  if (!any)
+    std::printf("  (no engine.waste.* counters — snapshot from a pre-§16 "
+                "build or a bench that runs no engine)\n");
   return 0;
 }
 
