@@ -199,6 +199,10 @@ class Engine {
       cfg_.publish_frontier = derived_publish_frontier(
           cfg_.search_depth, cfg_.serial_depth, cfg_.heap_shards);
     for (int s = 0; s < cfg_.heap_shards; ++s) shards_.emplace_back();
+    for (Shard& sh : shards_)
+      sh.spec_budget.store(
+          static_cast<std::uint32_t>(cfg_.spec_control.budget_max),
+          std::memory_order_relaxed);
     if constexpr (obs::kTracingEnabled) {
       if (cfg_.trace != nullptr) cfg_.trace->ensure_shards(shards_.size());
     }
@@ -380,6 +384,29 @@ class Engine {
     std::uint64_t cold_allocated = 0;  ///< cold records ever allocated
     std::uint64_t cold_live = 0;       ///< currently attached
     std::uint64_t cold_reclaimed = 0;  ///< returned (finish / dead subtree)
+    // Steal-aware speculation control (DESIGN.md §17).  All relaxed
+    // atomics: the executor's steal feedback and the stats snapshots read
+    // or write them without this shard's lock; the pop-side counters are
+    // bumped while mu happens to be held, but nothing relies on that.
+    /// Speculative entries re-pushed at pop time because their rank
+    /// decayed (sibling bounds tightened / steal pressure rose), by ply
+    /// band — the waste ledger's kSpecDemoted cancel row.
+    std::array<std::atomic<std::uint64_t>, kWastePlyBands> spec_demotes{};
+    /// Entries re-pushed after the published window moved past their best
+    /// candidate entirely — the kSpecRewindowed cancel row.
+    std::array<std::atomic<std::uint64_t>, kWastePlyBands> spec_rewindows{};
+    /// Spec pops skipped because this shard was at its speculation budget.
+    std::atomic<std::uint64_t> spec_budget_deferrals{0};
+    /// Speculative promotions in flight from this shard: ++ when a
+    /// kPromote item is emitted, -- when it commits.
+    std::atomic<std::uint32_t> spec_inflight{0};
+    /// Live cap on spec_inflight, recomputed each combine round from the
+    /// waste ledger's speculative-loss share (refresh_spec_control).
+    std::atomic<std::uint32_t> spec_budget{64};
+    /// Decaying count of executor steals that took work homed here — the
+    /// kStealAware ranker's pressure signal (note_steal feeds it, the
+    /// combiner decays it).
+    std::atomic<std::uint64_t> steal_pressure{0};
   };
 
   /// Sentinel for "pop the globally best entry over every shard".
@@ -743,6 +770,43 @@ class Engine {
         continue;
       }
       if (!spec_eligible(e.node)) continue;
+      // Bound-driven demotion (DESIGN.md §17): re-rank the entry against
+      // the *current* published bounds and steal pressure before spending
+      // a promotion on it.  A strictly decayed rank goes back through
+      // push_spec — whose spec_seq bump lazily invalidates any other
+      // queued copy, the exact staleness path pop-order determinism
+      // already relies on — and is classified for the waste ledger as a
+      // re-window (the window moved past the candidate entirely) or a
+      // plain demotion.  Strict decay bounds the re-pushes: an entry
+      // whose rank is stable, however poor, is promoted rather than spun.
+      if (cfg_.spec_control.bound_demote) {
+        const auto [k1, k2] = spec_keys_for(e.node);
+        if (k1 > e.key1) {
+          const std::size_t owner = home_shard(e.node);
+          const std::size_t band =
+              waste_band_of(static_cast<std::uint32_t>(n.ply));
+          const std::uint32_t cand = best_promotion_candidate(n);
+          const bool closed =
+              cand == kNoNode ||
+              negate(static_cast<Value>(nodes_[cand].value)) <=
+                  window_of(e.node).alpha;
+          auto& row = closed ? shards_[owner].spec_rewindows
+                             : shards_[owner].spec_demotes;
+          row[band].fetch_add(1, std::memory_order_relaxed);
+          const bool steal_driven =
+              !closed && cfg_.spec_control.steal_feedback &&
+              shards_[owner].steal_pressure.load(
+                  std::memory_order_relaxed) != 0;
+          trace_shard_instant(owner,
+                              closed ? obs::EventKind::kSpecRewindow
+                                     : obs::EventKind::kSpecDemote,
+                              e.node, steal_driven ? 1u : 0u);
+          push_spec(e.node);
+          continue;
+        }
+      }
+      shards_[home_shard(e.node)].spec_inflight.fetch_add(
+          1, std::memory_order_relaxed);
       out[got++] = WorkItem{e.node,  WorkKind::kPromote, full_window(),
                             -kValueInf, n.type,           &n,
                             &positions_[e.node]};
@@ -771,20 +835,44 @@ class Engine {
     return e;
   }
 
+  /// As pop_primary, over the speculative queues, with two additions: the
+  /// scan caches the running best top instead of re-peeking `best`'s heap
+  /// on every comparison (top() is not free — it re-derefs the heap array
+  /// each call, and the old form peeked both sides per shard), and a shard
+  /// at its speculation budget is skipped entirely (counted as a
+  /// deferral).  With spec_control off the budget gate never fires and the
+  /// pop sequence is bit-identical to the single-heap order, as before.
   [[nodiscard]] std::optional<SpecEntry> pop_spec(std::size_t shard) {
     Shard* best = nullptr;
+    const SpecEntry* best_top = nullptr;
     if (shard == kAnyShard) {
       for (Shard& s : shards_) {
-        if (s.spec.empty()) continue;
-        if (best == nullptr || best->spec.top() < s.spec.top()) best = &s;
+        if (s.spec.empty() || spec_over_budget(s)) continue;
+        const SpecEntry& top = s.spec.top();
+        if (best_top == nullptr || *best_top < top) {
+          best = &s;
+          best_top = &top;
+        }
       }
-    } else if (!shards_[shard].spec.empty()) {
+    } else if (!shards_[shard].spec.empty() &&
+               !spec_over_budget(shards_[shard])) {
       best = &shards_[shard];
     }
     if (best == nullptr) return std::nullopt;
     const SpecEntry e = best->spec.top();
     best->spec.pop();
     return e;
+  }
+
+  /// True when the speculation budget bars popping from this shard right
+  /// now; counts the deferral.  Always false with the budget policy off.
+  [[nodiscard]] bool spec_over_budget(Shard& s) {
+    if (!cfg_.spec_control.budget) return false;
+    if (s.spec_inflight.load(std::memory_order_relaxed) <
+        s.spec_budget.load(std::memory_order_relaxed))
+      return false;
+    s.spec_budget_deferrals.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
  public:
@@ -830,6 +918,7 @@ class Engine {
     out.compute_ns = 0;
     ErSerialSearcher<G> searcher(game_, cfg_.search_depth, cfg_.ordering);
     searcher.with_shared_table(tt);
+    searcher.with_ordering_tables(cfg_.order_tables);
     switch (item.kind) {
       case WorkKind::kPromote:
         break;  // nothing heavy
@@ -868,6 +957,7 @@ class Engine {
       }
       case WorkKind::kExpand: {
         if (n.expanded()) break;  // positions already known (promoted e-child)
+        [[maybe_unused]] std::uint16_t order_hint = 0;
         if constexpr (HashedGame<G>) {
           // An exact entry covering the full remaining depth resolves the
           // node without expanding its subtree — this is how one worker's
@@ -875,14 +965,18 @@ class Engine {
           if (tt != nullptr) {
             ++out.stats.tt_probes;
             TtHit h;
-            if (tt->probe(pos.tt_key(), h) &&
-                h.depth >= cfg_.search_depth - n.ply &&
-                h.bound == BoundKind::kExact) {
-              ++out.stats.tt_hits;
-              out.positions_computed = true;
-              out.is_leaf = true;
-              out.value = h.value;
-              break;
+            if (tt->probe(pos.tt_key(), h)) {
+              // Any validated hit carries the stored best-move
+              // fingerprint, reused below to front the TT move.
+              order_hint = h.move_hint;
+              if (h.depth >= cfg_.search_depth - n.ply &&
+                  h.bound == BoundKind::kExact) {
+                ++out.stats.tt_hits;
+                out.positions_computed = true;
+                out.is_leaf = true;
+                out.value = h.value;
+                break;
+              }
             }
           }
         }
@@ -904,12 +998,42 @@ class Engine {
         out.stats.interior_expanded += 1;
         // Paper §7: children of e-nodes are never statically sorted.  Use
         // the role frozen at acquire: the live field may be re-typed by a
-        // concurrent commit while this unit runs (WorkItem::ntype).
-        if (item.ntype != NodeType::kENode && cfg_.ordering.should_sort(n.ply))
-          sort_children_by_static_value(game_, out.child_positions, out.stats);
+        // concurrent commit while this unit runs (WorkItem::ntype).  With
+        // shared ordering tables attached the sort additionally fronts
+        // the TT move and killers and breaks ties by history credit —
+        // with empty tables this reduces to the identical static
+        // permutation (see sort_children_ordered).
+        if (item.ntype != NodeType::kENode &&
+            cfg_.ordering.should_sort(n.ply)) {
+          bool sorted_with_tables = false;
+          if constexpr (HashedGame<G>) {
+            if (cfg_.order_tables != nullptr) {
+              sort_children_ordered(game_, out.child_positions, out.stats,
+                                    *cfg_.order_tables, n.ply + 1,
+                                    order_hint);
+              sorted_with_tables = true;
+            }
+          }
+          if (!sorted_with_tables)
+            sort_children_by_static_value(game_, out.child_positions,
+                                          out.stats);
+        }
         break;
       }
     }
+  }
+
+  /// Executor feedback (DESIGN.md §17): a stealing worker took a unit
+  /// homed on `node`'s shard.  Bumps that shard's decaying pressure
+  /// signal — read by the kStealAware ranker — and the global steal tally.
+  /// Lock-free and advisory; a no-op unless steal feedback is enabled, so
+  /// the sim executor (which never steals) and disabled configs remain
+  /// bit-identical.
+  void note_steal(std::uint32_t node) noexcept {
+    if (!cfg_.spec_control.steal_feedback) return;
+    shards_[home_shard(node)].steal_pressure.fetch_add(
+        1, std::memory_order_relaxed);
+    steal_events_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // --- run observers -------------------------------------------------------
@@ -938,8 +1062,18 @@ class Engine {
       std::scoped_lock lk(combine_mu_);
       out = stats_;
     }
-    for (const Shard& s : shards_)
+    for (const Shard& s : shards_) {
       out.dead_items_dropped += s.dead_drops.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kWastePlyBands; ++b) {
+        out.spec_demotions +=
+            s.spec_demotes[b].load(std::memory_order_relaxed);
+        out.spec_rewindows +=
+            s.spec_rewindows[b].load(std::memory_order_relaxed);
+      }
+      out.spec_budget_deferrals +=
+          s.spec_budget_deferrals.load(std::memory_order_relaxed);
+    }
+    out.steal_events = steal_events_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -954,9 +1088,19 @@ class Engine {
       out = waste_;
     }
     const auto dd = static_cast<std::size_t>(WasteCause::kDeadDrop);
+    const auto sd = static_cast<std::size_t>(WasteCause::kSpecDemoted);
+    const auto sr = static_cast<std::size_t>(WasteCause::kSpecRewindowed);
     for (const Shard& s : shards_)
-      for (std::size_t b = 0; b < kWastePlyBands; ++b)
+      for (std::size_t b = 0; b < kWastePlyBands; ++b) {
         out.cancels[dd][b] += s.waste_drops[b].load(std::memory_order_relaxed);
+        // Demotions and re-windows are entry-level events: a re-pushed
+        // entry costs a queue round-trip, never committed subtree work,
+        // so these rows carry cancels only (units/ns stay zero).
+        out.cancels[sd][b] +=
+            s.spec_demotes[b].load(std::memory_order_relaxed);
+        out.cancels[sr][b] +=
+            s.spec_rewindows[b].load(std::memory_order_relaxed);
+      }
     return out;
   }
 
@@ -1210,6 +1354,49 @@ class Engine {
     combine_records_ += nrecords;
     combine_entries_ += entries;
     trace_combine_batch(nrecords);
+    if (cfg_.spec_control.budget || cfg_.spec_control.steal_feedback)
+      refresh_spec_control();
+  }
+
+  /// Combiner-side speculation-control refresh (requires combine_mu_):
+  /// decay the per-shard steal-pressure signals and recompute the
+  /// speculation budget from the waste ledger's running speculative-loss
+  /// share — the fraction of committed units that landed in subtrees
+  /// later killed by bound changes or sibling resolutions.  When the
+  /// share exceeds spec_control.waste_target the budget shrinks
+  /// proportionally (never below budget_min); at or under target every
+  /// shard runs at budget_max.
+  void refresh_spec_control() {
+    if (cfg_.spec_control.steal_feedback) {
+      for (Shard& sh : shards_) {
+        const std::uint64_t p =
+            sh.steal_pressure.load(std::memory_order_relaxed);
+        if (p != 0)
+          sh.steal_pressure.store(p - (p >> 3) - (p < 8 ? 1 : 0),
+                                  std::memory_order_relaxed);
+      }
+    }
+    if (!cfg_.spec_control.budget) return;
+    std::uint64_t spec_units = 0;
+    for (std::size_t b = 0; b < kWastePlyBands; ++b)
+      spec_units +=
+          waste_.units[static_cast<std::size_t>(WasteCause::kBoundChange)][b] +
+          waste_.units[static_cast<std::size_t>(
+              WasteCause::kSiblingResolution)][b];
+    const std::uint64_t total = stats_.units_processed;
+    auto budget = static_cast<std::uint32_t>(cfg_.spec_control.budget_max);
+    if (total >= 64) {  // skip the noisy warmup
+      const double share =
+          static_cast<double>(spec_units) / static_cast<double>(total);
+      if (share > cfg_.spec_control.waste_target) {
+        const double scaled = cfg_.spec_control.budget_max *
+                              cfg_.spec_control.waste_target / share;
+        budget = static_cast<std::uint32_t>(std::max(
+            static_cast<double>(cfg_.spec_control.budget_min), scaled));
+      }
+    }
+    for (Shard& sh : shards_)
+      sh.spec_budget.store(budget, std::memory_order_relaxed);
   }
 
   /// Compute one record's touch set (truncated per entry where eligible),
@@ -1426,6 +1613,10 @@ class Engine {
                  r.compute_ns);
     switch (item.kind) {
       case WorkKind::kPromote:
+        // Pairs with the fetch_add at emission: every acquired kPromote is
+        // committed exactly once, even when the state moved on meanwhile.
+        shards_[home_shard(item.node)].spec_inflight.fetch_sub(
+            1, std::memory_order_relaxed);
         commit_promotion(item.node);
         break;
       case WorkKind::kSerialFull:
@@ -1466,6 +1657,44 @@ class Engine {
       }
       case SpecRankPolicy::kFifo:
         return {0, 0};
+      case SpecRankPolicy::kStealAware: {
+        // Composite rank (DESIGN.md §17).  Primary: how much headroom the
+        // best promotion candidate still has above the node's published
+        // alpha — a candidate whose tentative promise the sibling bounds
+        // (§13 epoch words) have already overtaken is almost certainly
+        // wasted speculation, so it ranks late; a candidate with room to
+        // raise the parent ranks early.  Secondary: the home shard's
+        // decaying steal-pressure bucket — a shard whose primary work is
+        // being stolen is already oversubscribed, so its speculation
+        // yields.  Tiebreaks keep the paper's own heuristic (fewest
+        // e-children, then shallower ply).  Every input is an epoch-
+        // published or relaxed read; under the sim executor steal
+        // pressure is identically zero and the rank is deterministic.
+        const std::uint32_t c = best_promotion_candidate(n);
+        constexpr std::int64_t kDistCap = 0xffff;
+        std::int64_t closeness = kDistCap;  // no candidate: rank last
+        if (c != kNoNode) {
+          const Window w = window_of(id);
+          const std::int64_t headroom =
+              static_cast<std::int64_t>(
+                  negate(static_cast<Value>(nodes_[c].value))) -
+              static_cast<std::int64_t>(w.alpha);
+          closeness =
+              kDistCap - std::clamp<std::int64_t>(headroom, 0, kDistCap);
+        }
+        std::int64_t pressure = 0;
+        if (cfg_.spec_control.steal_feedback) {
+          std::uint64_t p = shards_[home_shard(id)].steal_pressure.load(
+              std::memory_order_relaxed);
+          while (p != 0 && pressure < 15) {  // log2 bucket, clamped
+            p >>= 1;
+            ++pressure;
+          }
+        }
+        return {(closeness << 16) + (pressure << 8),
+                (static_cast<std::int64_t>(n.e_children()) << 8) +
+                    std::min<std::int64_t>(n.ply, 255)};
+      }
     }
     return {0, 0};
   }
@@ -1476,7 +1705,8 @@ class Engine {
     Node& n = nodes_[id];
     if (n.in_primary || n.in_flight || n.finished) return;
     n.in_primary = true;
-    shards_[home_shard(id)].primary.push(PrimaryEntry{n.ply, seq_++, id});
+    shards_[home_shard(id)].primary.push(PrimaryEntry{
+        n.ply, seq_.fetch_add(1, std::memory_order_relaxed), id});
   }
 
   void push_spec(std::uint32_t id) {
@@ -1486,7 +1716,9 @@ class Engine {
     c->on_spec = true;
     ++c->spec_seq;
     const auto [k1, k2] = spec_keys_for(id);
-    shards_[home_shard(id)].spec.push(SpecEntry{k1, k2, seq_++, id, c->spec_seq});
+    shards_[home_shard(id)].spec.push(SpecEntry{
+        k1, k2, seq_.fetch_add(1, std::memory_order_relaxed), id,
+        c->spec_seq});
   }
 
   // --- predicates ---------------------------------------------------------
@@ -2517,10 +2749,11 @@ class Engine {
   }
 
   /// Charge cancelled subtree root `ch` to the ledger and mark it.  The
-  /// matching trace event is kSpecCancel with arg 2 (bound change) or 3
-  /// (sibling resolution) — trace_report's speculation-waste section
-  /// reconciles against exactly these.  Requires combine_mu_ (the side
-  /// tallies are combiner-owned).
+  /// matching trace event is kSpecCancel with arg = cause + 2 (2 = bound
+  /// change, 3 = sibling resolution; the acquire-side drop args 0/1 come
+  /// first) — trace_report's speculation-waste section reconciles against
+  /// exactly these.  Requires combine_mu_ (the side tallies are
+  /// combiner-owned).
   void charge_waste(std::uint32_t ch, WasteCause cause) {
     const auto ci = static_cast<std::size_t>(cause);
     const std::size_t b =
@@ -2539,7 +2772,7 @@ class Engine {
       sub_ns_[a] -= ns;
     }
     trace_instant(obs::EventKind::kSpecCancel, ch,
-                  cause == WasteCause::kBoundChange ? 2u : 3u);
+                  static_cast<std::uint32_t>(cause) + 2);
   }
 
   /// Deepest cancelled-subtree root on `id`'s ancestor chain (self
@@ -2565,10 +2798,15 @@ class Engine {
   /// from ever proving a position unreachable.
   StableArena<Position> positions_;
   std::deque<Shard> shards_;  ///< deque: Shard is immovable (owns mutexes)
-  /// Global push sequence for the LIFO/FIFO tiebreaks.  Plain on purpose:
-  /// pushes only happen during single-threaded construction and inside
-  /// combiner application, which combine_mu_ serializes.
-  std::uint64_t seq_ = 0;
+  /// Global push sequence for the LIFO/FIFO tiebreaks.  A relaxed atomic:
+  /// pushes normally happen during single-threaded construction or inside
+  /// combiner application (combine_mu_-serialized), but the speculation
+  /// controller also re-pushes demoted entries at spec-pop time holding
+  /// only the popped entry's shard locks, so the ticket counter must be
+  /// race-free there.  Under the sim executor a single driver performs
+  /// every push, so ticket order — and with it the pop schedule — stays
+  /// deterministic.
+  std::atomic<std::uint64_t> seq_{0};
   Shared<bool> done_{false};
   /// Combiner-owned aggregates (guarded by combine_mu_).
   EngineStats stats_;
@@ -2592,6 +2830,8 @@ class Engine {
   std::uint64_t root_publish_retries_ = 0;
   /// Reader-side epoch validation retries (window_of runs on any thread).
   mutable std::atomic<std::uint64_t> validate_retries_{0};
+  /// Executor steal feedback accepted (note_steal; lock-free callers).
+  std::atomic<std::uint64_t> steal_events_{0};
   /// Combiner entry state for the frontier deferral (combine_mu_ held):
   /// the deferral floor for the entry being applied (0 = no truncation)
   /// and the high node whose backup was deferred at that floor.

@@ -67,6 +67,49 @@ enum class SpecRankPolicy : std::uint8_t {
   kBestBound,
   /// Arrival order (no ranking) — the control.
   kFifo,
+  /// Bound-driven composite rank (the §8 "better mechanism for globally
+  /// ranking speculative work"): primary key is the candidate's remaining
+  /// sibling-bound distance — how much room the node's live search window
+  /// (from the §13 epoch words) still leaves its best unpromoted child —
+  /// so entries whose siblings' published bounds have tightened past them
+  /// sink; a per-shard steal-pressure bucket (fed back by the stealing
+  /// executor, see Engine::note_steal) demotes entries homed on contended
+  /// shards; ties break toward smaller expansion fronts (fewest
+  /// e-children) and shallower nodes, the paper's ordering.  Under the
+  /// simulator steal pressure is identically zero, so the rank is a pure
+  /// deterministic function of committed state.
+  kStealAware,
+};
+
+/// Steal-aware speculation control (DESIGN.md §17): the dynamic policies
+/// layered on top of SpecRankPolicy.  All default off — with every toggle
+/// off the engine's pop order is bit-identical to the seed at every shard
+/// count (the acceptance invariant the determinism sweeps pin).
+struct SpecControlConfig {
+  /// Re-rank speculative entries at pop time against the *current*
+  /// published bounds: an entry whose recomputed rank worsened since it
+  /// was pushed is demoted (re-pushed at its new rank through the
+  /// spec_seq staleness path — cancel-on-demote), and an entry whose
+  /// window has closed entirely is re-windowed the same way so it only
+  /// surfaces once every cheaper candidate is gone.
+  bool bound_demote = false;
+  /// Fold executor steal pressure into the rank (kStealAware only):
+  /// stolen-from shards see their speculative entries demoted, so
+  /// speculation concentrates where home workers keep up.  Pressure
+  /// decays each combine round.
+  bool steal_feedback = false;
+  /// Cap live speculative promotions per shard, derived each combine
+  /// round from the waste ledger's running speculative-loss share:
+  /// budget_max while the share is at or under waste_target, shrinking
+  /// proportionally (floored at budget_min) as waste overshoots.
+  bool budget = false;
+  int budget_min = 1;
+  int budget_max = 64;
+  double waste_target = 0.10;
+
+  [[nodiscard]] bool any() const noexcept {
+    return bound_demote || steal_feedback || budget;
+  }
 };
 
 /// EngineConfig::publish_frontier sentinel: derive F from the tree shape
@@ -109,6 +152,15 @@ struct EngineConfig {
   OrderingPolicy ordering;
   SpeculationConfig speculation;
   SpecRankPolicy spec_rank = SpecRankPolicy::kFewestEChildren;
+  /// Dynamic speculation control (demotion / steal feedback / budget).
+  /// All-off by default: the engine then behaves bit-identically to a
+  /// build without the feature.
+  SpecControlConfig spec_control;
+  /// Shared move-ordering tables (search/ordering.hpp): history counters
+  /// and killer slots consulted by expansion-time child sorts and the
+  /// serial-ER units.  Not owned; null keeps the paper's pure
+  /// static-value sort.  Ignored unless the game is a HashedGame.
+  OrderingTables* order_tables = nullptr;
   /// Lock-free transposition table shared by every worker's compute phase
   /// (probe on expansion, probe/store throughout serial subtree units).
   /// Not owned; must outlive the engine.  Ignored unless the game is a
@@ -135,6 +187,12 @@ struct EngineStats {
   std::uint64_t refutations_dispatched = 0; ///< children re-typed r-node
   std::uint64_t cutoffs_at_pop = 0;         ///< units cancelled before compute
   std::uint64_t dead_items_dropped = 0;     ///< queue entries under finished ancestors
+  /// Speculation-control counters (SpecControlConfig; all zero with the
+  /// controls off).
+  std::uint64_t spec_demotions = 0;         ///< entries re-ranked at pop (rank worsened)
+  std::uint64_t spec_rewindows = 0;         ///< entries re-pushed with a closed window
+  std::uint64_t spec_budget_deferrals = 0;  ///< spec pops skipped on over-budget shards
+  std::uint64_t steal_events = 0;           ///< executor steal-pressure feedback calls
 };
 
 /// Snapshot of the engine's internal lock accounting under per-shard
@@ -215,12 +273,22 @@ struct EngineMemStats {
 ///                          an ancestor had already finished.  Dead drops
 ///                          count entries only: the subtree's committed
 ///                          compute was charged when the subtree died.
+///   * kSpecDemoted       — a speculative entry re-ranked at pop time
+///                          because its recomputed rank had worsened
+///                          (bound tightening or steal pressure; see
+///                          SpecControlConfig::bound_demote).  Entry-level
+///                          like kDeadDrop: no committed work is charged.
+///   * kSpecRewindowed    — a speculative entry whose search window had
+///                          closed entirely at pop time, re-pushed at the
+///                          back of the rank order.  Entry-level.
 enum class WasteCause : std::uint8_t {
   kBoundChange = 0,
   kSiblingResolution = 1,
   kDeadDrop = 2,
+  kSpecDemoted = 3,
+  kSpecRewindowed = 4,
 };
-inline constexpr std::size_t kWasteCauseCount = 3;
+inline constexpr std::size_t kWasteCauseCount = 5;
 
 /// The ledger's ply axis: engine nodes live above the serial frontier
 /// (ply in [0, search_depth - serial_depth]), so bands are single plies
@@ -285,6 +353,8 @@ struct EngineWasteStats {
     case WasteCause::kBoundChange: return "bound_change";
     case WasteCause::kSiblingResolution: return "sibling_resolution";
     case WasteCause::kDeadDrop: return "dead_drop";
+    case WasteCause::kSpecDemoted: return "spec_demoted";
+    case WasteCause::kSpecRewindowed: return "spec_rewindowed";
   }
   return "unknown";
 }

@@ -77,6 +77,12 @@ struct SearchStats {
   // retires deferrals without revisits, so deferred >= revisited).
   std::uint64_t moves_deferred = 0;   ///< phase-one exclusivity skips
   std::uint64_t moves_revisited = 0;  ///< phase-two deferred-move searches
+  // Shared ordering tables (search/ordering.hpp): sorts where the stored
+  // TT move was fronted, and per-child killer/history matches that
+  // perturbed the static order.
+  std::uint64_t order_tt_first = 0;      ///< sorts fronting a TT move
+  std::uint64_t order_killer_hits = 0;   ///< children matched in killer slots
+  std::uint64_t order_history_hits = 0;  ///< children with history credit
 
   [[nodiscard]] std::uint64_t nodes_generated() const noexcept {
     return interior_expanded + leaves_evaluated;
@@ -103,6 +109,9 @@ struct SearchStats {
     tt_stores += o.tt_stores;
     moves_deferred += o.moves_deferred;
     moves_revisited += o.moves_revisited;
+    order_tt_first += o.order_tt_first;
+    order_killer_hits += o.order_killer_hits;
+    order_history_hits += o.order_history_hits;
     return *this;
   }
 };

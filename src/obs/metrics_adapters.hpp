@@ -183,6 +183,11 @@ inline void register_engine_stats(MetricsRegistry& reg,
   reg.set(prefix + "refutations_dispatched", e.refutations_dispatched);
   reg.set(prefix + "cutoffs_at_pop", e.cutoffs_at_pop);
   reg.set(prefix + "dead_items_dropped", e.dead_items_dropped);
+  // Steal-aware speculation control (DESIGN.md §17).
+  reg.set(prefix + "spec.demotions", e.spec_demotions);
+  reg.set(prefix + "spec.rewindows", e.spec_rewindows);
+  reg.set(prefix + "spec.budget_deferrals", e.spec_budget_deferrals);
+  reg.set(prefix + "spec.steal_events", e.steal_events);
   reg.set("tt.probes", e.search.tt_probes);
   reg.set("tt.hits", e.search.tt_hits);
   reg.set("tt.stores", e.search.tt_stores);
@@ -205,6 +210,10 @@ inline void register_search_stats(MetricsRegistry& reg, const SearchStats& s,
   reg.set(prefix + "tt_stores", s.tt_stores);
   reg.set(prefix + "moves_deferred", s.moves_deferred);
   reg.set(prefix + "moves_revisited", s.moves_revisited);
+  // Shared ordering tables (search/ordering.hpp).
+  reg.set(prefix + "order.tt_first", s.order_tt_first);
+  reg.set(prefix + "order.killer_hits", s.order_killer_hits);
+  reg.set(prefix + "order.history_hits", s.order_history_hits);
 }
 
 }  // namespace ers::obs

@@ -88,9 +88,13 @@ enum class EventKind : std::uint8_t {
   // --- ABDADA two-phase iteration (DESIGN.md §14) --------------------------
   kAbdadaDefer,    ///< younger sibling skipped (busy elsewhere); arg = ply
   kAbdadaRevisit,  ///< deferred move searched in phase two; arg = ply
+  // --- steal-aware speculation control (DESIGN.md §17) ---------------------
+  kSpecDemote,    ///< spec entry re-pushed, rank decayed; node = the entry's
+                  ///< node, arg: 1 = steal-pressure-driven, 0 = bound-driven
+  kSpecRewindow,  ///< spec entry re-pushed, window moved past its candidate
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kAbdadaRevisit) + 1;
+    static_cast<std::size_t>(EventKind::kSpecRewindow) + 1;
 
 /// Stable display/schema name of a kind (the Perfetto event `name`).
 [[nodiscard]] constexpr const char* event_name(EventKind k) noexcept {
@@ -118,6 +122,8 @@ inline constexpr std::size_t kEventKindCount =
     case EventKind::kEpochRetry: return "epoch_retry";
     case EventKind::kAbdadaDefer: return "abdada_defer";
     case EventKind::kAbdadaRevisit: return "abdada_revisit";
+    case EventKind::kSpecDemote: return "spec_demote";
+    case EventKind::kSpecRewindow: return "spec_rewindow";
   }
   return "unknown";
 }

@@ -151,6 +151,14 @@ struct SpeculationWaste {
   WasteCauseTotal sibling_resolution;  ///< kSpecCancel arg = 3
   std::uint64_t dead_drops = 0;   ///< arg = 0: dead queue entries (no compute)
   std::uint64_t pop_cutoffs = 0;  ///< arg = 1: pop-time cutoffs (not waste)
+  // Steal-aware speculation control (DESIGN.md §17): queue-entry events,
+  // never committed work, so they carry counts only.
+  std::uint64_t demotions = 0;   ///< kSpecDemote: spec entries re-ranked down
+  std::uint64_t rewindows = 0;   ///< kSpecRewindow: window moved past entry
+  /// Nodes the controller demoted under steal pressure (kSpecDemote arg = 1)
+  /// whose subtree was later cancelled anyway — demotions that provably
+  /// saved a speculative promotion from being wasted.
+  std::uint64_t stolen_then_cancelled = 0;
 
   [[nodiscard]] std::uint64_t total_cancels() const noexcept {
     return bound_change.cancels + sibling_resolution.cancels + dead_drops;
@@ -212,6 +220,9 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
   // own expand commit, so every ancestor of a committed node committed.
   std::unordered_map<std::uint32_t, std::uint32_t> parent;
   std::unordered_map<std::uint32_t, std::uint32_t> cancelled;
+  // Nodes demoted under steal pressure, intersected with the cancelled
+  // subtrees after pass 1 (stolen_then_cancelled).
+  std::vector<std::uint32_t> steal_demoted;
   int max_worker = -1;
   bool first_event = true;
   for (const TraceEvent& e : events) {
@@ -275,7 +286,29 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
           default: break;
         }
         break;
+      case EventKind::kSpecDemote:
+        ++rep.waste.demotions;
+        if (e.arg == 1 && e.node != kNoTraceNode)
+          steal_demoted.push_back(e.node);
+        break;
+      case EventKind::kSpecRewindow: ++rep.waste.rewindows; break;
       default: break;
+    }
+  }
+
+  // Steal-pressure demotions vindicated by a later cancel: the demoted
+  // node's subtree (nearest cancelled ancestor, self included) died, so
+  // the promotion the controller withheld would have been pure waste.
+  if (!cancelled.empty() && !steal_demoted.empty()) {
+    for (std::uint32_t n : steal_demoted) {
+      for (std::uint32_t a = n; a != kNoTraceNode;) {
+        if (cancelled.count(a) > 0) {
+          ++rep.waste.stolen_then_cancelled;
+          break;
+        }
+        auto p = parent.find(a);
+        a = p == parent.end() ? kNoTraceNode : p->second;
+      }
     }
   }
 
@@ -450,6 +483,13 @@ inline TraceReport analyze_trace(const std::vector<TraceEvent>& events) {
        << " committed units (" << format_ns(rep.waste.total_ns())
        << " compute); pop-time cutoffs " << rep.waste.pop_cutoffs << "\n";
   }
+
+  // Always printed, even all-zero: the telemetry smoke job greps these
+  // rows on traces from runs with the controller off.
+  os << "\n== speculation control ==\n";
+  os << "demotions " << rep.waste.demotions << ", re-windows "
+     << rep.waste.rewindows << ", stolen-then-cancelled "
+     << rep.waste.stolen_then_cancelled << "\n";
 
   os << "\n== critical path ==\n";
   os << "trace extent      " << format_ns(rep.extent()) << "\n";

@@ -723,6 +723,12 @@ class ThreadExecutor {
             item = std::move(q.items.back());
             q.items.pop_back();
             ++st.steal_hits;
+            // Steal feedback (DESIGN.md §17): tell engines that rank
+            // speculation by steal pressure which shard just lost a unit
+            // to a thief.  Detected structurally so executors keep working
+            // against engines without the hook.
+            if constexpr (requires { engine.note_steal(std::uint32_t{}); })
+              engine.note_steal(node_of(*item));
             if (tr != nullptr)
               tr->instant(obs::EventKind::kStealHit, trace_->now_ns(),
                           node_of(*item), static_cast<std::uint32_t>(victim));

@@ -86,6 +86,17 @@ class AbdadaSearcher {
     return *this;
   }
 
+  /// Consult (and train) shared history/killer tables in the move loop —
+  /// TT move first when the probe carries a hint, killers and history
+  /// refining the static sort (DESIGN.md §17).  Purely advisory: the
+  /// depth-exact TT gating keeps the root value equal to serial alpha-beta
+  /// under any ordering, so sharing tables across workers never perturbs
+  /// the result.  Ignored unless G is a HashedGame; nullptr detaches.
+  AbdadaSearcher& with_ordering_tables(OrderingTables* tables) noexcept {
+    tables_ = tables;
+    return *this;
+  }
+
   /// Cooperative abort: checked at every node entry.  Once set, the search
   /// unwinds without storing to the table; aborted() reports it and the
   /// returned value must be discarded.
@@ -156,26 +167,32 @@ class AbdadaSearcher {
     }
     const int remaining = depth_ - ply;
     [[maybe_unused]] std::uint64_t key = 0;
+    [[maybe_unused]] std::uint16_t tt_hint = 0;
     if constexpr (HashedGame<G>) {
       if (tt_ != nullptr || nproc_ != nullptr) key = p.tt_key();
       if (tt_ != nullptr) {
         tt_->prefetch(key);
         ++stats_.tt_probes;
         TtHit h;
-        // Depth-exact gating — see the header comment on determinism.
-        if (tt_->probe(key, h) && h.depth == remaining) {
-          ++stats_.tt_hits;
-          switch (h.bound) {
-            case BoundKind::kExact:
-              return h.value;
-            case BoundKind::kLower:
-              if (h.value >= beta) return h.value;
-              if (h.value > alpha) alpha = h.value;
-              break;
-            case BoundKind::kUpper:
-              if (h.value <= alpha) return h.value;
-              if (h.value < beta) beta = h.value;
-              break;
+        // Depth-exact gating — see the header comment on determinism.  The
+        // move hint is kept from *any* validated entry: a different-depth
+        // value cannot cut off, but its best move still orders this node.
+        if (tt_->probe(key, h)) {
+          tt_hint = h.move_hint;
+          if (h.depth == remaining) {
+            ++stats_.tt_hits;
+            switch (h.bound) {
+              case BoundKind::kExact:
+                return h.value;
+              case BoundKind::kLower:
+                if (h.value >= beta) return h.value;
+                if (h.value > alpha) alpha = h.value;
+                break;
+              case BoundKind::kUpper:
+                if (h.value <= alpha) return h.value;
+                if (h.value < beta) beta = h.value;
+                break;
+            }
           }
         }
       }
@@ -201,8 +218,18 @@ class AbdadaSearcher {
       return v;
     }
     ++stats_.interior_expanded;
-    if (ordering_.should_sort(ply))
-      sort_children_by_static_value(game_, kids, stats_);
+    if (ordering_.should_sort(ply)) {
+      bool sorted_with_tables = false;
+      if constexpr (HashedGame<G>) {
+        if (tables_ != nullptr) {
+          sort_children_ordered(game_, kids, stats_, *tables_, ply + 1,
+                                tt_hint);
+          sorted_with_tables = true;
+        }
+      }
+      if (!sorted_with_tables)
+        sort_children_by_static_value(game_, kids, stats_);
+    }
     prefetch_children(kids);
 
     if constexpr (HashedGame<G>)
@@ -211,6 +238,7 @@ class AbdadaSearcher {
     // Phase one: the eldest son unconditionally, younger siblings
     // exclusively — a busy younger sibling is deferred, not waited on.
     Value m = alpha;
+    std::uint64_t best_key = 0;
     std::array<std::uint32_t, kMaxDeferred> deferred;
     std::size_t n_deferred = 0;
     for (std::size_t i = 0; i < kids.size() && m < beta; ++i) {
@@ -223,6 +251,7 @@ class AbdadaSearcher {
       const Value t = negate(raw);
       if (t > m) {
         m = t;
+        best_key = key_of(kids[i]);
         if (ply == root_ply_) best_root_ = kids[i];
       }
     }
@@ -239,6 +268,7 @@ class AbdadaSearcher {
           negate(visit(kids[i], negate(beta), negate(m), ply + 1, false));
       if (t > m) {
         m = t;
+        best_key = key_of(kids[i]);
         if (ply == root_ply_) best_root_ = kids[i];
       }
     }
@@ -246,19 +276,41 @@ class AbdadaSearcher {
     if constexpr (HashedGame<G>)
       if (nproc_ != nullptr) nproc_->leave(key);
 
-    tt_store(key, m, remaining, alpha, beta);
+    if constexpr (HashedGame<G>) {
+      // Train the shared ordering tables on the refuting move, like
+      // er_serial's note_cutoff: killer slot at the child's ply, history
+      // credit scaled by remaining depth.
+      if (m >= beta && best_key != 0 && tables_ != nullptr && !aborted_) {
+        tables_->killers.record(ply + 1, best_key);
+        const auto r = static_cast<std::uint32_t>(remaining < 0 ? 0 : remaining);
+        tables_->history.add(best_key, r * r + 1);
+      }
+    }
+    tt_store(key, m, remaining, alpha, beta, m > alpha ? best_key : 0);
     return m;
   }
 
+  /// The position's key, 0 for non-hashed games.
+  [[nodiscard]] static std::uint64_t key_of(
+      [[maybe_unused]] const typename G::Position& p) noexcept {
+    if constexpr (HashedGame<G>)
+      return p.tt_key();
+    else
+      return 0;
+  }
+
   /// Store a completed fail-hard result, classified against the window it
-  /// was searched with.  Poisoned by abort: a value computed from a
-  /// half-unwound subtree must never reach the shared table.
+  /// was searched with; `best_key` (0 = none) becomes the entry's move
+  /// hint.  Poisoned by abort: a value computed from a half-unwound
+  /// subtree must never reach the shared table.
   void tt_store([[maybe_unused]] std::uint64_t key, [[maybe_unused]] Value v,
                 [[maybe_unused]] int remaining, [[maybe_unused]] Value alpha,
-                [[maybe_unused]] Value beta) {
+                [[maybe_unused]] Value beta,
+                [[maybe_unused]] std::uint64_t best_key = 0) {
     if constexpr (HashedGame<G>) {
       if (tt_ == nullptr || aborted_) return;
-      tt_->store(key, v, remaining, classify_bound(v, alpha, beta));
+      tt_->store(key, v, remaining, classify_bound(v, alpha, beta),
+                 best_key != 0 ? move_fingerprint(best_key) : std::uint16_t{0});
       ++stats_.tt_stores;
     }
   }
@@ -279,6 +331,7 @@ class AbdadaSearcher {
   int depth_;
   OrderingPolicy ordering_;
   ConcurrentTranspositionTable* tt_ = nullptr;
+  OrderingTables* tables_ = nullptr;
   NprocTable* nproc_ = nullptr;
   const std::atomic<bool>* stop_ = nullptr;
   obs::TraceSession* session_ = nullptr;

@@ -66,13 +66,16 @@ class ConcurrentTranspositionTable {
     out.value = unpack_value(data);
     out.depth = unpack_depth(data);
     out.bound = unpack_bound(data);
+    out.move_hint = unpack_hint(data);
     return true;
   }
 
   /// Store with depth-preferred + generation-aged replacement.  Same-key
   /// stores always refresh; a different key evicts unless the incumbent is
-  /// deeper AND from the current generation.
-  void store(std::uint64_t key, Value value, int depth, BoundKind bound) noexcept {
+  /// deeper AND from the current generation.  `move_hint` is the best
+  /// child's 14-bit key fingerprint (TtHit::move_hint; 0 = none).
+  void store(std::uint64_t key, Value value, int depth, BoundKind bound,
+             std::uint16_t move_hint = 0) noexcept {
     ERS_DCHECK(depth >= 0);
     Slot& s = slots_[key & mask_];
     const std::uint8_t gen = generation_.load(std::memory_order_relaxed);
@@ -83,7 +86,7 @@ class ConcurrentTranspositionTable {
           unpack_depth(cur) > clamp_depth(depth))
         return;  // keep the deeper same-generation entry
     }
-    const std::uint64_t data = pack(value, depth, bound, gen);
+    const std::uint64_t data = pack(value, depth, bound, gen, move_hint);
     s.data.store(data, std::memory_order_relaxed);
     s.xkey.store(key ^ data, std::memory_order_relaxed);
   }
@@ -135,15 +138,20 @@ class ConcurrentTranspositionTable {
   //   bits  0-1   bound + 1        (0 = empty slot; never produced by pack)
   //   bits  2-9   remaining depth  (clamped to 255)
   //   bits 10-17  generation       (wraps mod 256; aging heuristic only)
+  //   bits 18-31  best-move fingerprint (TtHit::move_hint; 0 = none)
   //   bits 32-63  value            (int32 bit pattern)
   static constexpr std::uint64_t kBoundMask = 0x3;
+  static constexpr int kHintShift = 18;
+  static constexpr std::uint64_t kHintMask = 0x3fff;
 
   static constexpr int clamp_depth(int depth) noexcept {
     return depth > 255 ? 255 : depth;
   }
   static constexpr std::uint64_t pack(Value v, int depth, BoundKind b,
-                                      std::uint8_t gen) noexcept {
+                                      std::uint8_t gen,
+                                      std::uint16_t hint) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+           ((static_cast<std::uint64_t>(hint) & kHintMask) << kHintShift) |
            (static_cast<std::uint64_t>(gen) << 10) |
            (static_cast<std::uint64_t>(clamp_depth(depth)) << 2) |
            (static_cast<std::uint64_t>(b) + 1);
@@ -159,6 +167,9 @@ class ConcurrentTranspositionTable {
   }
   static constexpr BoundKind unpack_bound(std::uint64_t data) noexcept {
     return static_cast<BoundKind>((data & kBoundMask) - 1);
+  }
+  static constexpr std::uint16_t unpack_hint(std::uint64_t data) noexcept {
+    return static_cast<std::uint16_t>((data >> kHintShift) & kHintMask);
   }
 
   std::uint64_t mask_;

@@ -67,6 +67,15 @@ class ErSerialSearcher {
     return *this;
   }
 
+  /// Consult (and train) shared history/killer tables during expansion-time
+  /// child sorts — the TT move sorts first when a probe carries a hint,
+  /// killers of the child ply next, history credit breaks ties (DESIGN.md
+  /// §17).  Ignored unless G is a HashedGame.  Pass nullptr to detach.
+  ErSerialSearcher& with_ordering_tables(OrderingTables* tables) noexcept {
+    tables_ = tables;
+    return *this;
+  }
+
   [[nodiscard]] SearchResult run() { return run_from(game_.root(), 0); }
 
   /// Search the subtree rooted at `pos` (which sits at absolute ply
@@ -176,8 +185,23 @@ class ErSerialSearcher {
       return true;
     }
     ++stats_.interior_expanded;
-    if (!is_e_node && ordering_.should_sort(ply))
-      sort_children_by_static_value(game_, kids, stats_);
+    if (!is_e_node && ordering_.should_sort(ply)) {
+      bool sorted_with_tables = false;
+      if constexpr (HashedGame<G>) {
+        if (tables_ != nullptr) {
+          // The parent's stored best-move fingerprint fronts the TT move;
+          // any stored entry carries it, regardless of depth coverage.
+          std::uint16_t hint = 0;
+          TtHit h;
+          if (tt_ != nullptr && tt_->probe(r.pos.tt_key(), h))
+            hint = h.move_hint;
+          sort_children_ordered(game_, kids, stats_, *tables_, ply + 1, hint);
+          sorted_with_tables = true;
+        }
+      }
+      if (!sorted_with_tables)
+        sort_children_by_static_value(game_, kids, stats_);
+    }
     // Warm the table lines of the whole sibling set now: by the time
     // er/eval_first descends into each child and probes it, its slot is in
     // cache.  (The probe-site prefetch in tt_probe fires too late to hide
@@ -210,12 +234,34 @@ class ErSerialSearcher {
   }
 
   /// Store a completed fail-hard result for `p`, classified against the
-  /// window it was searched with.
-  void tt_store(const Rec& p, Value v, int remaining, Value alpha, Value beta) {
+  /// window it was searched with; `best_key` is the key of the child that
+  /// produced the value (0 = none), stored as the entry's move hint except
+  /// on fail-lows, where no single move is responsible.
+  void tt_store(const Rec& p, Value v, int remaining, Value alpha, Value beta,
+                std::uint64_t best_key = 0) {
     if constexpr (HashedGame<G>) {
       if (tt_ == nullptr) return;
-      tt_->store(p.pos.tt_key(), v, remaining, classify_bound(v, alpha, beta));
+      const std::uint16_t hint =
+          v > alpha && best_key != 0 ? move_fingerprint(best_key) : 0;
+      tt_->store(p.pos.tt_key(), v, remaining, classify_bound(v, alpha, beta),
+                 hint);
       ++stats_.tt_stores;
+    }
+  }
+
+  /// Credit the child that refuted its parent (a beta cutoff) to the shared
+  /// ordering tables: a killer slot at the child's ply and history credit
+  /// scaled by the parent's remaining depth.
+  void note_cutoff(const Rec& child, int child_ply, int remaining) {
+    if constexpr (HashedGame<G>) {
+      if (tables_ == nullptr) return;
+      const std::uint64_t key = child.pos.tt_key();
+      tables_->killers.record(child_ply, key);
+      const auto r =
+          static_cast<std::uint32_t>(remaining < 0 ? 0 : remaining);
+      tables_->history.add(key, r * r + 1);
+    } else {
+      (void)child; (void)child_ply; (void)remaining;
     }
   }
 
@@ -244,12 +290,23 @@ class ErSerialSearcher {
       return v;
     }
     const Value v = er_children(p, alpha, beta, ply);
-    tt_store(p, v, remaining, alpha, beta);
+    tt_store(p, v, remaining, alpha, beta, best_child_key_);
     return v;
   }
 
-  /// ER's two phases over an expanded interior node.
+  /// The child's position key, 0 for non-hashed games.
+  [[nodiscard]] static std::uint64_t key_of(const Rec& r) noexcept {
+    if constexpr (HashedGame<G>)
+      return r.pos.tt_key();
+    else
+      return 0;
+  }
+
+  /// ER's two phases over an expanded interior node.  Sets best_child_key_
+  /// (read by the caller immediately on return — recursion below reuses it)
+  /// to the child that produced the final value, for the TT move hint.
   Value er_children(Rec& p, Value alpha, Value beta, int ply) {
+    std::uint64_t best_key = 0;
     p.value = alpha;
     // Phase 1: evaluate every child's first child (the elder grandchildren).
     for (Rec& c : p.kids) {
@@ -257,9 +314,14 @@ class ErSerialSearcher {
       if (c.done) {
         if (t > p.value) {
           p.value = t;
+          best_key = key_of(c);
           if (ply == root_ply_) best_root_ = c.pos;
         }
-        if (p.value >= beta) return p.value;
+        if (p.value >= beta) {
+          note_cutoff(c, ply + 1, depth_ - ply);
+          best_child_key_ = best_key;
+          return p.value;
+        }
       }
     }
     // Phase 2: sort by tentative value (ascending: lowest child value is the
@@ -271,10 +333,15 @@ class ErSerialSearcher {
       const Value t = negate(refute_rest(c, negate(beta), negate(p.value), ply + 1));
       if (t > p.value) {
         p.value = t;
+        best_key = key_of(c);
         if (ply == root_ply_) best_root_ = c.pos;
       }
-      if (p.value >= beta) return p.value;
+      if (p.value >= beta) {
+        note_cutoff(c, ply + 1, depth_ - ply);
+        break;
+      }
     }
+    best_child_key_ = best_key;
     return p.value;
   }
 
@@ -306,6 +373,7 @@ class ErSerialSearcher {
     const Value t = negate(er(p.kids.front(), negate(beta), negate(p.value), ply + 1));
     if (t > p.value) p.value = t;
     p.done = p.value >= beta || p.kids.size() == 1;
+    if (p.value >= beta) note_cutoff(p.kids.front(), ply + 1, depth_ - ply);
     return p.value;
   }
 
@@ -324,7 +392,7 @@ class ErSerialSearcher {
         return h.value;
     }
     const Value v = refute_rest_children(p, alpha, beta, ply);
-    tt_store(p, v, remaining, alpha, beta);
+    tt_store(p, v, remaining, alpha, beta, best_child_key_);
     return v;
   }
 
@@ -332,19 +400,33 @@ class ErSerialSearcher {
   /// is refuted (value >= beta) or exhausted.
   Value refute_rest_children(Rec& p, Value alpha, Value beta, int ply) {
     ERS_DCHECK(p.expanded && !p.kids.empty());
+    // The tentative value (if it survives max against alpha) came from the
+    // first child, making it the hint candidate until a later child raises.
+    std::uint64_t best_key = p.value > alpha ? key_of(p.kids.front()) : 0;
     // Keep the tentative value from Eval_first (see header comment).
     p.value = std::max(p.value, alpha);
     // The parent's bound may have tightened since Eval_first ran; the
     // tentative value alone can already refute p.
-    if (p.value >= beta) return p.value;
+    if (p.value >= beta) {
+      note_cutoff(p.kids.front(), ply + 1, depth_ - ply);
+      best_child_key_ = best_key;
+      return p.value;
+    }
     for (std::size_t i = 1; i < p.kids.size(); ++i) {
       Rec& c = p.kids[i];
       Value t = negate(eval_first(c, negate(beta), negate(p.value), ply + 1));
       if (!c.done)
         t = negate(refute_rest(c, negate(beta), negate(p.value), ply + 1));
-      if (t > p.value) p.value = t;
-      if (p.value >= beta) return p.value;
+      if (t > p.value) {
+        p.value = t;
+        best_key = key_of(c);
+      }
+      if (p.value >= beta) {
+        note_cutoff(c, ply + 1, depth_ - ply);
+        break;
+      }
     }
+    best_child_key_ = best_key;
     return p.value;
   }
 
@@ -352,9 +434,15 @@ class ErSerialSearcher {
   int depth_;
   OrderingPolicy ordering_;
   ConcurrentTranspositionTable* tt_ = nullptr;
+  OrderingTables* tables_ = nullptr;
   SearchStats stats_;
   std::optional<typename G::Position> best_root_;
   int root_ply_ = 0;
+  /// Key of the child that produced the last er_children /
+  /// refute_rest_children result — valid only immediately after those
+  /// calls return (deeper recursion overwrites it), which is exactly when
+  /// er/refute_rest read it for the TT move hint.
+  std::uint64_t best_child_key_ = 0;
 };
 
 template <Game G>

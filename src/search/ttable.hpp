@@ -38,6 +38,12 @@ struct TtHit {
   Value value = 0;
   int depth = -1;  ///< remaining depth the value is valid for
   BoundKind bound = BoundKind::kExact;
+  /// Best-move fingerprint: the low 14 bits of the best child's hash key,
+  /// or 0 when the store recorded none (fail-low results, tables that do
+  /// not carry hints).  Ordering matches it against each child's own
+  /// key fingerprint to front the TT move — a fingerprint, not an index,
+  /// so a hint is never misapplied across move-generation orders.
+  std::uint16_t move_hint = 0;
 };
 
 /// Fail-hard bound classification of a search result `v` obtained within
@@ -58,6 +64,7 @@ class TranspositionTable {
     BoundKind bound = BoundKind::kExact;
     bool used = false;
     std::uint8_t gen = 0;  ///< generation the entry was stored in
+    std::uint16_t move_hint = 0;  ///< best-move fingerprint (0 = none)
   };
 
   /// `size_log2` buckets of 2^size_log2 entries (direct mapped).
@@ -79,16 +86,20 @@ class TranspositionTable {
     out.value = e->value;
     out.depth = e->depth;
     out.bound = e->bound;
+    out.move_hint = e->move_hint;
     return true;
   }
 
   /// Depth-preferred store: never evict a deeper *current-generation* entry
   /// for the same slot unless the keys match (fresher result for the same
   /// position).  Entries from earlier generations are always replaceable.
-  void store(std::uint64_t key, Value value, int depth, BoundKind bound) {
+  void store(std::uint64_t key, Value value, int depth, BoundKind bound,
+             std::uint16_t move_hint = 0) {
     Entry& e = entries_[key & mask_];
     if (e.used && e.key != key && e.gen == gen_ && e.depth > depth) return;
-    e = Entry{key, value, static_cast<std::int16_t>(depth), bound, true, gen_};
+    e = Entry{key,  value, static_cast<std::int16_t>(depth),
+              bound, true,  gen_,
+              move_hint};
   }
 
   /// Start a new search epoch: older entries stay probeable but lose their

@@ -133,6 +133,8 @@ TEST(WasteLedger, BandsAndCausesFoldIntoTotals) {
   w.cancels[0][0] = 1;
   w.cancels[1][3] = 2;
   w.cancels[2][1] = 4;
+  w.cancels[3][2] = 8;
+  w.cancels[4][0] = 16;
   w.units[0][0] = 10;
   w.units[1][3] = 20;
   w.compute_ns[0][0] = 100;
@@ -140,7 +142,9 @@ TEST(WasteLedger, BandsAndCausesFoldIntoTotals) {
   EXPECT_EQ(w.cause_cancels(WasteCause::kBoundChange), 1u);
   EXPECT_EQ(w.cause_cancels(WasteCause::kSiblingResolution), 2u);
   EXPECT_EQ(w.cause_cancels(WasteCause::kDeadDrop), 4u);
-  EXPECT_EQ(w.total_cancels(), 7u);
+  EXPECT_EQ(w.cause_cancels(WasteCause::kSpecDemoted), 8u);
+  EXPECT_EQ(w.cause_cancels(WasteCause::kSpecRewindowed), 16u);
+  EXPECT_EQ(w.total_cancels(), 31u);
   EXPECT_EQ(w.total_units(), 30u);
   EXPECT_EQ(w.total_ns(), 300u);
   EXPECT_STREQ(core::waste_cause_name(WasteCause::kBoundChange),
@@ -148,9 +152,46 @@ TEST(WasteLedger, BandsAndCausesFoldIntoTotals) {
   EXPECT_STREQ(core::waste_cause_name(WasteCause::kSiblingResolution),
                "sibling_resolution");
   EXPECT_STREQ(core::waste_cause_name(WasteCause::kDeadDrop), "dead_drop");
+  EXPECT_STREQ(core::waste_cause_name(WasteCause::kSpecDemoted),
+               "spec_demoted");
+  EXPECT_STREQ(core::waste_cause_name(WasteCause::kSpecRewindowed),
+               "spec_rewindowed");
   EXPECT_EQ(core::waste_band_of(0), 0u);
   EXPECT_EQ(core::waste_band_of(2), 2u);
   EXPECT_EQ(core::waste_band_of(9), core::kWastePlyBands - 1);
+}
+
+TEST(WasteLedger, ReconcilesWithSpeculationControlOn) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  // With §17 pop-time demotion live the committed-work attribution (causes
+  // 0-2) must reconcile exactly as before, and the two new entry-level rows
+  // must mirror the engine's demote/re-window counters with no units or ns
+  // (nothing had run when the entry was re-pushed).  The trace replay counts
+  // the same events from the kSpecDemote/kSpecRewindow stream.
+  const UniformRandomTree g(5, 7, 41, -1000, 1000);
+  core::EngineConfig cfg;
+  cfg.search_depth = 7;
+  cfg.serial_depth = 5;
+  cfg.spec_rank = core::SpecRankPolicy::kStealAware;
+  cfg.spec_control.bound_demote = true;
+  for (const int p : {8, 16}) {
+    obs::TraceSession session;
+    const auto r = parallel_er_sim(g, cfg, p, {}, /*queue_shards=*/2,
+                                   /*batch=*/1, &session);
+    ASSERT_EQ(session.total_dropped(), 0u);
+    const obs::TraceReport rep = obs::analyze_trace(session.merged());
+    expect_reconciles(r.waste, rep, /*check_ns=*/true);
+    EXPECT_EQ(r.waste.cause_cancels(WasteCause::kSpecDemoted),
+              r.engine.spec_demotions);
+    EXPECT_EQ(r.waste.cause_cancels(WasteCause::kSpecRewindowed),
+              r.engine.spec_rewindows);
+    EXPECT_EQ(rep.waste.demotions, r.engine.spec_demotions);
+    EXPECT_EQ(rep.waste.rewindows, r.engine.spec_rewindows);
+    EXPECT_EQ(r.waste.cause_units(WasteCause::kSpecDemoted), 0u);
+    EXPECT_EQ(r.waste.cause_ns(WasteCause::kSpecDemoted), 0u);
+    EXPECT_EQ(r.waste.cause_units(WasteCause::kSpecRewindowed), 0u);
+    EXPECT_EQ(r.waste.cause_ns(WasteCause::kSpecRewindowed), 0u);
+  }
 }
 
 }  // namespace
